@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper table or figure: it runs the experiment
+on the simulated machine, prints the figure-shaped text table, and writes
+it to ``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md can reference
+the exact rows.  pytest-benchmark wraps the experiment body, so its wall
+times measure the *simulator*; the reproduced quantities are the simulated
+throughputs/latencies inside the tables.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: default experiment scale (kept small enough that the full bench suite
+#: finishes in minutes; DESIGN.md documents the scaling rule)
+SIZE_GIB = 0.5
+NUM_CPUS = 4
+CHURN_MULTIPLE = 6.0
+UTILIZATION = 0.75
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure/table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+def record(benchmark, extra: Dict) -> None:
+    """Attach simulated metrics to the pytest-benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

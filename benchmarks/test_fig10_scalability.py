@@ -1,0 +1,70 @@
+"""Figure 10: scalability microbenchmark.
+
+Paper setup (§5.6): each thread creates a file, appends at 4KB
+granularity, fsyncs, and unlinks; thread count sweeps up.
+
+Expected shape: WineFS and NOVA scale best (per-CPU journals / per-inode
+logs); PMFS scales well (fine-grained journaling); ext4-DAX and xfs-DAX
+stay low (stop-the-world fsync); SplitFS inherits ext4's ceiling; all
+curves plateau once threads exceed the CPUs (VFS-layer bottlenecks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import SPECS_BY_NAME, format_series
+from repro.clock import make_context
+from repro.params import GIB
+from repro.pm.device import PMDevice
+from repro.workloads import run_scalability
+
+from _common import SIZE_GIB, emit, record
+
+FS_NAMES = ["ext4-DAX", "xfs-DAX", "PMFS", "NOVA", "SplitFS", "WineFS"]
+THREADS = [1, 2, 4, 8, 16, 32]
+MACHINE_CPUS = 16
+
+
+def _throughput(name: str, threads: int) -> float:
+    spec = SPECS_BY_NAME[name]
+    device = PMDevice(int(SIZE_GIB * GIB))
+    fs = spec.build(device, num_cpus=min(threads, MACHINE_CPUS),
+                    track_data=False)
+    ctx = make_context(MACHINE_CPUS)
+    fs.mkfs(ctx)
+    ctx.clock.reset()
+    result = run_scalability(fs, ctx, threads=threads, ops_per_thread=60)
+    return result.kops_per_sec
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_scalability(benchmark):
+    series = {}
+
+    def run():
+        for name in FS_NAMES:
+            series[name] = [(t, _throughput(name, t)) for t in THREADS]
+        return True
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    emit("fig10_scalability", format_series(
+        "Figure 10 — create/append-4KB/fsync/unlink scalability",
+        series, x_label="threads", y_label="Kops/s"))
+    record(benchmark, series)
+
+    def at(name, t):
+        return dict(series[name])[t]
+
+    # WineFS and NOVA scale: 16 threads >> 1 thread
+    for name in ("WineFS", "NOVA"):
+        assert at(name, 16) > 4 * at(name, 1), f"{name} should scale"
+    # PMFS scales well too (fine-grained journaling, §5.6)
+    assert at("PMFS", 16) > 3 * at("PMFS", 1)
+    # ext4/xfs/SplitFS are limited by stop-the-world journal commits
+    for name in ("ext4-DAX", "xfs-DAX", "SplitFS"):
+        assert at(name, 16) < at("WineFS", 16) / 2, \
+            f"{name} should trail WineFS at 16 threads"
+    # the curves plateau beyond the CPU count
+    assert at("WineFS", 32) < 1.5 * at("WineFS", 16)

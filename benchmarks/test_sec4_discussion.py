@@ -1,0 +1,159 @@
+"""§4 (Discussion) experiments.
+
+Two quantified claims in the paper's discussion section:
+
+* **Other aging profiles hit harder**: under an HPC-site profile (Wang),
+  "even with 50% utilization, only 28% of the free-space is aligned and
+  unfragmented in ext4-DAX, while more than 90% ... in WineFS".
+* **Reactive defragmentation steals bandwidth**: re-writing a fragmented
+  file in the background while a foreground workload does mmap reads
+  causes "a slowdown of 25-40%".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging import WANG_HPC, Geriatrix
+from repro.harness import Table, fresh_fs
+from repro.params import GIB, KIB, MIB
+from repro.workloads import mmap_rw_benchmark
+
+from _common import NUM_CPUS, SIZE_GIB, emit, record
+
+
+@pytest.mark.benchmark(group="sec4")
+def test_sec4_wang_hpc_profile(benchmark):
+    """Aging under the HPC profile separates the allocators harder."""
+    out = {}
+
+    def run():
+        for name in ("ext4-DAX", "WineFS"):
+            fs, ctx = fresh_fs(name, size_gib=SIZE_GIB, num_cpus=NUM_CPUS)
+            # HPC checkpoints are large and written by concurrent ranks
+            ager = Geriatrix(fs, WANG_HPC, target_utilization=0.5, seed=11,
+                             concurrency=6, max_file_bytes=int(64 * MIB))
+            ager.age(ctx, write_volume=int(12 * SIZE_GIB * GIB))
+            out[name] = fs.statfs().free_space_aligned_fraction * 100
+        return True
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    table = Table("§4 — Wang-HPC profile, 50% utilization: % free space "
+                  "aligned+unfragmented", ["fs", "aligned-free(%)"])
+    for name, pct in out.items():
+        table.add_row(name, pct)
+    emit("sec4_wang_hpc", table.render())
+    record(benchmark, out)
+
+    # the paper reports 90% vs 28% at this utilization; our scaled churn
+    # (12x vs ~330x partition volumes) produces the same ordering with a
+    # smaller gap — see EXPERIMENTS.md
+    assert out["WineFS"] > out["ext4-DAX"] + 5.0
+
+
+@pytest.mark.benchmark(group="sec4")
+def test_sec4_write_amplification(benchmark):
+    """§4: "preserving the layout using journaling comes at the cost of
+    writing metadata twice" — but the extra bytes are negligible against
+    PM endurance (a 256GB module withstands 350PB of writes).
+
+    Measured: PM bytes written per create/append/unlink cycle on WineFS
+    (journaling) vs NOVA (log-structured, single metadata write).
+    """
+    out = {}
+
+    def run():
+        for name in ("WineFS", "NOVA"):
+            fs, ctx = fresh_fs(name, size_gib=0.25, num_cpus=NUM_CPUS)
+            ops = 500
+            base = ctx.counters.pm_bytes_written
+            for i in range(ops):
+                f = fs.create(f"/f{i}", ctx)
+                f.append(b"\x00" * (4 * KIB), ctx)
+                f.close()
+                fs.unlink(f"/f{i}", ctx)
+            total = ctx.counters.pm_bytes_written - base
+            data = ops * 4 * KIB
+            out[name] = {
+                "bytes/op": total / ops,
+                "metadata bytes/op": max(0.0, (total - data) / ops),
+            }
+        return True
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    table = Table("§4 — write amplification of journaling vs "
+                  "log-structuring", ["fs", "bytes/op", "metadata bytes/op"])
+    for name, row in out.items():
+        table.add_row(name, row["bytes/op"], row["metadata bytes/op"])
+    emit("sec4_write_amplification", table.render())
+    record(benchmark, out)
+
+    wfs = out["WineFS"]["metadata bytes/op"]
+    nova = out["NOVA"]["metadata bytes/op"]
+    # journaling writes metadata roughly twice...
+    assert wfs > 1.3 * nova
+    # ...but the absolute overhead is tiny: at this rate, wearing out a
+    # 256GB module's 350PB endurance takes decades of continuous churn
+    assert wfs < 16 * KIB
+
+
+@pytest.mark.benchmark(group="sec4")
+def test_sec4_defrag_interference(benchmark):
+    """Background rewriting steals PM bandwidth from the foreground."""
+    out = {}
+
+    def run():
+        # foreground: mmap reads of one file; measure alone, then measure
+        # with a background rewrite of a fragmented file sharing the device
+        fs, ctx = fresh_fs("WineFS", size_gib=SIZE_GIB, num_cpus=NUM_CPUS)
+        fg = fs.create("/fg", ctx)
+        fg.fallocate(0, 32 * MIB, ctx)
+        frag = fs.create("/frag", ctx)
+        other = fs.create("/other", ctx)
+        for _ in range(90):
+            frag.append(b"\x00" * 64 * KIB, ctx)
+            other.append(b"\x00" * 64 * KIB, ctx)
+        fs.rewrite_queue.note_fragmented(frag.ino)
+
+        r_alone = mmap_rw_benchmark(fs, ctx, file_size=32 * MIB,
+                                    io_size=2 * MIB, pattern="seq-read",
+                                    path="/fg")
+        out["alone MB/s"] = r_alone.throughput_mb_s
+
+        # with interference: the background thread runs on another CPU but
+        # competes for PM *bandwidth* — model the shared-bandwidth loss by
+        # charging the foreground the bandwidth share the rewrite consumed
+        # over the overlapping window
+        bg = ctx.on_cpu(NUM_CPUS - 1)
+        t0 = bg.now
+        fs.rewrite_queue.run_pending(bg)
+        bg_busy_ns = bg.now - t0
+        t0 = ctx.now
+        r_contended = mmap_rw_benchmark(fs, ctx, file_size=32 * MIB,
+                                        io_size=2 * MIB,
+                                        pattern="seq-read", path="/fg",
+                                        seed=1)
+        fg_ns = ctx.now - t0
+        overlap = min(bg_busy_ns, fg_ns)
+        # both streams move data at device bandwidth: during the overlap
+        # the foreground gets half the device
+        slowdown = (fg_ns + overlap) / fg_ns
+        out["contended MB/s"] = r_contended.throughput_mb_s / slowdown
+        out["slowdown %"] = (1 - 1 / slowdown) * 100
+        return True
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    table = Table("§4 — foreground mmap reads vs background defrag",
+                  ["metric", "value"])
+    for k, v in out.items():
+        table.add_row(k, v)
+    emit("sec4_defrag_interference", table.render())
+    record(benchmark, out)
+
+    # the paper observes a 25-40% slowdown; our shared-bandwidth model
+    # should land in the same regime (>= 15%)
+    assert 15.0 <= out["slowdown %"] <= 50.0
+    assert out["contended MB/s"] < out["alone MB/s"]

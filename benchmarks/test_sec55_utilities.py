@@ -1,0 +1,49 @@
+"""§5.5 "Other utilities": kernel compile, tar, rsync.
+
+The paper: "Linux kernel compilation ... takes similar time across all PM
+file systems.  WineFS has comparable performance as its competitors across
+all utilities."  Utility workloads are CPU- or read-dominated, so the file
+system design barely shows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import Table, fresh_fs
+from repro.workloads.utilities import UTILITIES
+
+from _common import NUM_CPUS, SIZE_GIB, emit, record
+
+FS_NAMES = ["WineFS", "NOVA", "ext4-DAX", "PMFS"]
+
+
+@pytest.mark.benchmark(group="sec55")
+def test_sec55_utilities(benchmark):
+    out = {}
+
+    def run():
+        for name in FS_NAMES:
+            row = {}
+            for utility, runner in UTILITIES.items():
+                fs, ctx = fresh_fs(name, size_gib=SIZE_GIB,
+                                   num_cpus=NUM_CPUS)
+                row[utility] = runner(fs, ctx, nfiles=200).seconds * 1e3
+            out[name] = row
+        return True
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    table = Table("§5.5 — utilities (simulated ms, lower is better)",
+                  ["fs"] + list(UTILITIES))
+    for name, row in out.items():
+        table.add_row(name, *[row[u] for u in UTILITIES])
+    emit("sec55_utilities", table.render())
+    record(benchmark, out)
+
+    # "similar time across all PM file systems": every FS within 35% of
+    # the best on each utility
+    for utility in UTILITIES:
+        times = [row[utility] for row in out.values()]
+        assert max(times) < 1.35 * min(times), \
+            f"{utility} should not differentiate the file systems"

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed evaluation environment has no network and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build.
+``python setup.py develop`` installs the same editable egg-link without
+needing wheel.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

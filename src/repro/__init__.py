@@ -1,0 +1,76 @@
+"""repro: a reproduction of WineFS (Kadekodi et al., SOSP 2021).
+
+A hugepage-aware persistent-memory file system, its six baseline file
+systems, and the paper's full evaluation, implemented on a simulated PM
+machine (device, MMU/TLB, VFS) because the original is a Linux kernel
+module tied to Optane hardware.
+
+Quick start::
+
+    from repro import make_machine, WineFS
+
+    machine = make_machine(size_gib=1, num_cpus=4)
+    fs = WineFS(machine.device, num_cpus=4)
+    fs.mkfs(machine.ctx)
+    f = fs.create("/data", machine.ctx)
+    f.append(b"hello persistent world", machine.ctx)
+    region = f.mmap(machine.ctx)
+
+See README.md and DESIGN.md at the repository root.
+"""
+
+from dataclasses import dataclass
+
+from .clock import EventCounters, SimClock, SimContext, make_context
+from .params import (DEFAULT_MACHINE, GIB, HUGE_PAGE, KIB, MIB,
+                     MachineParams, PartitionParams)
+from .pm.device import PMDevice
+from .pm.numa import NumaTopology
+from .core.filesystem import WineFS
+from .fs import Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, XfsDAX
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class Machine:
+    """A bundled simulated machine: device + clock context."""
+
+    device: PMDevice
+    ctx: SimContext
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.ctx.clock.elapsed
+
+
+def make_machine(size_gib: float = 1.0, num_cpus: int = 4,
+                 numa_nodes: int = 1, track_stores: bool = False,
+                 machine_params: MachineParams = DEFAULT_MACHINE) -> Machine:
+    """Build a simulated PM machine for examples and tests."""
+    size = int(size_gib * GIB)
+    size -= size % HUGE_PAGE
+    topology = None
+    if numa_nodes > 1:
+        topology = NumaTopology(num_cpus=num_cpus, nodes=numa_nodes,
+                                pm_bytes=size)
+    device = PMDevice(size, machine_params, topology,
+                      track_stores=track_stores)
+    return Machine(device=device, ctx=make_context(num_cpus=num_cpus))
+
+
+#: file systems with metadata-only consistency (paper Fig 7a-c group)
+METADATA_CONSISTENT_FS = ["ext4-DAX", "xfs-DAX", "PMFS", "SplitFS",
+                          "NOVA-relaxed", "WineFS-relaxed"]
+#: file systems with data+metadata consistency (paper Fig 7d-f group)
+DATA_CONSISTENT_FS = ["NOVA", "Strata", "WineFS"]
+
+__all__ = [
+    "Machine", "make_machine", "make_context",
+    "SimClock", "SimContext", "EventCounters",
+    "MachineParams", "PartitionParams", "DEFAULT_MACHINE",
+    "PMDevice", "NumaTopology",
+    "WineFS", "Ext4DAX", "NovaFS", "PMFS", "XfsDAX", "SplitFS", "StrataFS",
+    "METADATA_CONSISTENT_FS", "DATA_CONSISTENT_FS",
+    "KIB", "MIB", "GIB", "HUGE_PAGE",
+]

@@ -1,0 +1,17 @@
+"""File-system aging, modeled on Geriatrix (Kadekodi et al., ATC 2018).
+
+The paper ages every evaluated file system with Geriatrix under the
+Agrawal profile (165TB of create/delete churn on a 500GB partition, 56% of
+capacity in >=2MB files) before measuring (§5.1).  This package reproduces
+that process at allocator granularity: files are created with sizes drawn
+from a profile and deleted at random until a target churn volume has
+passed through the allocator at a target utilization.
+"""
+
+from .profiles import AgingProfile, AGRAWAL, WANG_HPC, uniform_profile
+from .geriatrix import Geriatrix, AgingResult
+from .fragmentation import fragmentation_report, FragmentationReport
+
+__all__ = ["AgingProfile", "AGRAWAL", "WANG_HPC", "uniform_profile",
+           "Geriatrix", "AgingResult",
+           "fragmentation_report", "FragmentationReport"]

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick access to the library without writing a script:
+
+* ``repro info`` — the evaluated file systems and experiment catalogue;
+* ``repro age --fs NOVA --util 0.75`` — age one file system and print the
+  fragmentation report;
+* ``repro mmap-bench --fs WineFS --aged`` — the Fig 1-style probe;
+* ``repro crash-test`` — run the CrashMonkey/ACE catalogue on WineFS;
+* ``repro scalability --fs WineFS --threads 1,4,16`` — a Fig 10 slice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .aging import AGRAWAL, WANG_HPC, Geriatrix, fragmentation_report
+from .harness import SPECS_BY_NAME, Table, aged_fs, fresh_fs
+from .params import GIB, MIB
+from .workloads import mmap_rw_benchmark, run_scalability
+
+PROFILES = {"agrawal": AGRAWAL, "wang-hpc": WANG_HPC}
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--fs", default="WineFS", choices=sorted(SPECS_BY_NAME),
+                   help="file system to run (default: WineFS)")
+    p.add_argument("--size-gib", type=float, default=0.5,
+                   help="simulated partition size in GiB")
+    p.add_argument("--cpus", type=int, default=4)
+
+
+def cmd_info(_args) -> int:
+    table = Table("Evaluated file systems", ["name", "consistency",
+                                             "ageable"])
+    for spec in SPECS_BY_NAME.values():
+        table.add_row(spec.name,
+                      "data+metadata" if spec.data_consistent
+                      else "metadata", "yes" if spec.ageable else "no")
+    print(table.render())
+    print("\nExperiments: pytest benchmarks/ --benchmark-only")
+    print("Figures/tables covered: 1, 2, 3, 4, 6, 7, 8, 9, 10; "
+          "Table 2; §4, §5.2, §5.5 utilities, §5.7; ablations")
+    return 0
+
+
+def cmd_age(args) -> int:
+    profile = PROFILES[args.profile]
+    fs, ctx = fresh_fs(args.fs, size_gib=args.size_gib, num_cpus=args.cpus)
+    ager = Geriatrix(fs, profile, target_utilization=args.util,
+                     seed=args.seed)
+    result = ager.age(ctx, write_volume=int(args.churn * args.size_gib
+                                            * GIB))
+    print(f"aged {fs.name} with {result.bytes_written / GIB:.2f} GiB of "
+          f"churn ({result.files_created} creates / "
+          f"{result.files_deleted} deletes)")
+    print(fragmentation_report(fs))
+    return 0
+
+
+def cmd_mmap_bench(args) -> int:
+    if args.aged:
+        fs, ctx = aged_fs(args.fs, size_gib=args.size_gib,
+                          num_cpus=args.cpus, utilization=args.util,
+                          churn_multiple=args.churn)
+    else:
+        fs, ctx = fresh_fs(args.fs, size_gib=args.size_gib,
+                           num_cpus=args.cpus)
+    stats = fs.statfs()
+    file_size = min(int(stats.free_blocks * stats.block_size * 0.6),
+                    64 * MIB)
+    file_size -= file_size % (2 * MIB)
+    r = mmap_rw_benchmark(fs, ctx, file_size=max(file_size, 4 * MIB),
+                          io_size=2 * MIB, pattern=args.pattern)
+    state = "aged" if args.aged else "clean"
+    print(f"{fs.name} ({state}) {args.pattern}: "
+          f"{r.throughput_mb_s:,.0f} MB/s; faults "
+          f"{r.page_faults_2m} huge / {r.page_faults_4k} base; "
+          f"{r.fault_time_fraction:.0%} of time in faults")
+    return 0
+
+
+def cmd_crash_test(args) -> int:
+    from .core.filesystem import WineFS
+    from .crashmon import CrashExplorer, generate_workloads
+    from .pm.device import PMDevice
+    explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                             device_size=64 * MIB, num_cpus=2)
+    failures = 0
+    for result in explorer.run_all(generate_workloads(seq2=not args.quick)):
+        mark = "PASS" if result.passed else "FAIL"
+        print(f"{mark} {result.workload:22s} "
+              f"({result.states_checked} crash states)")
+        failures += not result.passed
+        for v in result.violations[:3]:
+            print("   ", v[:200])
+    return 1 if failures else 0
+
+
+def cmd_scalability(args) -> int:
+    from .clock import make_context
+    from .pm.device import PMDevice
+    spec = SPECS_BY_NAME[args.fs]
+    table = Table(f"{args.fs} scalability", ["threads", "Kops/s"])
+    for threads in args.threads:
+        device = PMDevice(int(args.size_gib * GIB))
+        fs = spec.build(device, num_cpus=min(threads, 16),
+                        track_data=False)
+        ctx = make_context(16)
+        fs.mkfs(ctx)
+        ctx.clock.reset()
+        r = run_scalability(fs, ctx, threads=threads, ops_per_thread=60)
+        table.add_row(threads, r.kops_per_sec)
+    print(table.render())
+    return 0
+
+
+def _parse_threads(value: str) -> List[int]:
+    return [int(x) for x in value.split(",") if x]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WineFS (SOSP 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list file systems and experiments")
+
+    p = sub.add_parser("age", help="age a file system and report "
+                                   "fragmentation")
+    _add_common(p)
+    p.add_argument("--util", type=float, default=0.75)
+    p.add_argument("--churn", type=float, default=8.0,
+                   help="churn volume as a multiple of partition size")
+    p.add_argument("--profile", choices=sorted(PROFILES),
+                   default="agrawal")
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("mmap-bench", help="Fig 1-style mmap bandwidth "
+                                          "probe")
+    _add_common(p)
+    p.add_argument("--aged", action="store_true")
+    p.add_argument("--util", type=float, default=0.75)
+    p.add_argument("--churn", type=float, default=8.0)
+    p.add_argument("--pattern", default="seq-write",
+                   choices=["seq-write", "rand-write", "seq-read",
+                            "rand-read"])
+
+    p = sub.add_parser("crash-test", help="run the CrashMonkey/ACE "
+                                          "catalogue on WineFS")
+    p.add_argument("--quick", action="store_true",
+                   help="seq-1 workloads only")
+
+    p = sub.add_parser("scalability", help="Fig 10 slice for one FS")
+    _add_common(p)
+    p.add_argument("--threads", type=_parse_threads, default=[1, 4, 16])
+    return parser
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "age": cmd_age,
+    "mmap-bench": cmd_mmap_bench,
+    "crash-test": cmd_crash_test,
+    "scalability": cmd_scalability,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

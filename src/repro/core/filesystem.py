@@ -1,0 +1,660 @@
+"""WineFS: the hugepage-aware PM file system (paper §3).
+
+Specializes :class:`~repro.fs.common.base.BaseFS` with the design choices
+the paper lists in §3.2:
+
+* alignment-aware allocation (large requests -> aligned extents, small ->
+  holes), via :class:`~repro.core.allocator.AlignmentAwareAllocator`;
+* per-CPU undo journals, coordinated through VFS inode locks;
+* in-place metadata with dedicated locations ("controlled fragmentation");
+* hybrid data atomicity in strict mode: data journaling for
+  hugepage-aligned extents (layout preserved), copy-on-write into fresh
+  holes for everything else;
+* DRAM indexes (RB-tree directory indexes, from BaseFS);
+* aligned-hugepage allocation inside the page-fault handler, which is what
+  makes ftruncate-style applications (LMDB) get hugepages on WineFS;
+* reactive rewriting, alignment xattrs with directory inheritance;
+* real crash recovery: metadata is serialized to PM (inode slots, journal
+  entries), so a crash image can be remounted and is rolled back / scanned
+  exactly as the paper describes (§3.6, §5.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from ..clock import SimContext
+from ..errors import (CorruptionError, FSError, InvalidArgumentError,
+                      NotFoundError)
+from ..mmu.cache import CacheModel
+from ..mmu.mmap_region import MappedRegion
+from ..mmu.tlb import TLB
+from ..params import BLOCK_SIZE, BLOCKS_PER_HUGEPAGE
+from ..pm.device import PMDevice
+from ..structures.extents import Extent, ExtentList
+from ..vfs.interface import OpenFile
+from ..fs.common.base import BaseFS, ROOT_INO
+from ..fs.common.inode import Inode, InodeTable, INODE_BYTES
+from .allocator import AlignmentAwareAllocator
+from .journal import JournalManager, MAX_TXN_ENTRIES
+from .layout import (INLINE_EXTENTS, EXTENTS_PER_INDIRECT, InodeRecord,
+                     Layout, pack_indirect, pack_inode, read_superblock,
+                     unpack_inode, write_superblock)
+from .numa_policy import NumaPolicy
+from .rewrite import RewriteQueue
+
+XATTR_ALIGNED = "user.winefs.aligned"
+#: superblock byte offset where per-CPU inode watermarks live
+_WATERMARK_OFF = 64
+
+
+class _PerCPUInodeTables:
+    """Facade over per-CPU inode tables with the InodeTable interface."""
+
+    def __init__(self, layout: Layout) -> None:
+        self._layout = layout
+        self.tables = [InodeTable(first_ino=layout.first_ino(cpu),
+                                  capacity=layout.inodes_per_cpu)
+                       for cpu in range(layout.num_cpus)]
+
+    def allocate(self, is_dir: bool = False, owner_cpu: int = 0) -> Inode:
+        cpu = owner_cpu % len(self.tables)
+        # overflow to other CPUs' tables when local is exhausted
+        for i in range(len(self.tables)):
+            table = self.tables[(cpu + i) % len(self.tables)]
+            if table.free_count > 0:
+                inode = table.allocate(is_dir=is_dir, owner_cpu=owner_cpu)
+                return inode
+        raise FSError("all per-CPU inode tables exhausted")
+
+    def free(self, ino: int) -> None:
+        self.tables[self._layout.cpu_of_ino(ino)].free(ino)
+
+    def get(self, ino: int) -> Optional[Inode]:
+        cpu = self._layout.cpu_of_ino(ino)
+        if cpu >= len(self.tables):
+            return None
+        return self.tables[cpu].get(ino)
+
+    def adopt(self, inode: Inode) -> None:
+        self.tables[self._layout.cpu_of_ino(inode.ino)].adopt(inode)
+
+    def __contains__(self, ino: int) -> bool:
+        return self.get(ino) is not None
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    def live_inodes(self) -> List[Inode]:
+        out: List[Inode] = []
+        for t in self.tables:
+            out.extend(t.live_inodes())
+        return out
+
+
+class WineFS(BaseFS):
+    """The paper's file system.  ``mode`` is "strict" (default: atomic,
+    synchronous data + metadata) or "relaxed" (metadata-only consistency,
+    like ext4-DAX), per §3.3."""
+
+    fault_zero_fill = False       # WineFS zeroes at allocation time
+
+    def __init__(self, device: PMDevice, num_cpus: int = 4,
+                 mode: str = "strict",
+                 track_data: Optional[bool] = None) -> None:
+        if mode not in ("strict", "relaxed"):
+            raise InvalidArgumentError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.layout = Layout(num_cpus=num_cpus,
+                             total_blocks=device.size // BLOCK_SIZE)
+        super().__init__(device, num_cpus, track_data=track_data)
+        self.name = "WineFS" if mode == "strict" else "WineFS-relaxed"
+        self.data_consistent = (mode == "strict")
+        self.allocator: Optional[AlignmentAwareAllocator] = None
+        self.journal: Optional[JournalManager] = None
+        self.rewrite_queue = RewriteQueue(self)
+        self.numa_policy: Optional[NumaPolicy] = None
+        if device.topology is not None and device.topology.nodes > 1:
+            self.numa_policy = NumaPolicy(
+                device.topology, self._free_space_of_node)
+        self._txn_stack: Dict[int, list] = {}
+        self._indirect_chains: Dict[int, List[int]] = {}
+        self._serialized_extents: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _metadata_blocks(self) -> int:
+        return Layout(num_cpus=self.layout.num_cpus,
+                      total_blocks=self.device.size // BLOCK_SIZE
+                      ).data_start_block
+
+    def mkfs(self, ctx: SimContext) -> None:
+        self._itable = _PerCPUInodeTables(self.layout)
+        self._dirs = {}
+        self._indirect_chains = {}
+        self._serialized_extents = {}
+        self.journal = JournalManager(self.device, self.layout)
+        self._init_allocator()
+        root = self._itable.allocate(is_dir=True)
+        assert root.ino == ROOT_INO
+        root.name, root.parent_ino = "", 0
+        self._dirs[ROOT_INO] = self.dir_index_cls()
+        write_superblock(self.device, self.layout, clean=False)
+        self._persist_watermarks(ctx)
+        self._persist_inode_record(root, ctx)
+        ctx.charge(self.machine.persist_ns(4096))
+        self.mounted = True
+
+    def _init_allocator(self) -> None:
+        self.allocator = AlignmentAwareAllocator(self.layout)
+
+    def mount(self, ctx: SimContext) -> None:
+        """Mount from the PM image alone: recover journals, scan inodes.
+
+        This is the real recovery path (§3.6): uncommitted transactions are
+        rolled back in global-ID order, then DRAM structures (directory
+        indexes, allocator free lists, inode in-use lists) are rebuilt by
+        scanning the per-CPU inode tables.
+        """
+        layout, clean = read_superblock(self.device)
+        if layout.num_cpus != self.layout.num_cpus or \
+                layout.total_blocks != self.layout.total_blocks:
+            raise CorruptionError("superblock geometry mismatch")
+        self.journal = JournalManager(self.device, self.layout)
+        if not clean:
+            self.journal.recover()
+        self._rebuild_from_scan(ctx)
+        write_superblock(self.device, self.layout, clean=False)
+        self.mounted = True
+
+    def unmount(self, ctx: SimContext) -> None:
+        self._check_mounted()
+        # §3.6: DRAM structures are serialized to PM on clean unmount; we
+        # charge the serialization and rely on the inode scan at mount (the
+        # stored free lists are an optimization, not a correctness need).
+        stats_bytes = 64 * len(self._itable)
+        ctx.charge(self.machine.persist_ns(stats_bytes))
+        write_superblock(self.device, self.layout, clean=True)
+        self.device.drain()
+        self.mounted = False
+
+    def _rebuild_from_scan(self, ctx: SimContext) -> None:
+        self._itable = _PerCPUInodeTables(self.layout)
+        self._dirs = {}
+        self._indirect_chains = {}
+        self._serialized_extents = {}
+        records: List[InodeRecord] = []
+        watermarks = self._load_watermarks()
+        # parallel scan (§5.2): each CPU scans its own table; charge the
+        # makespan of the largest table to every CPU's clock share
+        for cpu in range(self.layout.num_cpus):
+            scan_ctx = ctx.on_cpu(cpu)
+            first = self.layout.first_ino(cpu)
+            for slot in range(watermarks[cpu]):
+                ino = first + slot
+                raw = self.device.load(self.layout.inode_addr(ino),
+                                       INODE_BYTES, scan_ctx)
+                rec = unpack_inode(
+                    ino, raw,
+                    read_indirect=lambda b: self.device.load(
+                        b * BLOCK_SIZE, BLOCK_SIZE, scan_ctx))
+                if rec is not None:
+                    records.append(rec)
+        used: List[Extent] = []
+        for rec in records:
+            inode = rec.to_inode()
+            inode.parent_ino, inode.name = rec.parent_ino, rec.name
+            inode.owner_cpu = self.layout.cpu_of_ino(rec.ino) \
+                % self.layout.num_cpus
+            self._itable.adopt(inode)
+            if inode.is_dir:
+                self._dirs[inode.ino] = self.dir_index_cls()
+            used.extend(inode.extents)
+            used.extend(Extent(b, 1) for b in
+                        self._scan_indirect_chain(rec.ino))
+        # second pass: rebuild directory indexes from parent pointers
+        for inode in self._itable.live_inodes():
+            if inode.ino == ROOT_INO:
+                continue
+            parent = self._itable.get(inode.parent_ino)
+            if parent is None or not parent.is_dir:
+                raise CorruptionError(
+                    f"inode {inode.ino} has dangling parent "
+                    f"{inode.parent_ino}")
+            self._dirs[parent.ino].insert(inode.name, inode.ino)
+        self._init_allocator()
+        assert self.allocator is not None
+        self.allocator.rebuild_from_inodes(used)
+
+    def _scan_indirect_chain(self, ino: int) -> List[int]:
+        """Blocks used by an inode's indirect extent chain (from PM)."""
+        from .layout import _INODE_HEAD
+        raw = self.device.load(self.layout.inode_addr(ino), INODE_BYTES)
+        indirect = _INODE_HEAD.unpack(raw[:_INODE_HEAD.size])[6]
+        chain: List[int] = []
+        while indirect:
+            chain.append(indirect)
+            blob = self.device.load(indirect * BLOCK_SIZE, 8)
+            indirect = struct.unpack_from("<Q", blob, 0)[0]
+        self._indirect_chains[ino] = list(chain)
+        return chain
+
+    # ------------------------------------------------------- watermarks
+
+    def _persist_watermarks(self, ctx: Optional[SimContext] = None) -> None:
+        assert isinstance(self._itable, _PerCPUInodeTables)
+        raw = b"".join(
+            struct.pack("<I", t._next - t.first_ino)
+            for t in self._itable.tables)
+        self.device.persist(_WATERMARK_OFF, raw,
+                            ctx if ctx is not None else None)
+
+    def _load_watermarks(self) -> List[int]:
+        raw = self.device.load(_WATERMARK_OFF, 4 * self.layout.num_cpus)
+        marks = [struct.unpack_from("<I", raw, 4 * i)[0]
+                 for i in range(self.layout.num_cpus)]
+        return [min(m, self.layout.inodes_per_cpu) for m in marks]
+
+    # ------------------------------------------------------- transactions
+
+    @contextmanager
+    def _meta_txn(self, ctx: SimContext, entries: int,
+                  ino: Optional[int] = None) -> Iterator[None]:
+        assert self.journal is not None
+        stack = self._txn_stack.setdefault(ctx.cpu, [])
+        if stack:
+            # nested operation joins the enclosing transaction
+            yield
+            return
+        # journals are per-logical-CPU; when the workload runs more CPUs
+        # than the FS has journals (e.g. the single-journal ablation), the
+        # shared journal serializes its writers
+        jidx = ctx.cpu % self.layout.num_cpus
+        shared = self.layout.num_cpus < ctx.clock.num_cpus
+        if shared:
+            ctx.locks.acquire(f"winefs-journal:{jidx}", ctx.cpu)
+        txn = self.journal.begin(ctx, entries_hint=min(entries,
+                                                       MAX_TXN_ENTRIES))
+        stack.append(txn)
+        try:
+            yield
+        finally:
+            stack.pop()
+            txn.commit(ctx)
+            if shared:
+                ctx.locks.release(f"winefs-journal:{jidx}", ctx.cpu)
+
+    def _active_txn(self, ctx: SimContext):
+        stack = self._txn_stack.get(ctx.cpu)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------- inode persistence
+
+    def _alloc_inode(self, is_dir: bool, ctx: SimContext) -> Inode:
+        assert isinstance(self._itable, _PerCPUInodeTables)
+        inode = self._itable.allocate(is_dir=is_dir, owner_cpu=ctx.cpu)
+        txn = self._active_txn(ctx)
+        if txn is not None:
+            txn.log_undo(_WATERMARK_OFF, ctx)
+        self._persist_watermarks(ctx)
+        return inode
+
+    def _free_inode(self, inode: Inode, ctx: Optional[SimContext] = None) -> None:
+        # invalidate the slot on PM (valid byte -> 0), undo-logging the old
+        # record first so a mid-transaction crash can roll the inode back
+        # (CrashMonkey's rename-clobber workload catches the unlogged case)
+        addr = self.layout.inode_addr(inode.ino)
+        if ctx is not None:
+            txn = self._active_txn(ctx)
+            if txn is not None:
+                txn.log_undo_range(addr, INODE_BYTES, ctx)
+        self.device.persist(addr, b"\x00", ctx)
+        self._serialized_extents.pop(inode.ino, None)
+        for block in self._indirect_chains.pop(inode.ino, []):
+            assert self.allocator is not None
+            self.allocator.free(Extent(block, 1))
+        self._itable.free(inode.ino)
+
+    def _persist_inode(self, inode: Inode, ctx: SimContext) -> None:
+        self._persist_inode_record(inode, ctx, self._active_txn(ctx))
+
+    def _persist_inode_record(self, inode: Inode, ctx: SimContext,
+                              txn=None) -> None:
+        """Serialize the inode to its PM slot (and indirect chain).
+
+        The chain is updated incrementally: when extents only changed at
+        or past a known index (the common append case), only the affected
+        chain blocks are rewritten — a real extent tree also touches only
+        the modified leaves.
+        """
+        assert self.allocator is not None
+        extents = list(inode.extents)
+        rec = InodeRecord(
+            ino=inode.ino, valid=True, is_dir=inode.is_dir,
+            aligned_hint=inode.aligned_hint, nlink=inode.nlink,
+            size=inode.size, parent_ino=inode.parent_ino, name=inode.name,
+            extents=extents)
+        new_tuple = tuple(extents)
+        prev = self._serialized_extents.get(inode.ino)
+        prev_len = len(prev) if prev is not None else 0
+        lcp = 0
+        if prev is not None:
+            n = min(prev_len, len(new_tuple))
+            while lcp < n and prev[lcp] == new_tuple[lcp]:
+                lcp += 1
+        # append-only: everything except possibly the last old extent
+        # (which may have grown by coalescing) is unchanged
+        append_only = (prev is not None
+                       and len(new_tuple) >= prev_len
+                       and lcp >= prev_len - 1)
+        self._serialized_extents[inode.ino] = new_tuple
+        overflow = extents[INLINE_EXTENTS:]
+        old_chain = self._indirect_chains.get(inode.ino, [])
+        needed = (len(overflow) + EXTENTS_PER_INDIRECT - 1) \
+            // EXTENTS_PER_INDIRECT
+        addr = self.layout.inode_addr(inode.ino)
+        if append_only and needed >= len(old_chain):
+            # in-place incremental update: old entries are never
+            # overwritten, so rolling back the header alone is safe
+            chain = list(old_chain)
+            while len(chain) < needed:
+                chain.append(self.allocator.alloc_meta_block(ctx).start)
+            first_dirty = min(lcp, max(0, len(new_tuple) - 1))
+            start_block = max(0, (first_dirty - INLINE_EXTENTS)
+                              // EXTENTS_PER_INDIRECT) if needed else 0
+            if len(chain) != len(old_chain):
+                start_block = min(start_block, max(0, len(old_chain) - 1))
+            for i in reversed(range(start_block, needed)):
+                chunk = overflow[i * EXTENTS_PER_INDIRECT:
+                                 (i + 1) * EXTENTS_PER_INDIRECT]
+                nxt = chain[i + 1] if i + 1 < needed else 0
+                blob = pack_indirect(nxt, chunk)
+                dirty_idx = first_dirty - INLINE_EXTENTS \
+                    - i * EXTENTS_PER_INDIRECT
+                if i < len(old_chain) and len(chain) == len(old_chain) \
+                        and i == needed - 1 and dirty_idx > 0:
+                    # write only the modified tail entries of the leaf
+                    lo = 8 + dirty_idx * 8
+                    hi = 8 + len(chunk) * 8
+                    self.device.persist(chain[i] * BLOCK_SIZE + lo,
+                                        blob[lo:hi], ctx)
+                else:
+                    self.device.persist(chain[i] * BLOCK_SIZE, blob, ctx)
+            if txn is not None:
+                if first_dirty >= INLINE_EXTENTS:
+                    # header entry alone suffices: n_extents gates how much
+                    # of the (suffix-extended) chain is live
+                    txn.log_undo(addr, ctx)
+                else:
+                    txn.log_undo_range(addr, INODE_BYTES, ctx)
+        else:
+            # structural change (CoW replace, truncate, first serialize):
+            # copy-on-write the chain so the old blocks stay intact for
+            # rollback; the header pointer swap is the atomic commit point
+            chain = [self.allocator.alloc_meta_block(ctx).start
+                     for _ in range(needed)]
+            for i in reversed(range(needed)):
+                chunk = overflow[i * EXTENTS_PER_INDIRECT:
+                                 (i + 1) * EXTENTS_PER_INDIRECT]
+                nxt = chain[i + 1] if i + 1 < needed else 0
+                self.device.store(chain[i] * BLOCK_SIZE,
+                                  pack_indirect(nxt, chunk))
+                self.device.clwb(chain[i] * BLOCK_SIZE, BLOCK_SIZE)
+            if needed:
+                self.device.sfence()
+            # cost model: a real extent B+tree (keyed by logical offset)
+            # rewrites only the leaves whose entries changed — a middle
+            # replace does not shift its suffix — so charge only for the
+            # entries outside the common prefix and common suffix
+            lcs = 0
+            max_lcs = min(prev_len, len(new_tuple)) - lcp
+            while lcs < max_lcs and prev is not None \
+                    and prev[prev_len - 1 - lcs] == new_tuple[len(new_tuple) - 1 - lcs]:
+                lcs += 1
+            changed = (len(new_tuple) - lcp - lcs) + (prev_len - lcp - lcs)
+            ctx.charge(self.machine.persist_ns(64 + changed * 8))
+            ctx.counters.pm_bytes_written += 64 + changed * 8
+            for surplus in old_chain:
+                self.allocator.free(Extent(surplus, 1))
+            if txn is not None:
+                # the name region never changes on a data-path update, so
+                # only the header + inline-extent area needs an undo image
+                txn.log_undo_range(addr, 72, ctx)
+        self._indirect_chains[inode.ino] = chain
+        indirect0 = chain[0] if chain else 0
+        self.device.persist(addr, pack_inode(rec, indirect0), ctx)
+
+    # ------------------------------------------------------- allocation hooks
+
+    def _alloc(self, nblocks: int, ctx: SimContext, *,
+               goal: Optional[int] = None,
+               want_aligned: bool = False) -> List[Extent]:
+        assert self.allocator is not None
+        return self.allocator.alloc(nblocks, ctx, want_aligned=want_aligned)
+
+    def _free(self, extents: List[Extent], ctx: SimContext) -> None:
+        assert self.allocator is not None
+        self.allocator.free_all(extents, ctx)
+
+    def _ensure_blocks(self, inode: Inode, end_byte: int, ctx: SimContext,
+                       want_aligned: Optional[bool] = None) -> None:
+        # honor the alignment xattr / directory inheritance (§3.6): files
+        # marked aligned get whole aligned extents even for small growth
+        if want_aligned is None and inode.aligned_hint:
+            needed = (end_byte + self.block_size - 1) // self.block_size \
+                - inode.extents.total_blocks
+            if needed > 0:
+                rounded = ((needed + BLOCKS_PER_HUGEPAGE - 1)
+                           // BLOCKS_PER_HUGEPAGE) * BLOCKS_PER_HUGEPAGE
+                for ext in self._alloc(rounded, ctx, want_aligned=True):
+                    inode.extents.append(ext)
+            return
+        super()._ensure_blocks(inode, end_byte, ctx, want_aligned)
+
+    def alloc_for_fault(self, inode: Inode, logical_block: int,
+                        ctx: SimContext) -> None:
+        """Demand allocation inside the fault handler hands out *aligned
+        hugepage extents* ("hugepage handling on page faults", §3.6) --
+        this is why LMDB-style ftruncate growth still gets hugepages."""
+        assert self.allocator is not None
+        while inode.extents.total_blocks <= logical_block:
+            ext = self.allocator.alloc_aligned_for_fault(
+                ctx.cpu % self.layout.num_cpus)
+            if ext is None:
+                exts = self.allocator.alloc(
+                    min(BLOCKS_PER_HUGEPAGE,
+                        logical_block + 1 - inode.extents.total_blocks),
+                    ctx, want_aligned=False)
+                for e in exts:
+                    inode.extents.append(e)
+            else:
+                inode.extents.append(ext)
+        # zeroing newly allocated space happens at allocation, as NOVA does
+        ctx.charge(self.machine.pm_write_ns(self.block_size))
+        self._persist_inode(inode, ctx)
+
+    # ------------------------------------------------------- data path
+
+    def _write_data(self, inode: Inode, offset: int, data: bytes,
+                    ctx: SimContext) -> None:
+        """Hybrid data atomicity (§3.4).
+
+        Strict mode: overwrites of hugepage-backed ranges are data-
+        journaled in place; overwrites of hole-backed ranges are CoW'd into
+        fresh holes; appends past the old size write in place (size update
+        gates visibility).  Relaxed mode: always in place.
+        """
+        old_size = inode.size
+        overwrite_len = max(0, min(len(data), old_size - offset))
+        if self.mode == "relaxed" or overwrite_len == 0:
+            self._write_in_place(inode, offset, data, ctx)
+            return
+        over = data[:overwrite_len]
+        if self._range_is_aligned(inode, offset, overwrite_len):
+            # data journaling: write data once to the journal, then in place
+            journal_ns = self.machine.persist_ns(len(over))
+            ctx.charge(journal_ns)
+            ctx.counters.journal_ns += journal_ns
+            ctx.counters.pm_bytes_written += len(over)
+            self._write_in_place(inode, offset, over, ctx)
+        else:
+            self._write_cow(inode, offset, over, ctx)
+        tail = data[overwrite_len:]
+        if tail:
+            self._write_in_place(inode, offset + overwrite_len, tail, ctx)
+
+    def _range_is_aligned(self, inode: Inode, offset: int,
+                          length: int) -> bool:
+        """Are all physical blocks of [offset, +length) inside aligned
+        hugepage runs?"""
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        try:
+            runs = inode.extents.slice_logical(first, last - first + 1)
+        except IndexError:
+            return False
+        return all(self._block_in_aligned_run(inode, ext) for ext in runs)
+
+    def _block_in_aligned_run(self, inode: Inode, ext: Extent) -> bool:
+        """Is *ext* fully inside a physically aligned hugepage that the
+        file owns end-to-end?"""
+        hp_start = ext.start - ext.start % BLOCKS_PER_HUGEPAGE
+        hp_end = ext.end + (-ext.end % BLOCKS_PER_HUGEPAGE)
+        # every touched hugepage must have been handed out from the
+        # aligned pool (allocation provenance, not accidental alignment)
+        assert self.allocator is not None
+        for hp in range(hp_start // BLOCKS_PER_HUGEPAGE,
+                        hp_end // BLOCKS_PER_HUGEPAGE):
+            if not self.allocator.is_aligned_provenance(hp):
+                return False
+        # and the file must own every touched hugepage end to end
+        for fe in inode.extents:
+            if fe.start <= ext.start and ext.end <= fe.end:
+                return fe.start <= hp_start and hp_end <= fe.end
+        return False
+
+    def _write_in_place(self, inode: Inode, offset: int, data: bytes,
+                        ctx: SimContext) -> None:
+        ns = self.machine.persist_ns(len(data))
+        ctx.charge(ns)
+        ctx.counters.pm_bytes_written += len(data)
+        if self.track_data:
+            pos = 0
+            while pos < len(data):
+                block = (offset + pos) // self.block_size
+                within = (offset + pos) % self.block_size
+                take = min(self.block_size - within, len(data) - pos)
+                phys = inode.extents.physical_block(block)
+                self.device.store(phys * self.block_size + within,
+                                  data[pos:pos + take])
+                self.device.clwb(phys * self.block_size + within, take)
+                pos += take
+            self.device.sfence()
+
+    def _write_cow(self, inode: Inode, offset: int, data: bytes,
+                   ctx: SimContext) -> None:
+        """Copy-on-write into fresh unaligned holes (§3.4)."""
+        assert self.allocator is not None
+        first = offset // self.block_size
+        last = (offset + len(data) - 1) // self.block_size
+        nblocks = last - first + 1
+        new_extents = self.allocator.alloc(nblocks, ctx, want_aligned=False)
+        head_pad = offset - first * self.block_size
+        tail_end = (last + 1) * self.block_size
+        tail_pad = tail_end - (offset + len(data))
+        copy_bytes = len(data) + head_pad + tail_pad
+        ctx.charge(self.machine.pm_read_ns(head_pad + tail_pad) +
+                   self.machine.persist_ns(copy_bytes))
+        ctx.counters.pm_bytes_written += copy_bytes
+        if self.track_data:
+            old = bytearray(self.read_blocks_raw(inode, first, nblocks))
+            old[head_pad:head_pad + len(data)] = data
+            pos = 0
+            for ext in new_extents:
+                take = ext.length * self.block_size
+                self.device.store(ext.start * self.block_size,
+                                  bytes(old[pos:pos + take]))
+                self.device.clwb(ext.start * self.block_size, take)
+                pos += take
+            self.device.sfence()
+        with self._meta_txn(ctx, entries=4, ino=inode.ino):
+            old_extents = inode.extents.replace_logical(first, new_extents)
+            self._persist_inode(inode, ctx)
+        self.allocator.free_all(old_extents, ctx)
+
+    def read_blocks_raw(self, inode: Inode, first_block: int,
+                        nblocks: int) -> bytes:
+        chunks = []
+        for ext in inode.extents.slice_logical(first_block, nblocks):
+            chunks.append(self.device.load(ext.start * self.block_size,
+                                           ext.length * self.block_size))
+        return b"".join(chunks)
+
+    def _fsync_impl(self, inode: Inode, ctx: SimContext) -> None:
+        # every WineFS operation is synchronous (§3.3); fsync is a no-op
+        # beyond the syscall crossing already charged
+        return
+
+    # ------------------------------------------------------- mmap & xattrs
+
+    def mmap(self, ino: int, ctx: SimContext, length: Optional[int] = None,
+             tlb: Optional[TLB] = None,
+             cache: Optional[CacheModel] = None) -> MappedRegion:
+        region = super().mmap(ino, ctx, length=length, tlb=tlb, cache=cache)
+        inode = self._itable.get(ino)
+        assert inode is not None
+        nblocks = inode.extents.total_blocks
+        if nblocks >= BLOCKS_PER_HUGEPAGE and \
+                inode.extents.fragmentation_score() > 0.5:
+            # §3.6: fragmented memory-mapped files queue for rewriting
+            self.rewrite_queue.note_fragmented(ino)
+        return region
+
+    def setxattr(self, path: str, key: str, value: bytes,
+                 ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        inode = self._resolve(path, ctx)
+        with self._meta_txn(ctx, entries=2, ino=inode.ino):
+            inode.xattrs[key] = value
+            if key == XATTR_ALIGNED:
+                inode.aligned_hint = value == b"1"
+            self._persist_inode(inode, ctx)
+
+    def getxattr(self, path: str, key: str, ctx: SimContext) -> bytes:
+        self._check_mounted()
+        self._syscall(ctx)
+        inode = self._resolve(path, ctx)
+        if key not in inode.xattrs:
+            if key == XATTR_ALIGNED and inode.aligned_hint:
+                return b"1"
+            raise NotFoundError(f"xattr {key} on {path}")
+        return inode.xattrs[key]
+
+    def _apply_dir_inheritance(self, parent: Inode, child: Inode) -> None:
+        # §3.6: files directly within a directory inherit alignment
+        # information from the parent directory's xattrs
+        if parent.xattrs.get(XATTR_ALIGNED) == b"1":
+            child.aligned_hint = True
+
+    # ------------------------------------------------------- NUMA
+
+    def _free_space_of_node(self, node: int) -> int:
+        assert self.allocator is not None
+        if self.device.topology is None:
+            return self.allocator.free_blocks
+        cpus = self.device.topology.cpus_of_node(node)
+        return sum(self.allocator.pools[c % len(self.allocator.pools)]
+                   .free_blocks for c in cpus)
+
+    # ------------------------------------------------------- metrics
+
+    def _free_pools(self):
+        return self.allocator.pools if self.allocator is not None else None
+
+    def _free_extent_iter(self) -> Iterator[Extent]:
+        assert self.allocator is not None
+        for pool in self.allocator.pools:
+            yield from pool.extents()

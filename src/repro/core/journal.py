@@ -1,0 +1,262 @@
+"""WineFS per-CPU fine-grained undo journals.
+
+Per paper §3.5/§3.6:
+
+* one journal per logical CPU; a transaction starts in the CPU's journal
+  and stays there even if the thread migrates;
+* each entry is one 64B cacheline, persisted immediately (all metadata
+  operations are synchronous);
+* entry types START / DATA / COMMIT; DATA entries hold *undo* images
+  (address + old bytes) so uncommitted transactions roll back in place;
+* transaction IDs come from one atomic counter shared by all per-CPU
+  journals, so recovery can order rollbacks globally;
+* a per-CPU wraparound counter distinguishes live entries from stale ones
+  after the circular journal wraps;
+* a transaction reserves its worst-case entries (<= 10, i.e. 640B) before
+  starting and waits for reclaim if the journal is full — since operations
+  are synchronous, committed space is reclaimed immediately.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..clock import SimContext
+from ..errors import CorruptionError, FSError
+from ..params import BLOCK_SIZE, CACHELINE
+from ..pm.device import PMDevice
+from .layout import Layout
+
+ENTRY_BYTES = CACHELINE
+TYPE_NONE = 0
+TYPE_START = 1
+TYPE_DATA = 2
+TYPE_COMMIT = 3
+
+#: entry header: type(1) pad(1) undo_len(2) wraparound(4) txn_id(8) addr(8)
+_HEAD = struct.Struct("<BBHIQQ")
+UNDO_BYTES = ENTRY_BYTES - _HEAD.size      # 40B of undo payload per entry
+MAX_TXN_ENTRIES = 10                        # §3.6: at most 10 entries / 640B
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    etype: int
+    wraparound: int
+    txn_id: int
+    addr: int
+    undo: bytes
+
+    def pack(self) -> bytes:
+        if len(self.undo) > UNDO_BYTES:
+            raise FSError("undo image exceeds one cacheline entry")
+        head = _HEAD.pack(self.etype, 0, len(self.undo), self.wraparound,
+                          self.txn_id, self.addr)
+        return (head + self.undo).ljust(ENTRY_BYTES, b"\x00")
+
+    @staticmethod
+    def unpack(raw: bytes) -> Optional["JournalEntry"]:
+        etype, _pad, undo_len, wrap, txn_id, addr = _HEAD.unpack(
+            raw[:_HEAD.size])
+        if etype == TYPE_NONE:
+            return None
+        if etype not in (TYPE_START, TYPE_DATA, TYPE_COMMIT):
+            raise CorruptionError(f"bad journal entry type {etype}")
+        if undo_len > UNDO_BYTES:
+            raise CorruptionError("undo length overflows entry")
+        return JournalEntry(etype, wrap, txn_id, addr,
+                            raw[_HEAD.size:_HEAD.size + undo_len])
+
+
+class PerCPUJournal:
+    """One circular journal region on PM."""
+
+    def __init__(self, device: PMDevice, layout: Layout, cpu: int) -> None:
+        self.device = device
+        self.cpu = cpu
+        self.base = layout.journal_start(cpu) * BLOCK_SIZE
+        self.capacity = layout.journal_blocks * BLOCK_SIZE // ENTRY_BYTES
+        self.head = 0            # next slot to write (DRAM cursor)
+        self.tail = 0            # oldest un-reclaimed slot
+        self.wraparound = 1      # starts at 1 so zeroed PM reads as stale
+        self.waits_for_space = 0
+
+    # -- space ----------------------------------------------------------------
+
+    def _used(self) -> int:
+        return self.head - self.tail
+
+    def reserve(self, entries: int, ctx: SimContext) -> None:
+        """Reserve worst-case space; waits (simulated) on a full journal."""
+        if entries > MAX_TXN_ENTRIES:
+            raise FSError(f"transaction needs {entries} > {MAX_TXN_ENTRIES} "
+                          "entries")
+        if self._used() + entries > self.capacity:
+            # §3.6: "the thread waits till enough space is reclaimed".  All
+            # our transactions are synchronous so reclaim is immediate; hit
+            # this only on pathological misuse.
+            self.waits_for_space += 1
+            self.tail = self.head
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.base + (slot % self.capacity) * ENTRY_BYTES
+
+    def append(self, entry: JournalEntry, ctx: SimContext) -> None:
+        addr = self._slot_addr(self.head)
+        wrapped = (self.head % self.capacity) == 0 and self.head > 0
+        if wrapped:
+            self.wraparound += 1
+        if self.device.track_stores:
+            entry = JournalEntry(entry.etype, self.wraparound, entry.txn_id,
+                                 entry.addr, entry.undo)
+            self.device.persist(addr, entry.pack(), ctx)
+        else:
+            # fast devices cannot produce crash images, so the journal
+            # bytes are unobservable: charge the persist without writing
+            ctx.charge(self.device.machine.persist_ns(ENTRY_BYTES))
+            ctx.counters.pm_bytes_written += ENTRY_BYTES
+        ctx.counters.journal_ns += self.device.machine.persist_ns(ENTRY_BYTES)
+        self.head += 1
+
+    def reclaim_committed(self) -> None:
+        """All operations are immediately durable -> reclaim everything."""
+        self.tail = self.head
+
+    # -- recovery scan ----------------------------------------------------------
+
+    def scan(self) -> List[JournalEntry]:
+        """Read back every live entry in append order (oldest first).
+
+        Uses the wraparound counter to find the newest region: entries
+        carry the wrap generation they were written under, so a slot whose
+        generation is *newer* than its predecessor marks the write frontier.
+        """
+        entries: List[Tuple[int, JournalEntry]] = []
+        for slot in range(self.capacity):
+            raw = self.device.load(self.base + slot * ENTRY_BYTES, ENTRY_BYTES)
+            e = JournalEntry.unpack(raw)
+            if e is not None:
+                entries.append((slot, e))
+        if not entries:
+            return []
+        # order: higher wraparound generation is newer; within a
+        # generation, slot order is append order
+        entries.sort(key=lambda se: (se[1].wraparound, se[0]))
+        return [e for _slot, e in entries]
+
+
+class _Transaction:
+    """Handle for one open transaction; created via JournalManager.begin."""
+
+    def __init__(self, mgr: "JournalManager", journal: PerCPUJournal,
+                 txn_id: int) -> None:
+        self._mgr = mgr
+        self.journal = journal
+        self.txn_id = txn_id
+        self.entries_used = 1     # START
+        self.committed = False
+        self._logged: set = set()   # addresses already undo-logged this txn
+
+    def log_undo(self, addr: int, ctx: SimContext) -> None:
+        """Record the current PM contents of one cacheline-sized area.
+
+        Call *before* updating the metadata in place; larger areas are
+        split across entries.  A region is logged at most once per
+        transaction (the first image is the one rollback needs).
+        """
+        if addr in self._logged:
+            return
+        self._logged.add(addr)
+        old = self.journal.device.load(addr, UNDO_BYTES)
+        self._append(TYPE_DATA, addr, old, ctx)
+
+    def log_undo_range(self, addr: int, length: int, ctx: SimContext) -> None:
+        if addr in self._logged:
+            return
+        self._logged.add(addr)
+        old = self.journal.device.load(addr, length) \
+            if self.journal.device.track_stores else b"\x00" * length
+        pos = 0
+        while pos < length:
+            take = min(UNDO_BYTES, length - pos)
+            self._append(TYPE_DATA, addr + pos, old[pos:pos + take], ctx)
+            pos += take
+
+    def _append(self, etype: int, addr: int, undo: bytes,
+                ctx: SimContext) -> None:
+        if self.committed:
+            raise FSError("transaction already committed")
+        self.entries_used += 1
+        self.journal.append(
+            JournalEntry(etype, 0, self.txn_id, addr, undo), ctx)
+
+    def commit(self, ctx: SimContext) -> None:
+        if self.committed:
+            raise FSError("double commit")
+        self.journal.append(
+            JournalEntry(TYPE_COMMIT, 0, self.txn_id, 0, b""), ctx)
+        self.committed = True
+        self.journal.reclaim_committed()
+
+
+class JournalManager:
+    """All per-CPU journals plus the shared atomic transaction-ID counter."""
+
+    def __init__(self, device: PMDevice, layout: Layout) -> None:
+        self.device = device
+        self.layout = layout
+        self.journals = [PerCPUJournal(device, layout, cpu)
+                         for cpu in range(layout.num_cpus)]
+        self._next_txn_id = 1
+        self.transactions_started = 0
+
+    def begin(self, ctx: SimContext, entries_hint: int = MAX_TXN_ENTRIES
+              ) -> _Transaction:
+        """Start a transaction in the calling CPU's journal (§3.6: it stays
+        in that journal even if the thread later migrates)."""
+        journal = self.journals[ctx.cpu % len(self.journals)]
+        journal.reserve(entries_hint, ctx)
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.transactions_started += 1
+        journal.append(JournalEntry(TYPE_START, 0, txn_id, 0, b""), ctx)
+        return _Transaction(self, journal, txn_id)
+
+    # -- recovery ------------------------------------------------------------------
+
+    def recover(self) -> Tuple[int, int]:
+        """Roll back uncommitted transactions across all journals.
+
+        Returns (committed_seen, rolled_back).  Rollback applies undo
+        images in reverse global-transaction-ID order (§3.6: "WineFS
+        rolls-back journal entries across per-CPU journals based on the
+        transaction ID order").
+        """
+        committed_ids = set()
+        txn_entries = {}
+        for journal in self.journals:
+            for entry in journal.scan():
+                if entry.etype == TYPE_COMMIT:
+                    committed_ids.add(entry.txn_id)
+                elif entry.etype == TYPE_DATA:
+                    txn_entries.setdefault(entry.txn_id, []).append(entry)
+                elif entry.etype == TYPE_START:
+                    txn_entries.setdefault(entry.txn_id, [])
+        uncommitted = [tid for tid in txn_entries if tid not in committed_ids]
+        for tid in sorted(uncommitted, reverse=True):
+            for entry in reversed(txn_entries[tid]):
+                self.device.persist(entry.addr, entry.undo)
+        # journals restart clean after recovery
+        for journal in self.journals:
+            self._erase(journal)
+        self._next_txn_id = max(list(committed_ids) + list(txn_entries) + [0]) + 1
+        return len(committed_ids), len(uncommitted)
+
+    def _erase(self, journal: PerCPUJournal) -> None:
+        zero = b"\x00" * ENTRY_BYTES
+        for slot in range(journal.capacity):
+            self.device.persist(journal.base + slot * ENTRY_BYTES, zero)
+        journal.head = journal.tail = 0
+        journal.wraparound += 1

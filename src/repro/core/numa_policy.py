@@ -1,0 +1,92 @@
+"""WineFS NUMA-awareness (paper §3.6, "Minimizing remote NUMA accesses").
+
+The policy: remote writes cost much more than remote reads, so each process
+gets a *home* NUMA node assigned on its first create/write — the node with
+the most free space.  Writes from a process are routed to (and, if needed,
+the process is migrated to) its home node; reads are never migrated.
+Children inherit the parent's home node.  When the home node fills up, a
+new home is chosen and the process migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..clock import SimContext
+from ..errors import SimulationError
+from ..pm.numa import NumaTopology
+
+
+@dataclass
+class ProcessInfo:
+    pid: int
+    home_node: Optional[int] = None
+    parent_pid: Optional[int] = None
+    migrations: int = 0
+
+
+class NumaPolicy:
+    """Tracks home nodes for simulated processes.
+
+    ``free_space_of_node`` is a callback the file system provides so home
+    selection can follow allocator occupancy.
+    """
+
+    def __init__(self, topology: NumaTopology, free_space_of_node) -> None:
+        self.topology = topology
+        self._free_space_of_node = free_space_of_node
+        self._procs: Dict[int, ProcessInfo] = {}
+        self.remote_writes_avoided = 0
+
+    def register_process(self, pid: int,
+                         parent_pid: Optional[int] = None) -> ProcessInfo:
+        if pid in self._procs:
+            raise SimulationError(f"pid {pid} already registered")
+        info = ProcessInfo(pid=pid, parent_pid=parent_pid)
+        if parent_pid is not None and parent_pid in self._procs:
+            # §3.6: children inherit the parent's home NUMA node
+            info.home_node = self._procs[parent_pid].home_node
+        self._procs[pid] = info
+        return info
+
+    def _pick_home(self) -> int:
+        best, best_free = 0, -1
+        for node in range(self.topology.nodes):
+            free = self._free_space_of_node(node)
+            if free > best_free:
+                best, best_free = node, free
+        return best
+
+    def home_of(self, pid: int) -> Optional[int]:
+        info = self._procs.get(pid)
+        return info.home_node if info else None
+
+    def cpu_for_write(self, pid: int, ctx: SimContext) -> int:
+        """The CPU this process's write should run on.
+
+        Assigns a home node on first write; migrates the process (charging
+        a context switch) if it is running on a foreign node, or if its
+        home ran out of space.
+        """
+        info = self._procs.get(pid)
+        if info is None:
+            info = self.register_process(pid)
+        if info.home_node is None:
+            info.home_node = self._pick_home()
+        elif self._free_space_of_node(info.home_node) == 0:
+            # §3.6: "If the home NUMA node runs out of free space, a new
+            # home is selected, and the process is migrated."
+            info.home_node = self._pick_home()
+        current_node = self.topology.node_of_cpu(ctx.cpu)
+        if current_node != info.home_node:
+            ctx.charge(ctx.clock.num_cpus and 2000.0)  # thread migration
+            info.migrations += 1
+            self.remote_writes_avoided += 1
+            return self.topology.cpus_of_node(info.home_node)[
+                ctx.cpu % self.topology.cpus_per_node]
+        return ctx.cpu
+
+    def migrations_of(self, pid: int) -> int:
+        info = self._procs.get(pid)
+        return info.migrations if info else 0

@@ -1,0 +1,101 @@
+"""Reactive rewriting of fragmented memory-mapped files (paper §3.6).
+
+If WineFS finds at mmap time that a file is fragmented (it cannot be mapped
+with hugepages), the file is queued; a background thread later reads it and
+rewrites it with big (aligned) allocations, then uses a journal transaction
+to atomically swap the old blocks for the new ones.  The paper notes this
+is rare — applications using mmap usually make occasional large
+allocations — but it exists as a safety net for files written with small
+allocations and mapped later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from ..clock import SimContext
+from ..params import BLOCKS_PER_HUGEPAGE
+
+if TYPE_CHECKING:
+    from .filesystem import WineFS
+
+
+class RewriteQueue:
+    """Queue of fragmented inodes plus the 'background thread' drain.
+
+    There is no real thread: :meth:`run_pending` is invoked explicitly (by
+    tests, benches, or the FS after mmap) and charges its work to the
+    background CPU context it is given, which is exactly how the simulated
+    timeline accounts for background bandwidth theft (§4's defragmentation
+    discussion).
+    """
+
+    def __init__(self, fs: "WineFS") -> None:
+        self._fs = fs
+        self._pending: List[int] = []
+        self._queued: Set[int] = set()
+        self.rewrites_done = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def note_fragmented(self, ino: int) -> None:
+        if ino not in self._queued:
+            self._queued.add(ino)
+            self._pending.append(ino)
+
+    def run_pending(self, ctx: SimContext, limit: int = None) -> int:
+        """Rewrite up to *limit* queued files; returns how many were done."""
+        done = 0
+        while self._pending and (limit is None or done < limit):
+            ino = self._pending.pop(0)
+            self._queued.discard(ino)
+            if self._rewrite(ino, ctx):
+                done += 1
+                self.rewrites_done += 1
+        return done
+
+    def _rewrite(self, ino: int, ctx: SimContext) -> bool:
+        fs = self._fs
+        inode = fs._itable.get(ino)
+        if inode is None or inode.is_dir:
+            return False                      # unlinked while queued
+        nblocks = inode.extents.total_blocks
+        if nblocks < BLOCKS_PER_HUGEPAGE:
+            return False                      # too small to matter
+        if inode.extents.mappable_hugepages() * BLOCKS_PER_HUGEPAGE >= \
+                nblocks - nblocks % BLOCKS_PER_HUGEPAGE:
+            return False                      # already fully mappable
+        # read the file, rewrite with big allocations, atomically swap
+        try:
+            new_extents = fs.allocator.alloc(nblocks, ctx, want_aligned=True)
+        except Exception:
+            return False                      # no aligned space; give up
+        # background read of old data + write of new copy
+        nbytes = nblocks * fs.block_size
+        ctx.charge(fs.machine.pm_read_ns(nbytes) + fs.machine.pm_write_ns(nbytes))
+        ctx.counters.pm_bytes_read += nbytes
+        ctx.counters.pm_bytes_written += nbytes
+        if fs.track_data:
+            data = bytearray()
+            for ext in inode.extents:
+                data += fs.device.load(ext.start * fs.block_size,
+                                       ext.length * fs.block_size)
+            pos = 0
+            for ext in new_extents:
+                chunk = bytes(data[pos:pos + ext.length * fs.block_size])
+                fs.device.store(ext.start * fs.block_size, chunk)
+                fs.device.clwb(ext.start * fs.block_size, len(chunk))
+                pos += ext.length * fs.block_size
+            fs.device.sfence()
+        # §3.6: "A journal transaction is used to atomically delete the old
+        # file and point the directory entry to the new file."
+        txn = fs.journal.begin(ctx, entries_hint=4)
+        old = list(inode.extents)
+        from ..structures.extents import ExtentList
+        inode.extents = ExtentList(new_extents)
+        inode.aligned_hint = True
+        fs._persist_inode_record(inode, ctx, txn)
+        txn.commit(ctx)
+        fs.allocator.free_all(old, ctx)
+        return True

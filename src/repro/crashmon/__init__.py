@@ -1,0 +1,20 @@
+"""Crash-consistency testing, modeled on CrashMonkey + ACE (OSDI 2018).
+
+The paper tests WineFS with "a modified form of the CrashMonkey framework"
+(§5.2): ACE generates metadata-mutating syscall workloads, CrashMonkey
+enumerates crash states corresponding to all re-orderings of in-flight
+writes inside each system call, and a checker verifies the recovered file
+system is consistent.
+
+Our PM device logs every store with flush/fence markers, so the legal
+crash states are exactly: durable prefix + any subset of unfenced stores
+(:meth:`repro.pm.device.PMDevice.crash_image`).
+"""
+
+from .ace import AceWorkload, generate_workloads, SyscallOp
+from .explorer import CrashExplorer, CrashTestResult
+from .checker import check_consistency, ConsistencyError
+
+__all__ = ["AceWorkload", "generate_workloads", "SyscallOp",
+           "CrashExplorer", "CrashTestResult",
+           "check_consistency", "ConsistencyError"]

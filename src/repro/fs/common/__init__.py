@@ -1,0 +1,8 @@
+"""Infrastructure shared by all simulated file systems."""
+
+from .inode import Inode, InodeTable
+from .dirindex import DirIndex, RBDirIndex, LinearDirIndex
+from .base import BaseFS
+
+__all__ = ["Inode", "InodeTable", "DirIndex", "RBDirIndex",
+           "LinearDirIndex", "BaseFS"]

@@ -1,0 +1,633 @@
+"""BaseFS: the namespace and data-path skeleton shared by all seven
+simulated file systems.
+
+Subclasses specialize the hooks that the paper identifies as the decisive
+design choices:
+
+* ``_alloc`` / ``_free`` — the block allocator (alignment-aware vs
+  contiguity-first vs log-structured);
+* ``_meta_txn`` — metadata crash-consistency machinery (per-CPU undo
+  journal, global JBD2 batch, per-inode log append, ...), including which
+  lock it serializes on (this is what Fig 10's scalability measures);
+* ``_write_data`` — data atomicity (in-place, journaled, CoW, log-append);
+* ``_fsync_impl`` — what fsync costs (nothing for synchronous designs,
+  a stop-the-world journal flush for JBD2);
+* ``alloc_for_fault`` — what backing a page fault gets for on-demand
+  (ftruncate-extended) mappings: WineFS hands out an aligned hugepage,
+  everyone else a 4KB block (this drives the LMDB result, §5.4).
+
+The base class owns: path resolution, directory indexes, open handles,
+read path, mmap plumbing, statfs and fragmentation metrics.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ...clock import SimContext
+from ...errors import (
+    ExistsError, FSError, InvalidArgumentError, IsADirectoryError_,
+    NoSpaceError, NotADirectoryError_, NotEmptyError, NotFoundError,
+    NotEmptyError, NotMountedError,
+)
+from ...mmu.cache import CacheModel
+from ...mmu.mmap_region import MappedRegion
+from ...mmu.tlb import TLB
+from ...params import BLOCK_SIZE, BLOCKS_PER_HUGEPAGE, HUGE_PAGE
+from ...pm.device import PMDevice
+from ...structures.extents import Extent, ExtentList
+from ...vfs.interface import FileSystem, FSStats, OpenFile, StatResult
+from ...vfs.path import basename_of, normalize_path, parent_of, split_path
+from .dirindex import DirIndex, RBDirIndex
+from .inode import Inode, InodeTable, INODE_BYTES
+
+ROOT_INO = 1
+
+
+class BaseFS(FileSystem):
+    """Common machinery; see module docstring for the specialization hooks."""
+
+    block_size = BLOCK_SIZE
+    dir_index_cls: Callable[[], DirIndex] = RBDirIndex
+    #: does the fault handler zero pages (ext4-DAX) or did allocation (NOVA)?
+    fault_zero_fill = False
+    #: move real bytes (tests) or cost-only (large benches)?
+    track_data = True
+
+    def __init__(self, device: PMDevice, num_cpus: int = 4,
+                 track_data: Optional[bool] = None) -> None:
+        super().__init__(device, num_cpus)
+        if track_data is not None:
+            self.track_data = track_data
+        #: blocks reserved for superblock + metadata at the partition start
+        self.meta_blocks = self._metadata_blocks()
+        self.total_blocks = device.size // self.block_size
+        if self.meta_blocks >= self.total_blocks:
+            raise FSError("device too small for metadata")
+        self._itable = InodeTable(first_ino=ROOT_INO,
+                                  capacity=max(1024, self.total_blocks // 8))
+        self._dirs: Dict[int, DirIndex] = {}
+        self._free_blocks = 0    # maintained by subclasses via _account_*
+
+    # ------------------------------------------------------------------ hooks
+
+    def _metadata_blocks(self) -> int:
+        """Blocks reserved at the start of the partition for FS metadata."""
+        return 1024  # 4MB: superblock, inode table, journal; subclasses refine
+
+    def _alloc(self, nblocks: int, ctx: SimContext, *,
+               goal: Optional[int] = None,
+               want_aligned: bool = False) -> List[Extent]:
+        """Allocate *nblocks*; raises NoSpaceError when full."""
+        raise NotImplementedError
+
+    def _free(self, extents: List[Extent], ctx: SimContext) -> None:
+        raise NotImplementedError
+
+    @contextmanager
+    def _meta_txn(self, ctx: SimContext, entries: int,
+                  ino: Optional[int] = None) -> Iterator[None]:
+        """Metadata transaction: charge journaling costs and locking."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _write_data(self, inode: Inode, offset: int, data: bytes,
+                    ctx: SimContext) -> None:
+        """Move *data* into allocated blocks per the FS's atomicity policy."""
+        raise NotImplementedError
+
+    def _fsync_impl(self, inode: Inode, ctx: SimContext) -> None:
+        raise NotImplementedError
+
+    def alloc_for_fault(self, inode: Inode, logical_block: int,
+                        ctx: SimContext) -> None:
+        """Allocate backing for a faulting page of a sparse-extended file.
+
+        The default allocates one 4KB block at a time (plus any gap up to
+        the faulting block), which is why ftruncate-style applications like
+        LMDB never see hugepages on the baselines.  WineFS overrides this.
+        """
+        needed = logical_block + 1 - inode.extents.total_blocks
+        if needed <= 0:
+            return
+        for ext in self._alloc(needed, ctx):
+            inode.extents.append(ext)
+        self._persist_inode(inode, ctx)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def mkfs(self, ctx: SimContext) -> None:
+        self._itable = InodeTable(first_ino=ROOT_INO,
+                                  capacity=max(1024, self.total_blocks // 8))
+        self._dirs = {}
+        root = self._itable.allocate(is_dir=True)
+        assert root.ino == ROOT_INO
+        self._dirs[ROOT_INO] = self.dir_index_cls()
+        self._init_allocator()
+        # superblock + inode table init writes
+        ctx.charge(self.machine.persist_ns(self.meta_blocks * 64))
+        self.mounted = True
+
+    def _init_allocator(self) -> None:
+        raise NotImplementedError
+
+    def mount(self, ctx: SimContext) -> None:
+        self._check_device_formatted()
+        self.mounted = True
+
+    def _check_device_formatted(self) -> None:
+        if not self._dirs:
+            raise NotMountedError(f"{self.name}: device not formatted")
+
+    def unmount(self, ctx: SimContext) -> None:
+        self._check_mounted()
+        self.device.drain()
+        self.mounted = False
+
+    # --------------------------------------------------------------- resolution
+
+    def _resolve(self, path: str, ctx: Optional[SimContext]) -> Inode:
+        parts = split_path(path)
+        inode = self._itable.get(ROOT_INO)
+        assert inode is not None
+        for part in parts:
+            if not inode.is_dir:
+                raise NotADirectoryError_(path)
+            child = self._dirs[inode.ino].lookup(part, ctx)
+            if child is None:
+                raise NotFoundError(path)
+            nxt = self._itable.get(child)
+            if nxt is None:
+                raise NotFoundError(path)
+            inode = nxt
+        return inode
+
+    def _resolve_parent(self, path: str, ctx: Optional[SimContext]) -> Inode:
+        parent = self._resolve(parent_of(path), ctx)
+        if not parent.is_dir:
+            raise NotADirectoryError_(parent_of(path))
+        return parent
+
+    def _alloc_inode(self, is_dir: bool, ctx: SimContext) -> Inode:
+        return self._itable.allocate(is_dir=is_dir, owner_cpu=ctx.cpu)
+
+    def _free_inode(self, inode: Inode, ctx=None) -> None:
+        self._itable.free(inode.ino)
+
+    def _persist_inode(self, inode: Inode, ctx: SimContext) -> None:
+        ctx.charge(self.machine.persist_ns(INODE_BYTES))
+
+    def _ino_lock(self, ino: int) -> str:
+        """Lock name for an inode: keyed on the live object generation so
+        recycled inode numbers do not alias across unrelated files."""
+        inode = self._itable.get(ino)
+        gen = inode.gen if inode is not None else 0
+        return f"ino:{ino}g{gen}"
+
+    # --------------------------------------------------------------- namespace
+
+    def create(self, path: str, ctx: SimContext) -> OpenFile:
+        self._check_mounted()
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+        try:
+            if name in pdir:
+                raise ExistsError(path)
+            with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                inode = self._alloc_inode(is_dir=False, ctx=ctx)
+                inode.parent_ino, inode.name = parent.ino, name
+                self._apply_dir_inheritance(parent, inode)
+                pdir.insert(name, inode.ino, ctx)
+                self._persist_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+        return OpenFile(self, inode.ino, path)
+
+    def _apply_dir_inheritance(self, parent: Inode, child: Inode) -> None:
+        """Hook: WineFS directory-level alignment xattrs (§3.6)."""
+
+    def open(self, path: str, ctx: SimContext) -> OpenFile:
+        self._check_mounted()
+        self._syscall(ctx)
+        path = normalize_path(path)
+        inode = self._resolve(path, ctx)
+        if inode.is_dir:
+            raise IsADirectoryError_(path)
+        return OpenFile(self, inode.ino, path)
+
+    def unlink(self, path: str, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+        try:
+            ino = pdir.lookup(name, ctx)
+            if ino is None:
+                raise NotFoundError(path)
+            inode = self._itable.get(ino)
+            assert inode is not None
+            if inode.is_dir:
+                raise IsADirectoryError_(path)
+            with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                pdir.remove(name, ctx)
+                freed = list(inode.extents)
+                if freed:
+                    self._free(freed, ctx)
+                self._free_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+
+    def mkdir(self, path: str, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+        try:
+            if name in pdir:
+                raise ExistsError(path)
+            with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                inode = self._alloc_inode(is_dir=True, ctx=ctx)
+                inode.parent_ino, inode.name = parent.ino, name
+                self._dirs[inode.ino] = self.dir_index_cls()
+                pdir.insert(name, inode.ino, ctx)
+                self._persist_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+
+    def rmdir(self, path: str, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+        try:
+            ino = pdir.lookup(name, ctx)
+            if ino is None:
+                raise NotFoundError(path)
+            inode = self._itable.get(ino)
+            assert inode is not None
+            if not inode.is_dir:
+                raise NotADirectoryError_(path)
+            if len(self._dirs[ino]):
+                raise NotEmptyError(path)
+            with self._meta_txn(ctx, entries=3, ino=parent.ino):
+                pdir.remove(name, ctx)
+                del self._dirs[ino]
+                self._free_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+
+    def rename(self, old: str, new: str, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        old, new = normalize_path(old), normalize_path(new)
+        src_parent = self._resolve_parent(old, ctx)
+        dst_parent = self._resolve_parent(new, ctx)
+        src_name, dst_name = basename_of(old), basename_of(new)
+        # deterministic lock order to avoid simulated deadlock accounting
+        lock_inos = sorted({src_parent.ino, dst_parent.ino})
+        for li in lock_inos:
+            ctx.locks.acquire(self._ino_lock(li), ctx.cpu)
+        try:
+            sdir = self._dirs[src_parent.ino]
+            ddir = self._dirs[dst_parent.ino]
+            ino = sdir.lookup(src_name, ctx)
+            if ino is None:
+                raise NotFoundError(old)
+            with self._meta_txn(ctx, entries=6, ino=src_parent.ino):
+                displaced = ddir.lookup(dst_name, ctx)
+                if displaced is not None:
+                    victim = self._itable.get(displaced)
+                    assert victim is not None
+                    if victim.is_dir:
+                        if len(self._dirs[displaced]):
+                            raise NotEmptyError(new)
+                        del self._dirs[displaced]
+                    elif victim.extents.total_blocks:
+                        self._free(list(victim.extents), ctx)
+                    ddir.remove(dst_name, ctx)
+                    self._free_inode(victim, ctx)
+                sdir.remove(src_name, ctx)
+                ddir.insert(dst_name, ino, ctx)
+                moved = self._itable.get(ino)
+                assert moved is not None
+                moved.parent_ino, moved.name = dst_parent.ino, dst_name
+                self._persist_inode(moved, ctx)
+                self._persist_inode(src_parent, ctx)
+                self._persist_inode(dst_parent, ctx)
+        finally:
+            for li in reversed(lock_inos):
+                ctx.locks.release(self._ino_lock(li), ctx.cpu)
+
+    def readdir(self, path: str, ctx: SimContext) -> List[str]:
+        self._check_mounted()
+        self._syscall(ctx)
+        inode = self._resolve(path, ctx)
+        if not inode.is_dir:
+            raise NotADirectoryError_(path)
+        names = self._dirs[inode.ino].names()
+        ctx.charge(len(names) * 20.0)   # getdents copy-out
+        return names
+
+    def getattr(self, path: str, ctx: Optional[SimContext] = None) -> StatResult:
+        self._check_mounted()
+        if ctx is not None:
+            self._syscall(ctx)
+        inode = self._resolve(path, ctx)
+        return self._stat_of(inode)
+
+    def getattr_ino(self, ino: int) -> StatResult:
+        inode = self._itable.get(ino)
+        if inode is None:
+            raise NotFoundError(f"ino {ino}")
+        return self._stat_of(inode)
+
+    @staticmethod
+    def _stat_of(inode: Inode) -> StatResult:
+        return StatResult(ino=inode.ino, size=inode.size,
+                          blocks=inode.extents.total_blocks,
+                          is_dir=inode.is_dir, nlink=inode.nlink)
+
+    # --------------------------------------------------------------- data path
+
+    def _inode_for_data(self, ino: int) -> Inode:
+        inode = self._itable.get(ino)
+        if inode is None:
+            raise NotFoundError(f"ino {ino}")
+        if inode.is_dir:
+            raise IsADirectoryError_(f"ino {ino}")
+        return inode
+
+    def _ensure_blocks(self, inode: Inode, end_byte: int, ctx: SimContext,
+                       want_aligned: Optional[bool] = None) -> None:
+        """Allocate blocks so the file covers [0, end_byte)."""
+        needed_blocks = (end_byte + self.block_size - 1) // self.block_size
+        short = needed_blocks - inode.extents.total_blocks
+        if short <= 0:
+            return
+        goal = inode.extents[-1].end if len(inode.extents) else None
+        if want_aligned is None:
+            want_aligned = short >= BLOCKS_PER_HUGEPAGE
+        for ext in self._alloc(short, ctx, goal=goal, want_aligned=want_aligned):
+            inode.extents.append(ext)
+
+    def read(self, ino: int, offset: int, size: int, ctx: SimContext) -> bytes:
+        self._check_mounted()
+        self._syscall(ctx)
+        if offset < 0 or size < 0:
+            raise InvalidArgumentError("negative offset/size")
+        inode = self._inode_for_data(ino)
+        if offset >= inode.size:
+            return b""
+        size = min(size, inode.size - offset)
+        if size == 0:
+            return b""
+        first_block = offset // self.block_size
+        last_block = (offset + size - 1) // self.block_size
+        nblocks = last_block - first_block + 1
+        ctx.charge(self.machine.pm_load_ns +
+                   self.machine.pm_read_ns(size))
+        ctx.counters.pm_bytes_read += size
+        if not self.track_data:
+            return b"\x00" * size
+        chunks: List[bytes] = []
+        pos = offset
+        end = offset + size
+        allocated_bytes = inode.extents.total_blocks * self.block_size
+        while pos < end:
+            block = pos // self.block_size
+            within = pos % self.block_size
+            take = min(self.block_size - within, end - pos)
+            if block * self.block_size >= allocated_bytes:
+                chunks.append(b"\x00" * take)   # hole past allocation
+            else:
+                phys = inode.extents.physical_block(block)
+                chunks.append(self.device.load(
+                    phys * self.block_size + within, take))
+            pos += take
+        return b"".join(chunks)
+
+    def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
+        self._check_mounted()
+        self._syscall(ctx)
+        if offset < 0:
+            raise InvalidArgumentError("negative offset")
+        if not data:
+            return 0
+        inode = self._inode_for_data(ino)
+        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+        try:
+            grows = offset + len(data) > inode.size
+            self._ensure_blocks(inode, offset + len(data), ctx)
+            self._write_data(inode, offset, data, ctx)
+            inode.written_hwm = max(inode.written_hwm, offset + len(data))
+            if grows:
+                with self._meta_txn(ctx, entries=2, ino=ino):
+                    inode.size = offset + len(data)
+                    self._persist_inode(inode, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+        return len(data)
+
+    def truncate(self, ino: int, size: int, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        if size < 0:
+            raise InvalidArgumentError("negative size")
+        inode = self._inode_for_data(ino)
+        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+        try:
+            with self._meta_txn(ctx, entries=3, ino=ino):
+                if size < inode.size:
+                    keep = (size + self.block_size - 1) // self.block_size
+                    freed = inode.extents.truncate_blocks(keep)
+                    if freed:
+                        self._free(freed, ctx)
+                # growing truncate leaves a hole: no allocation (sparse), the
+                # LMDB pattern -- blocks appear on demand at fault time
+                inode.size = size
+                self._persist_inode(inode, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+
+    def fallocate(self, ino: int, offset: int, size: int, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        if offset < 0 or size <= 0:
+            raise InvalidArgumentError("bad fallocate range")
+        inode = self._inode_for_data(ino)
+        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+        try:
+            with self._meta_txn(ctx, entries=2, ino=ino):
+                self._ensure_blocks(inode, offset + size, ctx)
+                if self._zero_on_fallocate():
+                    ctx.charge(self.machine.pm_write_ns(size))
+                inode.size = max(inode.size, offset + size)
+                self._persist_inode(inode, ctx)
+        finally:
+            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+
+    def _zero_on_fallocate(self) -> bool:
+        """NOVA zeroes at fallocate; ext4-DAX zeroes at fault (§5.4)."""
+        return not self.fault_zero_fill
+
+    def fsync(self, ino: int, ctx: SimContext) -> None:
+        self._check_mounted()
+        self._syscall(ctx)
+        inode = self._inode_for_data(ino)
+        self._fsync_impl(inode, ctx)
+
+    # --------------------------------------------------------------- mmap
+
+    def mmap(self, ino: int, ctx: SimContext, length: Optional[int] = None,
+             tlb: Optional[TLB] = None,
+             cache: Optional[CacheModel] = None) -> MappedRegion:
+        self._check_mounted()
+        self._syscall(ctx)
+        inode = self._inode_for_data(ino)
+        map_len = length if length is not None else inode.size
+        if map_len <= 0:
+            raise InvalidArgumentError("cannot mmap an empty range")
+        region = _FSMappedRegion(
+            fs=self, inode=inode, device=self.device, machine=self.machine,
+            length=map_len, block_size=self.block_size, tlb=tlb, cache=cache,
+            fault_zero_fill=self.fault_zero_fill, track_data=self.track_data)
+        return region
+
+    # --------------------------------------------------------------- metrics
+
+    def file_extents(self, ino: int) -> ExtentList:
+        inode = self._itable.get(ino)
+        if inode is None:
+            raise NotFoundError(f"ino {ino}")
+        return inode.extents
+
+    def _free_extent_iter(self) -> Iterator[Extent]:
+        """All free extents (for fragmentation metrics); subclass-provided."""
+        raise NotImplementedError
+
+    def _free_pools(self):
+        """The FreePool objects backing this FS (for O(1) statfs).
+
+        Subclasses with FreePool-based allocators override; the default
+        falls back to iterating free extents.
+        """
+        return None
+
+    def statfs(self) -> FSStats:
+        pools = self._free_pools()
+        if pools is not None:
+            free = sum(p.free_blocks for p in pools)
+            aligned_hugepages = sum(p.aligned_hugepages() for p in pools)
+            aligned_blocks = aligned_hugepages * BLOCKS_PER_HUGEPAGE
+            return FSStats(
+                total_blocks=self.total_blocks - self.meta_blocks,
+                free_blocks=free,
+                block_size=self.block_size,
+                files=len(self._itable),
+                free_aligned_hugepages=aligned_hugepages,
+                free_space_aligned_fraction=(aligned_blocks / free)
+                if free else 1.0,
+            )
+        free = 0
+        aligned_hugepages = 0
+        aligned_blocks = 0
+        for ext in self._free_extent_iter():
+            free += ext.length
+            runs = ext.hugepage_runs()
+            aligned_hugepages += runs
+            aligned_blocks += runs * BLOCKS_PER_HUGEPAGE
+        return FSStats(
+            total_blocks=self.total_blocks - self.meta_blocks,
+            free_blocks=free,
+            block_size=self.block_size,
+            files=len(self._itable),
+            free_aligned_hugepages=aligned_hugepages,
+            free_space_aligned_fraction=(aligned_blocks / free) if free else 1.0,
+        )
+
+
+class _FSMappedRegion(MappedRegion):
+    """MappedRegion wired back to its file system for on-demand allocation.
+
+    Real DAX file systems allocate backing inside the fault handler when an
+    application ftruncates a file larger than its allocation and touches
+    the hole (paper §5.4, LMDB).  The FS decides the granularity: WineFS
+    hands the fault an aligned hugepage, others a base block.
+    """
+
+    def __init__(self, fs: BaseFS, inode: Inode, **kwargs) -> None:
+        self._fs = fs
+        self._inode = inode
+        # bypass the extents-cover-length check: sparse mappings are legal
+        extents = inode.extents
+        super_len = kwargs.pop("length")
+        device = kwargs.pop("device")
+        machine = kwargs.pop("machine")
+        block_size = kwargs.pop("block_size")
+        # initialize parent with a permissive length
+        self.device = device
+        self.machine = machine
+        self.extents = extents
+        self.length = super_len
+        self.block_size = block_size
+        from ...mmu.page_table import PageTable
+        from ...mmu.tlb import TLB as _TLB
+        self.page_table = PageTable()
+        tlb = kwargs.pop("tlb")
+        cache = kwargs.pop("cache")
+        self.tlb = tlb if tlb is not None else _TLB(machine.tlb_4k_entries,
+                                                    machine.tlb_2m_entries)
+        self.cache = cache
+        self.fault_zero_fill = kwargs.pop("fault_zero_fill")
+        self.track_data = kwargs.pop("track_data")
+        from ...mmu import mmap_region as _mr
+        self.region_id = _mr._next_region_id[0]
+        _mr._next_region_id[0] += 1
+        self._blocks_per_page = 1
+        if super_len <= 0:
+            raise InvalidArgumentError("mmap length must be positive")
+
+    def _page_unwritten(self, virt_page: int) -> bool:
+        from ...params import BASE_PAGE
+        return virt_page * BASE_PAGE >= self._inode.written_hwm
+
+    def _phys_of_virt_page(self, virt_page: int) -> int:
+        from ...params import BASE_PAGE
+        logical_block = virt_page * (BASE_PAGE // self.block_size)
+        if logical_block >= self.extents.total_blocks:
+            # demand allocation inside the fault handler
+            ctx = self._fault_ctx
+            self._fs.alloc_for_fault(self._inode, logical_block, ctx)
+        return self.extents.physical_block(logical_block) * self.block_size
+
+    def fault(self, virt_page: int, ctx: SimContext) -> bool:
+        # WineFS's fault handler allocates an aligned extent *before*
+        # deciding base-vs-huge, so demand allocation must happen first.
+        self._fault_ctx = ctx
+        from ...params import BASE_PAGE
+        logical_block = virt_page * (BASE_PAGE // self.block_size)
+        if logical_block >= self.extents.total_blocks:
+            self._fs.alloc_for_fault(self._inode, logical_block, ctx)
+            if self._inode.size < self.length:
+                # mmap writes past EOF extend the file (shared mapping)
+                self._inode.size = min(
+                    self.length, self.extents.total_blocks * self.block_size)
+        return super().fault(virt_page, ctx)

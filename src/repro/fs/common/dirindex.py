@@ -1,0 +1,131 @@
+"""Directory-entry indexes.
+
+The paper distinguishes file systems by how they look up directory entries:
+WineFS and NOVA keep DRAM red-black-tree indexes (§3.5: "WineFS uses
+red-black trees for traversing directory entries"), while PMFS "does
+sequential scanning of directory entries ... causing significant
+slowdowns".  Both variants store the same mapping; they differ in the
+lookup cost charged to the simulated clock, which is what limits PMFS on
+metadata-heavy workloads like varmail (§5.5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional
+
+from ...clock import SimContext
+from ...params import MachineParams
+from ...structures.rbtree import RBTree
+
+#: cost of probing one directory entry during a linear PM scan
+_SCAN_ENTRY_NS = 60.0
+#: cost of one RB-tree node visit in DRAM
+_TREE_NODE_NS = 18.0
+#: DRAM bytes per hashed directory entry (§5.7: "less than 64B per entry")
+DENTRY_DRAM_BYTES = 64
+
+
+class DirIndex(ABC):
+    """Maps child name -> inode number for one directory."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def items(self) -> Iterator:
+        return iter(sorted(self._entries.items()))
+
+    @abstractmethod
+    def _charge_lookup(self, ctx: Optional[SimContext]) -> None: ...
+
+    def lookup(self, name: str, ctx: Optional[SimContext] = None) -> Optional[int]:
+        self._charge_lookup(ctx)
+        return self._entries.get(name)
+
+    def insert(self, name: str, ino: int, ctx: Optional[SimContext] = None) -> None:
+        self._charge_lookup(ctx)
+        self._entries[name] = ino
+
+    def remove(self, name: str, ctx: Optional[SimContext] = None) -> int:
+        self._charge_lookup(ctx)
+        return self._entries.pop(name)
+
+    @property
+    def dram_bytes(self) -> int:
+        """DRAM footprint of this index (§5.7 memory-usage accounting)."""
+        return 0
+
+
+class RBDirIndex(DirIndex):
+    """DRAM red-black-tree index (WineFS, NOVA, ext4 htree stand-in).
+
+    Lookup cost is O(log n) tree-node visits in DRAM.  We maintain a real
+    RB-tree over hashed names to keep the height honest.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tree = RBTree()
+
+    @staticmethod
+    def _hash(name: str) -> int:
+        # FNV-1a, 64-bit: deterministic across runs (unlike hash())
+        h = 0xcbf29ce484222325
+        for ch in name.encode():
+            h = ((h ^ ch) * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+        return h
+
+    def _charge_lookup(self, ctx: Optional[SimContext]) -> None:
+        if ctx is None:
+            return
+        import math
+        depth = max(1, int(math.log2(len(self._tree) + 1)) + 1)
+        ctx.charge(depth * _TREE_NODE_NS)
+
+    def insert(self, name: str, ino: int, ctx: Optional[SimContext] = None) -> None:
+        super().insert(name, ino, ctx)
+        self._tree.insert(self._hash(name), name)
+
+    def remove(self, name: str, ctx: Optional[SimContext] = None) -> int:
+        ino = super().remove(name, ctx)
+        key = self._hash(name)
+        if key in self._tree:
+            self._tree.remove(key)
+        return ino
+
+    @property
+    def dram_bytes(self) -> int:
+        return len(self._entries) * DENTRY_DRAM_BYTES
+
+
+class LinearDirIndex(DirIndex):
+    """PMFS-style linear scan of on-PM directory entries.
+
+    Every lookup walks, on average, half the entries; inserts walk all of
+    them (to find free slots / detect duplicates).  This is the documented
+    PMFS bottleneck on varmail-like workloads.
+    """
+
+    def _charge_lookup(self, ctx: Optional[SimContext]) -> None:
+        if ctx is None:
+            return
+        n = max(1, len(self._entries))
+        ctx.charge((n / 2.0) * _SCAN_ENTRY_NS)
+
+    def insert(self, name: str, ino: int, ctx: Optional[SimContext] = None) -> None:
+        if ctx is not None:
+            ctx.charge(len(self._entries) * _SCAN_ENTRY_NS)
+        self._entries[name] = ino
+
+    @property
+    def dram_bytes(self) -> int:
+        return 0   # PMFS keeps no DRAM index

@@ -1,0 +1,119 @@
+"""Inodes and inode tables.
+
+Inodes live conceptually on PM (each FS reserves inode-table regions and
+charges persist costs for inode updates); the Python object is the DRAM
+representation every real PM file system also keeps.  The ``extents`` block
+map is the part of the inode the hugepage results depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import FSError, SimulationError
+from ...structures.extents import ExtentList
+
+#: serialized inode footprint on PM, charged on inode persists
+INODE_BYTES = 128
+
+#: global generation counter for live inode objects
+import itertools
+_GENERATION = itertools.count(1)
+
+
+@dataclass
+class Inode:
+    ino: int
+    is_dir: bool = False
+    size: int = 0
+    nlink: int = 1
+    extents: ExtentList = field(default_factory=ExtentList)
+    xattrs: Dict[str, bytes] = field(default_factory=dict)
+    #: which logical CPU's pool/journal owns this inode (WineFS, NOVA)
+    owner_cpu: int = 0
+    #: set when the FS gave this file hugepage-aligned extents (WineFS xattr)
+    aligned_hint: bool = False
+    #: namespace back-pointers (WineFS embeds these in the inode record so
+    #: recovery can rebuild the tree from an inode-table scan)
+    parent_ino: int = 0
+    name: str = ""
+    #: bytes [0, written_hwm) have been written through the FS; beyond it
+    #: lie unwritten (fallocated/sparse) blocks that DAX faults must zero
+    written_hwm: int = 0
+    #: unique per inode *object*: distinguishes recycled inode numbers so
+    #: VFS locks key on the live in-memory inode, as the kernel's do
+    gen: int = 0
+
+    @property
+    def blocks(self) -> int:
+        return self.extents.total_blocks
+
+
+class InodeTable:
+    """A pool of inode numbers with a free list.
+
+    WineFS and NOVA shard this per CPU; ext4/xfs/PMFS keep one table.  The
+    table hands out dense inode numbers from its range and recycles freed
+    ones (recycling is what lets aged file systems reuse inode-table slots
+    in place — WineFS's "controlled fragmentation", §3.4).
+    """
+
+    def __init__(self, first_ino: int, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("inode table needs capacity >= 1")
+        self.first_ino = first_ino
+        self.capacity = capacity
+        self._next = first_ino
+        self._free: List[int] = []
+        self._live: Dict[int, Inode] = {}
+
+    def allocate(self, is_dir: bool = False, owner_cpu: int = 0) -> Inode:
+        if self._free:
+            ino = self._free.pop()
+        elif self._next < self.first_ino + self.capacity:
+            ino = self._next
+            self._next += 1
+        else:
+            raise FSError("inode table exhausted")
+        inode = Inode(ino=ino, is_dir=is_dir, owner_cpu=owner_cpu,
+                      gen=next(_GENERATION))
+        self._live[ino] = inode
+        return inode
+
+    def free(self, ino: int) -> None:
+        if ino not in self._live:
+            raise FSError(f"double free of inode {ino}")
+        del self._live[ino]
+        self._free.append(ino)
+
+    def get(self, ino: int) -> Optional[Inode]:
+        return self._live.get(ino)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._live
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def live_inodes(self) -> List[Inode]:
+        return list(self._live.values())
+
+    @property
+    def free_count(self) -> int:
+        unallocated = self.first_ino + self.capacity - self._next
+        return unallocated + len(self._free)
+
+    def adopt(self, inode: Inode) -> None:
+        """Install a reconstructed inode (crash recovery / remount)."""
+        if inode.ino in self._live:
+            raise FSError(f"inode {inode.ino} already live")
+        if not (self.first_ino <= inode.ino < self.first_ino + self.capacity):
+            raise FSError(f"inode {inode.ino} outside table range")
+        self._live[inode.ino] = inode
+        if inode.ino >= self._next:
+            # mark the skipped range free
+            self._free.extend(range(self._next, inode.ino))
+            self._next = inode.ino + 1
+        elif inode.ino in self._free:
+            self._free.remove(inode.ino)

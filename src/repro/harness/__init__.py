@@ -1,0 +1,20 @@
+"""Experiment harness.
+
+Ties file systems, aging, and workloads together into the paper's
+experiments and prints figure/table-shaped text output.
+
+* :mod:`repro.harness.setup` — build machines, format/age file systems,
+  the strict/relaxed comparison groups of §5.1.
+* :mod:`repro.harness.report` — fixed-width tables and ASCII series
+  (each bench prints "the same rows/series the paper reports").
+"""
+
+from .setup import (FSSpec, ALL_SPECS, SPECS_BY_NAME,
+                    METADATA_GROUP, DATA_GROUP,
+                    make_fs, aged_fs, fresh_fs)
+from .report import Table, format_series, format_cdf
+
+__all__ = ["FSSpec", "ALL_SPECS", "SPECS_BY_NAME",
+           "METADATA_GROUP", "DATA_GROUP",
+           "make_fs", "aged_fs", "fresh_fs",
+           "Table", "format_series", "format_cdf"]

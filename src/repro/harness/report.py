@@ -1,0 +1,91 @@
+"""Text rendering for experiment results: tables, series, and CDFs.
+
+Every bench prints the rows/series of its figure or table through these
+helpers so EXPERIMENTS.md and the bench output stay directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Table:
+    """Fixed-width text table with a title (one per paper table/figure)."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got "
+                             f"{len(values)}")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(title: str, series: Dict[str, List[Tuple[float, float]]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One line per (x, y) point per named series (a figure's line plot)."""
+    lines = [title, f"{'series':16s} {x_label:>10s} {y_label:>14s}"]
+    for name, points in series.items():
+        for x, y in points:
+            lines.append(f"{name:16s} {_fmt(x):>10s} {_fmt(y):>14s}")
+    return "\n".join(lines)
+
+
+def format_cdf(title: str, cdfs: Dict[str, List[Tuple[float, float]]],
+               percentiles: Iterable[float] = (50, 90, 99)) -> str:
+    """Summarize named CDFs at the percentiles the paper annotates."""
+    lines = [title,
+             f"{'series':16s} " + " ".join(f"p{int(p):>2d}(ns)".rjust(12)
+                                           for p in percentiles)]
+    for name, cdf in cdfs.items():
+        cells = []
+        for p in percentiles:
+            target = p / 100.0
+            value = cdf[-1][0]
+            for lat, frac in cdf:
+                if frac >= target:
+                    value = lat
+                    break
+            cells.append(f"{value:12.0f}")
+        lines.append(f"{name:16s} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def speedup(results: Dict[str, float], over: str) -> Dict[str, float]:
+    """Each entry relative to *over* (higher = faster than baseline)."""
+    base = results[over]
+    return {k: (v / base if base else float("inf"))
+            for k, v in results.items()}

@@ -1,0 +1,105 @@
+"""Experiment setup: machines, file systems, aging, comparison groups.
+
+The paper compares two groups (§5.1):
+
+* metadata consistency: ext4-DAX, xfs-DAX, PMFS, NOVA-relaxed, SplitFS,
+  and WineFS in relaxed mode;
+* data + metadata consistency: NOVA, Strata, and WineFS (strict, the
+  default).
+
+Aged experiments use Geriatrix with the Agrawal profile at 75% target
+utilization (§5.1), scaled to the simulated partition size: the paper's
+165TB on 500GB is ~330 partition-volumes; our default churn is
+``churn_multiple`` partition-volumes, which reaches the same qualitative
+fragmentation regime in minutes instead of weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..aging import AGRAWAL, AgingProfile, Geriatrix
+from ..clock import SimContext, make_context
+from ..params import GIB
+from ..pm.device import PMDevice
+from ..vfs.interface import FileSystem
+from ..core.filesystem import WineFS
+from ..fs import Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, XfsDAX
+
+
+@dataclass(frozen=True)
+class FSSpec:
+    """How to construct one evaluated file system."""
+
+    name: str
+    factory: Callable[..., FileSystem]
+    kwargs: tuple = ()
+    data_consistent: bool = False
+    #: PMFS "takes weeks to age" (§5.1) — the paper uses it un-aged
+    ageable: bool = True
+
+    def build(self, device: PMDevice, num_cpus: int,
+              track_data: bool = False) -> FileSystem:
+        return self.factory(device, num_cpus=num_cpus,
+                            track_data=track_data, **dict(self.kwargs))
+
+
+ALL_SPECS: List[FSSpec] = [
+    FSSpec("WineFS", WineFS, (("mode", "strict"),), data_consistent=True),
+    FSSpec("WineFS-relaxed", WineFS, (("mode", "relaxed"),)),
+    FSSpec("NOVA", NovaFS, (("mode", "strict"),), data_consistent=True),
+    FSSpec("NOVA-relaxed", NovaFS, (("mode", "relaxed"),)),
+    FSSpec("ext4-DAX", Ext4DAX),
+    FSSpec("xfs-DAX", XfsDAX),
+    FSSpec("PMFS", PMFS, ageable=False),
+    FSSpec("SplitFS", SplitFS),
+    FSSpec("Strata", StrataFS, data_consistent=True),
+]
+
+SPECS_BY_NAME: Dict[str, FSSpec] = {s.name: s for s in ALL_SPECS}
+
+#: §5.1 comparison groups
+METADATA_GROUP = ["ext4-DAX", "xfs-DAX", "PMFS", "NOVA-relaxed", "SplitFS",
+                  "WineFS-relaxed"]
+DATA_GROUP = ["NOVA", "Strata", "WineFS"]
+
+
+def make_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
+            track_data: bool = False
+            ) -> Tuple[FileSystem, SimContext]:
+    """Build + mkfs one named file system on a fresh machine."""
+    spec = SPECS_BY_NAME[name]
+    size = int(size_gib * GIB)
+    device = PMDevice(size)
+    fs = spec.build(device, num_cpus, track_data=track_data)
+    ctx = make_context(num_cpus)
+    fs.mkfs(ctx)
+    return fs, ctx
+
+
+def fresh_fs(name: str, **kwargs) -> Tuple[FileSystem, SimContext]:
+    """Alias of make_fs: a newly created (un-aged) file system."""
+    return make_fs(name, **kwargs)
+
+
+def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
+            utilization: float = 0.75, churn_multiple: float = 10.0,
+            profile: AgingProfile = AGRAWAL, seed: int = 7,
+            track_data: bool = False
+            ) -> Tuple[FileSystem, SimContext]:
+    """Build, format and age one named file system (§5.1 setup).
+
+    PMFS is returned clean — the paper does the same because PMFS cannot
+    complete the aging run; its clean numbers are an upper bound.
+    """
+    fs, ctx = make_fs(name, size_gib=size_gib, num_cpus=num_cpus,
+                      track_data=track_data)
+    spec = SPECS_BY_NAME[name]
+    if spec.ageable:
+        ager = Geriatrix(fs, profile, target_utilization=utilization,
+                         seed=seed)
+        ager.age(ctx, write_volume=int(churn_multiple * size_gib * GIB))
+    # the aging time is setup, not measurement: reset the clocks
+    ctx.clock.reset()
+    return fs, ctx

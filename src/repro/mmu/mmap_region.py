@@ -1,0 +1,304 @@
+"""Memory-mapped regions.
+
+A :class:`MappedRegion` is what an application gets back from ``mmap()`` on
+a simulated file system: a window of virtual address space backed by the
+file's physical extents.  Accessing it triggers the full hardware pipeline:
+
+1. page fault on first touch of an unmapped page (4KB or 2MB, depending on
+   whether the backing extent is hugepage-aligned and contiguous);
+2. TLB lookup per touched page on every access;
+3. on a 4KB TLB miss, a page walk that pollutes the LLC (Fig 4 effect);
+4. the data copy itself at PM bandwidth.
+
+All costs are charged to the caller's :class:`~repro.clock.SimContext` and
+counted in its :class:`~repro.clock.EventCounters`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..clock import SimContext
+from ..errors import InvalidArgumentError, SimulationError
+from ..params import BASE_PAGE, HUGE_PAGE, MachineParams
+from ..pm.device import PMDevice
+from ..structures.extents import ExtentList, Extent
+from .cache import CacheModel
+from .page_table import PageTable
+from .tlb import TLB
+
+_PAGES_PER_HUGE = HUGE_PAGE // BASE_PAGE
+_next_region_id = [0]
+
+
+class MappedRegion:
+    """One mmap of one file.
+
+    Parameters
+    ----------
+    device, machine:
+        The PM device and its cost model.
+    extents:
+        The file's physical block map at mmap time.  File systems hand this
+        out; a region sees a *snapshot* (remapping after file growth
+        requires a fresh mmap, as with real ``mmap``).
+    block_size:
+        FS block size in bytes (4KB everywhere in this repro).
+    tlb, cache:
+        Shared TLB/LLC models.  Pass the same instances across regions to
+        model one core's hardware; defaults create private ones.
+    fault_zero_fill:
+        True if this file system zeroes pages inside the fault handler
+        (ext4-DAX behaviour, §5.4 PmemKV discussion); False if allocation
+        time already zeroed them (NOVA behaviour).
+    track_data:
+        When True, reads/writes move real bytes through the PM device;
+        when False only costs and counters are produced (large benches).
+    """
+
+    def __init__(self, device: PMDevice, machine: MachineParams,
+                 extents: ExtentList, length: int, block_size: int,
+                 tlb: Optional[TLB] = None, cache: Optional[CacheModel] = None,
+                 fault_zero_fill: bool = False, track_data: bool = True) -> None:
+        if length <= 0:
+            raise InvalidArgumentError("mmap length must be positive")
+        if extents.total_blocks * block_size < length:
+            raise InvalidArgumentError(
+                f"extents cover {extents.total_blocks * block_size} bytes, "
+                f"cannot map {length}")
+        self.device = device
+        self.machine = machine
+        self.extents = extents
+        self.length = length
+        self.block_size = block_size
+        self.page_table = PageTable()
+        self.tlb = tlb if tlb is not None else TLB(machine.tlb_4k_entries,
+                                                   machine.tlb_2m_entries)
+        self.cache = cache
+        self.fault_zero_fill = fault_zero_fill
+        self.track_data = track_data
+        self.region_id = _next_region_id[0]
+        _next_region_id[0] += 1
+        self._blocks_per_page = BASE_PAGE // block_size if block_size < BASE_PAGE else 1
+
+    # -- fault handling -----------------------------------------------------------
+
+    def _phys_of_virt_page(self, virt_page: int) -> int:
+        """Physical byte address backing a virtual 4KB page."""
+        logical_block = virt_page * (BASE_PAGE // self.block_size)
+        return self.extents.physical_block(logical_block) * self.block_size
+
+    def _can_map_huge(self, virt_page: int) -> bool:
+        """A 2MB mapping needs virtual & physical 2MB alignment and 512
+        physically contiguous blocks (paper §2.2)."""
+        if virt_page % _PAGES_PER_HUGE:
+            return False
+        huge_start = virt_page - (virt_page % _PAGES_PER_HUGE)
+        if (huge_start + _PAGES_PER_HUGE) * BASE_PAGE > self.length:
+            return False
+        base_phys = self._phys_of_virt_page(huge_start)
+        if base_phys % HUGE_PAGE:
+            return False
+        # contiguity: every covered page must be at the expected offset
+        logical0 = huge_start * (BASE_PAGE // self.block_size)
+        blocks_needed = HUGE_PAGE // self.block_size
+        try:
+            runs = self.extents.slice_logical(logical0, blocks_needed)
+        except IndexError:
+            return False
+        return len(runs) == 1
+
+    def fault(self, virt_page: int, ctx: SimContext) -> bool:
+        """Handle a page fault at *virt_page*; returns True if huge.
+
+        Mirrors the kernel DAX fault path: try a PMD (2MB) mapping first,
+        fall back to a PTE (4KB) mapping.
+        """
+        huge_base = virt_page - (virt_page % _PAGES_PER_HUGE)
+        if self._can_map_huge(huge_base) and not any(
+                self.page_table.lookup(p) is not None
+                for p in range(huge_base, huge_base + _PAGES_PER_HUGE)):
+            # (a PMD install is only possible when no PTE in the range is
+            # already populated — otherwise the kernel falls back to 4KB)
+            phys = self._phys_of_virt_page(huge_base)
+            self.page_table.install_huge(huge_base, phys)
+            ns = self.machine.fault_huge_ns
+            if self.fault_zero_fill and self._page_unwritten(huge_base):
+                ns += self.machine.pm_write_ns(HUGE_PAGE) * self.machine.fault_zero_page_mult
+            ctx.charge(ns)
+            ctx.counters.page_faults_2m += 1
+            ctx.counters.fault_ns += ns
+            return True
+        phys = self._phys_of_virt_page(virt_page)
+        self.page_table.install_base(virt_page, phys)
+        ns = self.machine.fault_base_ns
+        if self.fault_zero_fill and self._page_unwritten(virt_page):
+            ns += self.machine.pm_write_ns(BASE_PAGE) * self.machine.fault_zero_page_mult
+        ctx.charge(ns)
+        ctx.counters.page_faults_4k += 1
+        ctx.counters.fault_ns += ns
+        return False
+
+    def _page_unwritten(self, virt_page: int) -> bool:
+        """Does this page lie beyond the file's written bytes?
+
+        DAX file systems only zero *unwritten* (fallocated or demand-
+        allocated) extents inside the fault handler; populated file
+        contents are mapped as-is.  The base region has no file, so it
+        treats everything as unwritten.
+        """
+        return True
+
+    def prefault(self, ctx: SimContext) -> None:
+        """Touch every page once (MAP_POPULATE / application warm-up)."""
+        page = 0
+        total_pages = (self.length + BASE_PAGE - 1) // BASE_PAGE
+        while page < total_pages:
+            if not self.page_table.is_mapped(page):
+                huge = self.fault(page, ctx)
+                page += _PAGES_PER_HUGE if huge else 1
+            else:
+                m = self.page_table.lookup(page)
+                page += m.span_pages if m else 1
+
+    # -- TLB/walk accounting ----------------------------------------------------------
+
+    def _touch_translation(self, virt_page: int, ctx: SimContext) -> None:
+        m = self.page_table.lookup(virt_page)
+        if m is None:
+            self.fault(virt_page, ctx)
+            m = self.page_table.lookup(virt_page)
+            assert m is not None
+        key_page = m.virt_page if m.huge else virt_page
+        hit = self.tlb.access(self.region_id, key_page, m.huge)
+        if hit:
+            ctx.counters.tlb_hits += 1
+            ctx.charge(self.machine.tlb_hit_ns)
+        else:
+            ctx.counters.tlb_misses += 1
+            ctx.charge(self.machine.page_walk_ns)
+            if self.cache is not None and not m.huge:
+                # a 4-level walk caches PTE lines, evicting hot data (Fig 4)
+                self.cache.pollute()
+
+    def _walk_pages(self, offset: int, size: int, ctx: SimContext) -> None:
+        first = offset // BASE_PAGE
+        last = (offset + size - 1) // BASE_PAGE
+        page = first
+        while page <= last:
+            self._touch_translation(page, ctx)
+            m = self.page_table.lookup(page)
+            assert m is not None
+            if m.huge:
+                page = m.virt_page + _PAGES_PER_HUGE
+            else:
+                page += 1
+
+    # -- data access -----------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.length:
+            raise InvalidArgumentError(
+                f"access [{offset}, +{size}) outside mapping of {self.length}")
+
+    def read(self, offset: int, size: int, ctx: SimContext) -> bytes:
+        """memcpy out of the mapping."""
+        self._check_range(offset, size)
+        if size == 0:
+            return b""
+        self._walk_pages(offset, size, ctx)
+        ns = self.machine.pm_read_ns(size)
+        ctx.charge(ns)
+        ctx.counters.copy_ns += ns
+        ctx.counters.pm_bytes_read += size
+        if not self.track_data:
+            return b"\x00" * size
+        return self._copy_out(offset, size, ctx)
+
+    def write(self, offset: int, data: bytes, ctx: SimContext) -> None:
+        """memcpy into the mapping (non-temporal stores + fence)."""
+        self._check_range(offset, len(data))
+        if not data:
+            return
+        self._walk_pages(offset, len(data), ctx)
+        ns = self.machine.pm_write_ns(len(data)) + self.machine.sfence_ns
+        ctx.charge(ns)
+        ctx.counters.copy_ns += ns
+        ctx.counters.pm_bytes_written += len(data)
+        if self.track_data:
+            self._copy_in(offset, data)
+
+    def read_element(self, offset: int, ctx: SimContext) -> float:
+        """One dependent 64B load (the Fig 4 / Fig 8 pointer-chase probe).
+
+        Returns the access latency in ns (also charged to the context).
+        """
+        self._check_range(offset, 1)
+        before = ctx.now
+        self._touch_translation(offset // BASE_PAGE, ctx)
+        if self.cache is not None:
+            hit = self.cache.access_hot_line()
+            lat = self.cache.access_latency_ns(hit)
+            if hit:
+                ctx.counters.llc_hits += 1
+            else:
+                ctx.counters.llc_misses += 1
+        else:
+            lat = self.machine.pm_load_ns
+            ctx.counters.llc_misses += 1
+        ctx.charge(lat)
+        return ctx.now - before
+
+    # -- raw data movement helpers ----------------------------------------------------
+
+    def _segments(self, offset: int, size: int) -> List[Tuple[int, int]]:
+        """(physical address, length) runs covering [offset, +size)."""
+        out: List[Tuple[int, int]] = []
+        pos = offset
+        end = offset + size
+        while pos < end:
+            block = pos // self.block_size
+            within = pos % self.block_size
+            phys_block = self.extents.physical_block(block)
+            take = min(self.block_size - within, end - pos)
+            out.append((phys_block * self.block_size + within, take))
+            pos += take
+        # merge physically adjacent runs
+        merged: List[Tuple[int, int]] = []
+        for addr, ln in out:
+            if merged and merged[-1][0] + merged[-1][1] == addr:
+                merged[-1] = (merged[-1][0], merged[-1][1] + ln)
+            else:
+                merged.append((addr, ln))
+        return merged
+
+    def _copy_out(self, offset: int, size: int, ctx: SimContext) -> bytes:
+        chunks = []
+        for addr, ln in self._segments(offset, size):
+            chunks.append(self.device.load(addr, ln))
+        return b"".join(chunks)
+
+    def _copy_in(self, offset: int, data: bytes) -> None:
+        pos = 0
+        for addr, ln in self._segments(offset, len(data)):
+            self.device.store(addr, data[pos:pos + ln])
+            self.device.clwb(addr, ln)
+            pos += ln
+        self.device.sfence()
+
+    # -- metrics -------------------------------------------------------------------------
+
+    @property
+    def hugepage_fraction(self) -> float:
+        """Fraction of the mapping currently covered by 2MB mappings."""
+        total_pages = (self.length + BASE_PAGE - 1) // BASE_PAGE
+        return self.page_table.hugepage_fraction(total_pages)
+
+    def mappable_hugepages(self) -> int:
+        return self.extents.mappable_hugepages()
+
+    def unmap(self) -> int:
+        """Tear down; returns number of TLB entries shot down."""
+        dropped = self.tlb.invalidate_region(self.region_id)
+        self.page_table.unmap_all()
+        return dropped

@@ -1,0 +1,121 @@
+"""Page tables with mixed 4KB and 2MB mappings.
+
+A :class:`PageTable` maps virtual page numbers of one mmap region to
+physical PM addresses.  Mappings are installed by page faults (see
+:class:`~repro.mmu.mmap_region.MappedRegion`); a 2MB mapping is installed
+only when the backing extent is physically hugepage-aligned and contiguous,
+per paper §2.2 ("Even a single byte offset from alignment forces the
+operating system to fall back to base pages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import SimulationError
+from ..params import BASE_PAGE, HUGE_PAGE
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One installed translation."""
+
+    virt_page: int        # virtual page number in units of BASE_PAGE
+    phys_addr: int        # physical PM byte address of the mapping start
+    huge: bool            # True for a 2MB mapping
+
+    @property
+    def span_pages(self) -> int:
+        return HUGE_PAGE // BASE_PAGE if self.huge else 1
+
+
+class PageTable:
+    """Per-region page table.
+
+    Keyed by 4KB virtual page number.  A huge mapping occupies a single PMD
+    entry; we index it by its first 4KB page and keep a secondary map so any
+    of its 512 covered pages resolves to it.
+    """
+
+    def __init__(self) -> None:
+        self._base: Dict[int, Mapping] = {}
+        self._huge: Dict[int, Mapping] = {}   # keyed by huge-page index
+        self.installed_4k = 0
+        self.installed_2m = 0
+
+    @staticmethod
+    def _huge_index(virt_page: int) -> int:
+        return virt_page // (HUGE_PAGE // BASE_PAGE)
+
+    def lookup(self, virt_page: int) -> Optional[Mapping]:
+        m = self._huge.get(self._huge_index(virt_page))
+        if m is not None:
+            return m
+        return self._base.get(virt_page)
+
+    def is_mapped(self, virt_page: int) -> bool:
+        return self.lookup(virt_page) is not None
+
+    def install_base(self, virt_page: int, phys_addr: int) -> Mapping:
+        if self._huge_index(virt_page) in self._huge:
+            raise SimulationError(f"page {virt_page} already covered by a "
+                                  "huge mapping")
+        if virt_page in self._base:
+            raise SimulationError(f"page {virt_page} already mapped")
+        if phys_addr % BASE_PAGE:
+            raise SimulationError("physical address not page-aligned")
+        m = Mapping(virt_page, phys_addr, huge=False)
+        self._base[virt_page] = m
+        self.installed_4k += 1
+        return m
+
+    def install_huge(self, virt_page: int, phys_addr: int) -> Mapping:
+        pages_per_huge = HUGE_PAGE // BASE_PAGE
+        if virt_page % pages_per_huge:
+            raise SimulationError("huge mapping must start on a 2MB virtual "
+                                  "boundary")
+        if phys_addr % HUGE_PAGE:
+            raise SimulationError("huge mapping needs a 2MB-aligned physical "
+                                  "address")
+        idx = self._huge_index(virt_page)
+        if idx in self._huge:
+            raise SimulationError(f"huge page {idx} already mapped")
+        for vp in range(virt_page, virt_page + pages_per_huge):
+            if vp in self._base:
+                raise SimulationError(f"base page {vp} already mapped inside "
+                                      "prospective huge range")
+        m = Mapping(virt_page, phys_addr, huge=True)
+        self._huge[idx] = m
+        self.installed_2m += 1
+        return m
+
+    def unmap_all(self) -> None:
+        self._base.clear()
+        self._huge.clear()
+
+    def translate(self, virt_addr: int) -> int:
+        """Virtual byte offset within the region -> physical PM address."""
+        virt_page = virt_addr // BASE_PAGE
+        m = self.lookup(virt_page)
+        if m is None:
+            raise SimulationError(f"address {virt_addr:#x} not mapped")
+        if m.huge:
+            base_virt = m.virt_page * BASE_PAGE
+            return m.phys_addr + (virt_addr - base_virt)
+        return m.phys_addr + (virt_addr % BASE_PAGE)
+
+    @property
+    def mapped_pages_4k(self) -> int:
+        return len(self._base)
+
+    @property
+    def mapped_pages_2m(self) -> int:
+        return len(self._huge)
+
+    def hugepage_fraction(self, total_pages: int) -> float:
+        """Fraction of mapped 4KB-page-equivalents covered by hugepages."""
+        if total_pages <= 0:
+            raise SimulationError("total_pages must be positive")
+        covered = len(self._huge) * (HUGE_PAGE // BASE_PAGE)
+        return covered / total_pages

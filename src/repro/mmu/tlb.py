@@ -1,0 +1,72 @@
+"""TLB model.
+
+A fully-associative-per-size LRU TLB with separate capacity for 4KB and 2MB
+entries (modern STLBs share capacity; a split model keeps the reach math
+transparent).  The decisive property for the paper's results is *reach*:
+1536 4KB entries cover 6MB of address space while 1024 2MB entries cover
+2GB, so a large working set thrashes the 4KB TLB but fits entirely in the
+2MB TLB.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from ..errors import SimulationError
+
+
+class TLB:
+    """LRU TLB keyed by (region id, page number, huge?)."""
+
+    def __init__(self, entries_4k: int, entries_2m: int) -> None:
+        if entries_4k < 1 or entries_2m < 1:
+            raise SimulationError("TLB needs at least one entry per size")
+        self._cap_4k = entries_4k
+        self._cap_2m = entries_2m
+        self._map_4k: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._map_2m: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, region_id: int, page_no: int, huge: bool) -> bool:
+        """Look up a translation; returns True on hit.
+
+        On a miss the translation is installed (the walk result), evicting
+        the LRU entry if at capacity.
+        """
+        table = self._map_2m if huge else self._map_4k
+        cap = self._cap_2m if huge else self._cap_4k
+        key = (region_id, page_no)
+        if key in table:
+            table.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        table[key] = None
+        if len(table) > cap:
+            table.popitem(last=False)
+        return False
+
+    def invalidate_region(self, region_id: int) -> int:
+        """TLB shootdown for one region; returns entries dropped."""
+        dropped = 0
+        for table in (self._map_4k, self._map_2m):
+            stale = [k for k in table if k[0] == region_id]
+            for k in stale:
+                del table[k]
+            dropped += len(stale)
+        return dropped
+
+    def flush(self) -> None:
+        self._map_4k.clear()
+        self._map_2m.clear()
+
+    @property
+    def occupancy(self) -> Tuple[int, int]:
+        return len(self._map_4k), len(self._map_2m)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,13 @@
+"""Simulated persistent-memory device.
+
+* :mod:`repro.pm.device` — the PM address space: sparse byte store, a
+  persistence log of stores/flushes/fences for crash-state enumeration, and
+  the latency/bandwidth cost model from :mod:`repro.params`.
+* :mod:`repro.pm.numa` — NUMA topology: which address ranges and CPUs live
+  on which socket, with remote-access penalties.
+"""
+
+from .device import PMDevice, StoreRecord
+from .numa import NumaTopology
+
+__all__ = ["PMDevice", "StoreRecord", "NumaTopology"]

@@ -1,0 +1,362 @@
+"""The persistent-memory device.
+
+Design
+------
+The device is a byte-addressable address space backed by a *sparse* store
+(dict of 4KB-page buffers): aging benches churn hundreds of gigabytes of
+allocator metadata without ever materializing data pages, while correctness
+tests read back exactly what they wrote.
+
+Persistence semantics follow x86 + Optane: a ``store`` lands in the (volatile)
+CPU cache; ``clwb`` schedules its cacheline for write-back; ``sfence`` orders
+previously flushed lines, making them durable.  The device keeps an ordered
+log of stores with flush/fence markers so the crash explorer
+(:mod:`repro.crashmon`) can enumerate exactly the states CrashMonkey would:
+persisted-prefix + any subset of in-flight (unfenced) stores.
+
+Costs are charged to the :class:`~repro.clock.SimContext` of the caller using
+the :class:`~repro.params.MachineParams` ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..clock import SimContext
+from ..errors import PMError
+from ..params import CACHELINE, BASE_PAGE, DEFAULT_MACHINE, MachineParams
+from .numa import NumaTopology
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One logged store: bytes written to [addr, addr+len) at seq order."""
+
+    seq: int
+    addr: int
+    data: bytes
+    flushed: bool = False   # a clwb has been issued for this store's lines
+    fenced: bool = False    # an sfence has made it durable
+
+
+class _SparsePages:
+    """Sparse byte store over the PM address space."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._pages: Dict[int, bytearray] = {}
+
+    def read(self, addr: int, length: int) -> bytes:
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page_no, off = divmod(addr + pos, BASE_PAGE)
+            take = min(BASE_PAGE - off, length - pos)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos:pos + take] = page[off:off + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page_no, off = divmod(addr + pos, BASE_PAGE)
+            take = min(BASE_PAGE - off, len(data) - pos)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(BASE_PAGE)
+                self._pages[page_no] = page
+            page[off:off + take] = data[pos:pos + take]
+            pos += take
+
+    def materialized_bytes(self) -> int:
+        return len(self._pages) * BASE_PAGE
+
+    def clone(self) -> "_SparsePages":
+        out = _SparsePages(self._size)
+        out._pages = {k: bytearray(v) for k, v in self._pages.items()}
+        return out
+
+
+class PMDevice:
+    """A simulated Optane PM module (or interleaved set of them).
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes; must be hugepage-aligned for the file systems.
+    machine:
+        Cost model; defaults to the paper-derived :data:`DEFAULT_MACHINE`.
+    topology:
+        Optional NUMA layout.  ``None`` means single-node (every access
+        local), matching the paper's single-socket evaluation (§5.1).
+    track_stores:
+        When True, every store is logged for crash-state enumeration.  Off
+        by default because aging benches issue millions of stores.
+    """
+
+    def __init__(self, size: int, machine: MachineParams = DEFAULT_MACHINE,
+                 topology: Optional[NumaTopology] = None,
+                 track_stores: bool = False) -> None:
+        if size <= 0 or size % BASE_PAGE:
+            raise PMError("PM size must be a positive multiple of 4KB")
+        self.size = size
+        self.machine = machine
+        self.topology = topology
+        self._store = _SparsePages(size)
+        self.track_stores = track_stores
+        # without store tracking there is no crash-state enumeration, so
+        # dirty-line bookkeeping is pure overhead: every store is treated
+        # as immediately durable and only costs are charged
+        self._fast = not track_stores
+        self._log: List[StoreRecord] = []
+        self._seq = 0
+        # lines stored but not yet flushed / flushed but not yet fenced
+        self._dirty_lines: Set[int] = set()
+        self._flushed_pending: Set[int] = set()
+        # durable image, maintained only when tracking stores
+        self._durable: Optional[_SparsePages] = _SparsePages(size) if track_stores else None
+        self.bytes_written = 0
+        self.bytes_read = 0
+        # epoch capture (CrashMonkey mid-operation crash points)
+        self._capturing = False
+        self._capture_base: Optional[_SparsePages] = None
+        self._capture_records: Dict[int, Tuple[int, bytes]] = {}
+        self._capture_epoch_of: Dict[int, Optional[int]] = {}
+        self._capture_epoch = 0
+
+    # -- bounds ------------------------------------------------------------------
+
+    def _check(self, addr: int, length: int) -> None:
+        if length < 0 or addr < 0 or addr + length > self.size:
+            raise PMError(f"access [{addr:#x}, +{length}) outside device "
+                          f"of size {self.size:#x}")
+
+    def _is_remote(self, ctx: Optional[SimContext], addr: int) -> bool:
+        if ctx is None or self.topology is None:
+            return False
+        return self.topology.is_remote(ctx.cpu, addr)
+
+    # -- data path ----------------------------------------------------------------
+
+    def load(self, addr: int, length: int, ctx: Optional[SimContext] = None) -> bytes:
+        """Read bytes; charges streaming read bandwidth + one load latency."""
+        self._check(addr, length)
+        self.bytes_read += length
+        if ctx is not None:
+            remote = self._is_remote(ctx, addr)
+            ns = self.machine.pm_load_ns + self.machine.pm_read_ns(length, remote)
+            ctx.charge(ns)
+            ctx.counters.pm_bytes_read += length
+        return self._store.read(addr, length)
+
+    def store(self, addr: int, data: bytes, ctx: Optional[SimContext] = None) -> None:
+        """Write bytes into the (volatile) cache tier of the device."""
+        self._check(addr, len(data))
+        if not data:
+            return
+        self._store.write(addr, data)
+        self.bytes_written += len(data)
+        if ctx is not None:
+            remote = self._is_remote(ctx, addr)
+            ctx.charge(self.machine.pm_write_ns(len(data), remote))
+            ctx.counters.pm_bytes_written += len(data)
+        if self._fast:
+            return
+        first = addr // CACHELINE
+        last = (addr + len(data) - 1) // CACHELINE
+        self._dirty_lines.update(range(first, last + 1))
+        if self.track_stores:
+            self._log.append(StoreRecord(self._seq, addr, bytes(data)))
+            if self._capturing:
+                self._capture_records[self._seq] = (addr, bytes(data))
+                self._capture_epoch_of[self._seq] = None
+            self._seq += 1
+
+    def clwb(self, addr: int, length: int, ctx: Optional[SimContext] = None) -> None:
+        """Issue write-backs for every cacheline in [addr, addr+length)."""
+        self._check(addr, length)
+        if length == 0:
+            return
+        first = addr // CACHELINE
+        last = (addr + length - 1) // CACHELINE
+        lines = range(first, last + 1)
+        if ctx is not None:
+            ctx.charge(len(lines) * self.machine.clwb_ns)
+        if self._fast:
+            return
+        for line in lines:
+            if line in self._dirty_lines:
+                self._dirty_lines.discard(line)
+                self._flushed_pending.add(line)
+        if self.track_stores:
+            self._log = [
+                rec if not self._overlaps_lines(rec, first, last) or rec.flushed
+                else StoreRecord(rec.seq, rec.addr, rec.data, flushed=True)
+                for rec in self._log
+            ]
+
+    def sfence(self, ctx: Optional[SimContext] = None) -> None:
+        """Order flushed lines: everything clwb'ed so far becomes durable."""
+        if ctx is not None:
+            ctx.charge(self.machine.sfence_ns)
+        if self._fast:
+            return
+        self._flushed_pending.clear()
+        if self.track_stores:
+            new_log: List[StoreRecord] = []
+            fenced_any = False
+            for rec in self._log:
+                if rec.flushed and not rec.fenced:
+                    rec = StoreRecord(rec.seq, rec.addr, rec.data,
+                                      flushed=True, fenced=True)
+                    if self._capturing and rec.seq in self._capture_epoch_of:
+                        self._capture_epoch_of[rec.seq] = self._capture_epoch
+                        fenced_any = True
+                if rec.fenced:
+                    assert self._durable is not None
+                    self._durable.write(rec.addr, rec.data)
+                else:
+                    new_log.append(rec)
+            # durable records are folded into the durable image and dropped
+            self._log = new_log
+            if self._capturing and fenced_any:
+                self._capture_epoch += 1
+
+    def persist(self, addr: int, data: bytes, ctx: Optional[SimContext] = None) -> None:
+        """store + clwb + sfence in one call (the common durable-write path)."""
+        self.store(addr, data, ctx)
+        self.clwb(addr, len(data), ctx)
+        self.sfence(ctx)
+
+    @staticmethod
+    def _overlaps_lines(rec: StoreRecord, first: int, last: int) -> bool:
+        rfirst = rec.addr // CACHELINE
+        rlast = (rec.addr + len(rec.data) - 1) // CACHELINE
+        return rfirst <= last and first <= rlast
+
+    # -- crash support -----------------------------------------------------------
+
+    def start_capture(self) -> None:
+        """Begin recording fence epochs for mid-operation crash points.
+
+        Everything pending is drained first: the capture baseline is the
+        durable image at the moment of the call.  Until ``end_capture``,
+        every store is remembered along with the fence epoch that made it
+        durable (None = still in flight at capture end).
+        """
+        if not self.track_stores:
+            raise PMError("store tracking is disabled on this device")
+        self.drain()
+        assert self._durable is not None
+        self._capture_base = self._durable.clone()
+        self._capture_records = {}
+        self._capture_epoch_of = {}
+        self._capture_epoch = 0
+        self._capturing = True
+
+    def end_capture(self) -> List[Tuple[Optional[int], List[int]]]:
+        """Stop capturing; returns [(epoch, [seq, ...]), ...] in order.
+
+        Each entry is one crash point: the stores fenced together at that
+        epoch (epoch None groups stores never fenced during the capture).
+        """
+        self._capturing = False
+        groups: Dict[Optional[int], List[int]] = {}
+        for seq, epoch in self._capture_epoch_of.items():
+            groups.setdefault(epoch, []).append(seq)
+        numbered = sorted((e for e in groups if e is not None))
+        out: List[Tuple[Optional[int], List[int]]] = [
+            (e, sorted(groups[e])) for e in numbered]
+        if None in groups:
+            out.append((None, sorted(groups[None])))
+        return out
+
+    def capture_crash_image(self, epoch: Optional[int],
+                            surviving: Iterable[int]) -> "PMDevice":
+        """Crash image at the instant *before* fence *epoch* retired.
+
+        All stores fenced in earlier epochs are durable; *surviving* is the
+        subset of that epoch's (or, for epoch None, the never-fenced)
+        stores that happened to reach media anyway.
+        """
+        if self._capture_base is None:
+            raise PMError("no capture in progress or completed")
+        survivors = set(surviving)
+        image = PMDevice(self.size, self.machine, self.topology,
+                         track_stores=True)
+        image._store = self._capture_base.clone()
+        for seq in sorted(self._capture_records):
+            addr, data = self._capture_records[seq]
+            rec_epoch = self._capture_epoch_of.get(seq)
+            durable_before = (rec_epoch is not None and epoch is not None
+                              and rec_epoch < epoch)
+            if epoch is None:
+                durable_before = rec_epoch is not None
+            if durable_before or seq in survivors:
+                image._store.write(addr, data)
+        assert image._durable is not None
+        image._durable = image._store.clone()
+        return image
+
+    def in_flight_stores(self) -> List[StoreRecord]:
+        """Stores that are not yet guaranteed durable (no fence covers them)."""
+        if not self.track_stores:
+            raise PMError("store tracking is disabled on this device")
+        return [rec for rec in self._log if not rec.fenced]
+
+    def crash_image(self, surviving: Iterable[int] = ()) -> "PMDevice":
+        """The device as it would look after a crash.
+
+        *surviving* is a set of in-flight store sequence numbers that happen
+        to have reached the media before power was lost (CrashMonkey's
+        reordering model: any subset of unfenced stores may survive).
+        """
+        if not self.track_stores:
+            raise PMError("store tracking is disabled on this device")
+        assert self._durable is not None
+        survivors = set(surviving)
+        unknown = survivors - {rec.seq for rec in self._log}
+        if unknown:
+            raise PMError(f"unknown in-flight store seqs: {sorted(unknown)}")
+        image = PMDevice(self.size, self.machine, self.topology,
+                         track_stores=True)
+        image._store = self._durable.clone()
+        for rec in sorted(self._log, key=lambda r: r.seq):
+            if rec.seq in survivors:
+                image._store.write(rec.addr, rec.data)
+        assert image._durable is not None
+        image._durable = image._store.clone()
+        return image
+
+    def clone(self) -> "PMDevice":
+        """Deep copy (for checkers that mutate state during verification)."""
+        out = PMDevice(self.size, self.machine, self.topology,
+                       track_stores=self.track_stores)
+        out._store = self._store.clone()
+        out._log = list(self._log)
+        out._seq = self._seq
+        out._dirty_lines = set(self._dirty_lines)
+        out._flushed_pending = set(self._flushed_pending)
+        if self._durable is not None:
+            out._durable = self._durable.clone()
+        out.bytes_written = self.bytes_written
+        out.bytes_read = self.bytes_read
+        return out
+
+    def drain(self) -> None:
+        """Flush + fence everything dirty (clean unmount / power-safe)."""
+        if self._fast:
+            return
+        # flush at page granularity over all dirty lines
+        lines = sorted(self._dirty_lines)
+        for line in lines:
+            self.clwb(line * CACHELINE, CACHELINE)
+        self.sfence()
+
+    @property
+    def materialized_bytes(self) -> int:
+        """How much backing memory the sparse store actually uses."""
+        return self._store.materialized_bytes()

@@ -1,0 +1,247 @@
+"""Extent arithmetic.
+
+An extent is a run of contiguous 4KB blocks, identified by its starting
+block number and length in blocks.  Alignment throughout the library means
+*hugepage alignment*: an extent can back a 2MB mapping only if it starts on
+a 512-block boundary and covers at least 512 blocks (paper §2.2: "the
+underlying file must be placed on 2MB aligned physical blocks and must not
+be fragmented").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from ..params import BLOCKS_PER_HUGEPAGE
+
+
+def align_down(block: int, alignment: int = BLOCKS_PER_HUGEPAGE) -> int:
+    return block - (block % alignment)
+
+
+def align_up(block: int, alignment: int = BLOCKS_PER_HUGEPAGE) -> int:
+    return (block + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A contiguous run of blocks: [start, start + length)."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(f"invalid extent ({self.start}, {self.length})")
+
+    @property
+    def end(self) -> int:
+        """One past the last block."""
+        return self.start + self.length
+
+    @property
+    def is_hugepage_aligned(self) -> bool:
+        """True if this extent starts on a hugepage boundary and spans one."""
+        return (self.start % BLOCKS_PER_HUGEPAGE == 0
+                and self.length >= BLOCKS_PER_HUGEPAGE)
+
+    def hugepage_runs(self) -> int:
+        """How many whole aligned hugepages fit inside this extent."""
+        first = align_up(self.start)
+        last = align_down(self.end)
+        return max(0, (last - first) // BLOCKS_PER_HUGEPAGE)
+
+    def contains(self, block: int) -> bool:
+        return self.start <= block < self.end
+
+    def overlaps(self, other: "Extent") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def adjacent_to(self, other: "Extent") -> bool:
+        return self.end == other.start or other.end == self.start
+
+    def split_at(self, block: int) -> Tuple["Extent", "Extent"]:
+        """Split into [start, block) and [block, end)."""
+        if not self.start < block < self.end:
+            raise ValueError(f"split point {block} outside {self}")
+        return (Extent(self.start, block - self.start),
+                Extent(block, self.end - block))
+
+    def take(self, nblocks: int, from_end: bool = False) -> Tuple["Extent", "Extent | None"]:
+        """Carve *nblocks* off this extent; returns (taken, remainder)."""
+        if not 0 < nblocks <= self.length:
+            raise ValueError(f"cannot take {nblocks} from {self}")
+        if nblocks == self.length:
+            return self, None
+        if from_end:
+            return (Extent(self.end - nblocks, nblocks),
+                    Extent(self.start, self.length - nblocks))
+        return (Extent(self.start, nblocks),
+                Extent(self.start + nblocks, self.length - nblocks))
+
+    def merge(self, other: "Extent") -> "Extent":
+        if not self.adjacent_to(other):
+            raise ValueError(f"{self} and {other} are not adjacent")
+        start = min(self.start, other.start)
+        return Extent(start, self.length + other.length)
+
+    def blocks(self) -> Iterator[int]:
+        return iter(range(self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"Extent({self.start}, +{self.length})"
+
+
+class ExtentList:
+    """An ordered, non-overlapping list of extents (a file's block map).
+
+    Supports append, truncate, lookup by logical block, and fragmentation
+    metrics.  Logical order is list order: extent *i* holds the file's
+    logical blocks after the extents before it.
+    """
+
+    def __init__(self, extents: Iterable[Extent] = ()) -> None:
+        self._extents: List[Extent] = []
+        for ext in extents:
+            self.append(ext)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    def __getitem__(self, i: int) -> Extent:
+        return self._extents[i]
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(e.length for e in self._extents)
+
+    def append(self, extent: Extent) -> None:
+        """Add an extent at the logical end, coalescing if contiguous."""
+        if self._extents and self._extents[-1].end == extent.start:
+            last = self._extents[-1]
+            self._extents[-1] = Extent(last.start, last.length + extent.length)
+        else:
+            self._extents.append(extent)
+
+    def physical_block(self, logical_block: int) -> int:
+        """Map a logical file block to its physical block number."""
+        remaining = logical_block
+        for ext in self._extents:
+            if remaining < ext.length:
+                return ext.start + remaining
+            remaining -= ext.length
+        raise IndexError(f"logical block {logical_block} beyond file "
+                         f"({self.total_blocks} blocks)")
+
+    def slice_logical(self, logical_start: int, nblocks: int) -> List[Extent]:
+        """Physical extents covering logical [logical_start, +nblocks)."""
+        out: List[Extent] = []
+        remaining, skip = nblocks, logical_start
+        for ext in self._extents:
+            if remaining == 0:
+                break
+            if skip >= ext.length:
+                skip -= ext.length
+                continue
+            avail = ext.length - skip
+            take = min(avail, remaining)
+            out.append(Extent(ext.start + skip, take))
+            remaining -= take
+            skip = 0
+        if remaining:
+            raise IndexError("slice beyond end of file")
+        return out
+
+    def truncate_blocks(self, keep_blocks: int) -> List[Extent]:
+        """Shrink to *keep_blocks*; returns the freed physical extents."""
+        if keep_blocks >= self.total_blocks:
+            return []
+        freed: List[Extent] = []
+        kept: List[Extent] = []
+        remaining = keep_blocks
+        for ext in self._extents:
+            if remaining >= ext.length:
+                kept.append(ext)
+                remaining -= ext.length
+            elif remaining > 0:
+                head, tail = ext.take(remaining)
+                kept.append(head)
+                if tail is not None:
+                    freed.append(tail)
+                remaining = 0
+            else:
+                freed.append(ext)
+        self._extents = kept
+        return freed
+
+    def replace_logical(self, logical_start: int, new_extents: List[Extent]) -> List[Extent]:
+        """Replace the physical blocks backing a logical range (CoW commit).
+
+        Returns the old physical extents that were displaced.  The
+        replacement must cover exactly ``sum(e.length for e in new_extents)``
+        logical blocks starting at *logical_start*, all within the file.
+        """
+        nblocks = sum(e.length for e in new_extents)
+        old = self.slice_logical(logical_start, nblocks)
+        rebuilt = ExtentList()
+        pos = 0
+        for ext in self._extents:
+            ext_lstart, ext_lend = pos, pos + ext.length
+            pos = ext_lend
+            repl_start, repl_end = logical_start, logical_start + nblocks
+            if ext_lend <= repl_start or ext_lstart >= repl_end:
+                rebuilt.append(ext)
+                continue
+            if ext_lstart < repl_start:
+                rebuilt.append(Extent(ext.start, repl_start - ext_lstart))
+            if ext_lstart <= repl_start < ext_lend or \
+               (repl_start <= ext_lstart < repl_end):
+                # insert replacements once, at the point the range begins
+                if ext_lstart <= repl_start:
+                    for ne in new_extents:
+                        rebuilt.append(ne)
+            if ext_lend > repl_end:
+                offset_in_ext = repl_end - ext_lstart
+                rebuilt.append(Extent(ext.start + offset_in_ext,
+                                      ext_lend - repl_end))
+        self._extents = rebuilt._extents
+        return old
+
+    # -- fragmentation metrics ---------------------------------------------------
+
+    def mappable_hugepages(self) -> int:
+        """How many 2MB mappings this file layout supports.
+
+        A hugepage mapping needs logical and physical alignment to coincide:
+        logical offset L (in blocks) must be hugepage-aligned AND map to a
+        physically hugepage-aligned block, with 512 contiguous blocks.
+        """
+        count = 0
+        logical = 0
+        for ext in self._extents:
+            # logical block of each aligned physical hugepage inside ext
+            first_phys = align_up(ext.start)
+            while first_phys + BLOCKS_PER_HUGEPAGE <= ext.end:
+                logical_here = logical + (first_phys - ext.start)
+                if logical_here % BLOCKS_PER_HUGEPAGE == 0:
+                    count += 1
+                first_phys += BLOCKS_PER_HUGEPAGE
+            logical += ext.length
+        return count
+
+    def fragmentation_score(self) -> float:
+        """0.0 = perfectly hugepage-mappable, 1.0 = nothing mappable."""
+        total = self.total_blocks
+        if total < BLOCKS_PER_HUGEPAGE:
+            return 0.0
+        possible = total // BLOCKS_PER_HUGEPAGE
+        return 1.0 - self.mappable_hugepages() / possible
+
+
+def is_aligned_extent(start: int, length: int) -> bool:
+    """True if (start, length) denotes a whole aligned hugepage run."""
+    return start % BLOCKS_PER_HUGEPAGE == 0 and length >= BLOCKS_PER_HUGEPAGE

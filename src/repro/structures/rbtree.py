@@ -1,0 +1,372 @@
+"""A red-black tree keyed by integers.
+
+WineFS reuses the Linux kernel's red-black tree to track free unaligned
+extents per logical CPU, keyed by block offset (paper §3.6), and uses
+RB-trees for directory-entry indexes and inode free lists in DRAM (§3.5).
+This module provides the equivalent structure with ordered iteration,
+floor/ceiling queries, and first-fit search support.
+
+The tree maps ``int`` keys to arbitrary values.  Keys are unique; inserting
+an existing key replaces its value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: int, value: Any, parent: Optional["_Node"]) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent = parent
+        self.color = RED
+
+
+class RBTree:
+    """Ordered int-keyed map with O(log n) insert/delete/search."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    # -- basic queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __getitem__(self, key: int) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def min_item(self) -> Tuple[int, Any]:
+        if self._root is None:
+            raise KeyError("empty tree")
+        node = self._min_node(self._root)
+        return node.key, node.value
+
+    def max_item(self) -> Tuple[int, Any]:
+        if self._root is None:
+            raise KeyError("empty tree")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def floor_item(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Largest (k, v) with k <= key, or None."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key == key:
+                return node.key, node.value
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best else None
+
+    def ceiling_item(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Smallest (k, v) with k >= key, or None."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key == key:
+                return node.key, node.value
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best else None
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order iteration (ascending key)."""
+        stack, node = [], self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[Any]:
+        for _, v in self.items():
+            yield v
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        parent, node = None, self._root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        new = _Node(key, value, parent)
+        if parent is None:
+            self._root = new
+        elif key < parent.key:
+            parent.left = new
+        else:
+            parent.right = new
+        self._size += 1
+        self._fix_insert(new)
+
+    def __setitem__(self, key: int, value: Any) -> None:
+        self.insert(key, value)
+
+    def remove(self, key: int) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        value = node.value
+        self._delete(node)
+        self._size -= 1
+        return value
+
+    def __delitem__(self, key: int) -> None:
+        self.remove(key)
+
+    def pop_min(self) -> Tuple[int, Any]:
+        k, v = self.min_item()
+        self.remove(k)
+        return k, v
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find(self, key: int) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    @staticmethod
+    def _min_node(node: _Node) -> _Node:
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _fix_insert(self, z: _Node) -> None:
+        while z.parent is not None and z.parent.color == RED:
+            gp = z.parent.parent
+            assert gp is not None
+            if z.parent is gp.left:
+                uncle = gp.right
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK      # type: ignore[union-attr]
+                    gp.color = RED
+                    self._rotate_right(gp)
+            else:
+                uncle = gp.left
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK      # type: ignore[union-attr]
+                    gp.color = RED
+                    self._rotate_left(gp)
+        assert self._root is not None
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: Optional[_Node]) -> None:
+        if u.parent is None:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _delete(self, z: _Node) -> None:
+        y = z
+        y_color = y.color
+        if z.left is None:
+            x, x_parent = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, x_parent = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = self._min_node(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color == BLACK:
+            self._fix_delete(x, x_parent)
+
+    def _fix_delete(self, x: Optional[_Node], parent: Optional[_Node]) -> None:
+        while x is not self._root and (x is None or x.color == BLACK):
+            if parent is None:
+                break
+            if x is parent.left:
+                w = parent.right
+                if w is not None and w.color == RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    w = parent.right
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color == BLACK
+                w_right_black = w.right is None or w.right.color == BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_right_black:
+                        if w.left is not None:
+                            w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = parent.right
+                    assert w is not None
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.right is not None:
+                        w.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self._root
+                    parent = None
+            else:
+                w = parent.left
+                if w is not None and w.color == RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    w = parent.left
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color == BLACK
+                w_right_black = w.right is None or w.right.color == BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_left_black:
+                        if w.right is not None:
+                            w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = parent.left
+                    assert w is not None
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.left is not None:
+                        w.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self._root
+                    parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # -- invariant check (used by property tests) --------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if red-black invariants are violated."""
+        if self._root is None:
+            return
+        assert self._root.color == BLACK, "root must be black"
+
+        def walk(node: Optional[_Node], lo: float, hi: float) -> int:
+            if node is None:
+                return 1
+            assert lo < node.key < hi, "BST order violated"
+            if node.color == RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color == BLACK, \
+                        "red node has red child"
+            lb = walk(node.left, lo, node.key)
+            rb = walk(node.right, node.key, hi)
+            assert lb == rb, "black-height mismatch"
+            return lb + (1 if node.color == BLACK else 0)
+
+        walk(self._root, float("-inf"), float("inf"))

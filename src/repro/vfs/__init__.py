@@ -1,0 +1,15 @@
+"""Virtual file system layer.
+
+Defines the POSIX-flavoured interface every simulated file system
+implements (:class:`~repro.vfs.interface.FileSystem`), open-file handles,
+stat results, and the shared namespace locking the paper leans on for
+per-CPU journal coordination (§3.4: "WineFS uses the Virtual File System
+(VFS) layer for coordination ... An inode can only be locked by one logical
+CPU at a time").
+"""
+
+from .interface import FileSystem, OpenFile, StatResult, FSStats
+from .path import split_path, normalize_path, parent_of, basename_of
+
+__all__ = ["FileSystem", "OpenFile", "StatResult", "FSStats",
+           "split_path", "normalize_path", "parent_of", "basename_of"]

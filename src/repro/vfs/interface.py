@@ -1,0 +1,249 @@
+"""The FileSystem interface all seven simulated file systems implement.
+
+The API is the subset of POSIX the paper's workloads exercise (Table 1 and
+§5): create/open/read/write/append/fsync/unlink/rename/mkdir/readdir/
+truncate/fallocate plus ``mmap``.  Every call takes a
+:class:`~repro.clock.SimContext` identifying the virtual CPU that issues it
+and accumulating its cost, and charges the syscall crossing cost up front
+(§2.1: trapping into the kernel dominates small PM operations).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..clock import SimContext
+from ..errors import BadFileError, InvalidArgumentError, NotMountedError
+from ..mmu.cache import CacheModel
+from ..mmu.mmap_region import MappedRegion
+from ..mmu.tlb import TLB
+from ..params import MachineParams
+from ..pm.device import PMDevice
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """Subset of ``struct stat`` the workloads need."""
+
+    ino: int
+    size: int
+    blocks: int            # allocated blocks (may exceed size/block_size)
+    is_dir: bool
+    nlink: int = 1
+
+
+@dataclass
+class FSStats:
+    """Aggregate file-system statistics (statfs + repro extras)."""
+
+    total_blocks: int
+    free_blocks: int
+    block_size: int
+    files: int
+    # fragmentation metrics (Fig 3)
+    free_aligned_hugepages: int = 0
+    free_space_aligned_fraction: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        return 1.0 - self.free_blocks / self.total_blocks
+
+
+class OpenFile:
+    """An open file descriptor: a (filesystem, inode number, offset) triple."""
+
+    def __init__(self, fs: "FileSystem", ino: int, path: str) -> None:
+        self.fs = fs
+        self.ino = ino
+        self.path = path
+        self.offset = 0
+        self.closed = False
+
+    def _check(self) -> None:
+        if self.closed:
+            raise BadFileError(f"fd for {self.path} is closed")
+
+    def read(self, size: int, ctx: SimContext) -> bytes:
+        self._check()
+        data = self.fs.read(self.ino, self.offset, size, ctx)
+        self.offset += len(data)
+        return data
+
+    def pread(self, offset: int, size: int, ctx: SimContext) -> bytes:
+        self._check()
+        return self.fs.read(self.ino, offset, size, ctx)
+
+    def write(self, data: bytes, ctx: SimContext) -> int:
+        self._check()
+        n = self.fs.write(self.ino, self.offset, data, ctx)
+        self.offset += n
+        return n
+
+    def pwrite(self, offset: int, data: bytes, ctx: SimContext) -> int:
+        self._check()
+        return self.fs.write(self.ino, offset, data, ctx)
+
+    def append(self, data: bytes, ctx: SimContext) -> int:
+        self._check()
+        size = self.fs.getattr_ino(self.ino).size
+        n = self.fs.write(self.ino, size, data, ctx)
+        self.offset = size + n
+        return n
+
+    def fsync(self, ctx: SimContext) -> None:
+        self._check()
+        self.fs.fsync(self.ino, ctx)
+
+    def ftruncate(self, size: int, ctx: SimContext) -> None:
+        self._check()
+        self.fs.truncate(self.ino, size, ctx)
+
+    def fallocate(self, offset: int, size: int, ctx: SimContext) -> None:
+        self._check()
+        self.fs.fallocate(self.ino, offset, size, ctx)
+
+    def mmap(self, ctx: SimContext, length: Optional[int] = None,
+             tlb: Optional[TLB] = None,
+             cache: Optional[CacheModel] = None) -> MappedRegion:
+        self._check()
+        return self.fs.mmap(self.ino, ctx, length=length, tlb=tlb, cache=cache)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class FileSystem(ABC):
+    """Abstract simulated PM file system.
+
+    Concrete subclasses: :class:`repro.core.WineFS` and the baselines in
+    :mod:`repro.fs`.  Files are identified by paths for namespace ops and by
+    inode number for data ops (handles carry the inode).
+    """
+
+    #: human-readable name used in result tables ("WineFS", "ext4-DAX", ...)
+    name: str = "abstract"
+    #: does this FS provide data (not just metadata) consistency by default?
+    data_consistent: bool = False
+
+    def __init__(self, device: PMDevice, num_cpus: int) -> None:
+        self.device = device
+        self.machine: MachineParams = device.machine
+        self.num_cpus = num_cpus
+        self.mounted = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @abstractmethod
+    def mkfs(self, ctx: SimContext) -> None:
+        """Format the device."""
+
+    @abstractmethod
+    def mount(self, ctx: SimContext) -> None:
+        """Mount (runs recovery if the device crashed dirty)."""
+
+    @abstractmethod
+    def unmount(self, ctx: SimContext) -> None:
+        """Clean unmount (serializes DRAM state to PM)."""
+
+    def _check_mounted(self) -> None:
+        if not self.mounted:
+            raise NotMountedError(f"{self.name} is not mounted")
+
+    def _syscall(self, ctx: SimContext) -> None:
+        """Charge one kernel crossing."""
+        ctx.charge(self.machine.syscall_ns)
+        ctx.counters.syscalls += 1
+
+    # -- namespace ops -----------------------------------------------------------
+
+    @abstractmethod
+    def create(self, path: str, ctx: SimContext) -> OpenFile: ...
+
+    @abstractmethod
+    def open(self, path: str, ctx: SimContext) -> OpenFile: ...
+
+    @abstractmethod
+    def unlink(self, path: str, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def mkdir(self, path: str, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def rmdir(self, path: str, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def rename(self, old: str, new: str, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def readdir(self, path: str, ctx: SimContext) -> List[str]: ...
+
+    @abstractmethod
+    def getattr(self, path: str, ctx: Optional[SimContext] = None) -> StatResult: ...
+
+    @abstractmethod
+    def getattr_ino(self, ino: int) -> StatResult: ...
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.getattr(path)
+            return True
+        except Exception:
+            return False
+
+    # -- data ops ---------------------------------------------------------------------
+
+    @abstractmethod
+    def read(self, ino: int, offset: int, size: int, ctx: SimContext) -> bytes: ...
+
+    @abstractmethod
+    def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int: ...
+
+    @abstractmethod
+    def truncate(self, ino: int, size: int, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def fallocate(self, ino: int, offset: int, size: int, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def fsync(self, ino: int, ctx: SimContext) -> None: ...
+
+    @abstractmethod
+    def mmap(self, ino: int, ctx: SimContext, length: Optional[int] = None,
+             tlb: Optional[TLB] = None,
+             cache: Optional[CacheModel] = None) -> MappedRegion: ...
+
+    # -- xattrs (WineFS alignment hints; others may raise) --------------------------------
+
+    def setxattr(self, path: str, key: str, value: bytes, ctx: SimContext) -> None:
+        raise InvalidArgumentError(f"{self.name} does not support xattrs")
+
+    def getxattr(self, path: str, key: str, ctx: SimContext) -> bytes:
+        raise InvalidArgumentError(f"{self.name} does not support xattrs")
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @abstractmethod
+    def statfs(self) -> FSStats: ...
+
+    @abstractmethod
+    def file_extents(self, ino: int): ...
+
+    def write_file(self, path: str, data: bytes, ctx: SimContext,
+                   chunk: int = 1 << 20) -> OpenFile:
+        """Convenience: create+write+fsync a whole file (tests, aging)."""
+        f = self.create(path, ctx)
+        pos = 0
+        while pos < len(data):
+            f.pwrite(pos, data[pos:pos + chunk], ctx)
+            pos += chunk
+        f.fsync(ctx)
+        return f
+
+    def read_file(self, path: str, ctx: SimContext) -> bytes:
+        f = self.open(path, ctx)
+        size = self.getattr_ino(f.ino).size
+        data = f.pread(0, size, ctx)
+        f.close()
+        return data

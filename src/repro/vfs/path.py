@@ -1,0 +1,49 @@
+"""Path utilities shared by all file systems.
+
+Paths are absolute, ``/``-separated, with no ``.``/``..`` resolution (the
+workloads never generate them).  Component names may not contain ``/`` or
+be empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import InvalidArgumentError
+
+
+def normalize_path(path: str) -> str:
+    """Canonical form: leading '/', no trailing '/', no empty components."""
+    if not path or not path.startswith("/"):
+        raise InvalidArgumentError(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise InvalidArgumentError(f"'.' and '..' unsupported: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> List[str]:
+    """Components of a normalized path; [] for the root."""
+    return [p for p in normalize_path(path).split("/") if p]
+
+
+def parent_of(path: str) -> str:
+    parts = split_path(path)
+    if not parts:
+        raise InvalidArgumentError("root has no parent")
+    return "/" + "/".join(parts[:-1])
+
+
+def basename_of(path: str) -> str:
+    parts = split_path(path)
+    if not parts:
+        raise InvalidArgumentError("root has no name")
+    return parts[-1]
+
+
+def join(parent: str, name: str) -> str:
+    if "/" in name or not name:
+        raise InvalidArgumentError(f"bad component {name!r}")
+    parent = normalize_path(parent)
+    return parent + name if parent == "/" else parent + "/" + name

@@ -1,0 +1,44 @@
+"""Application workload models (paper Table 1).
+
+Each workload reproduces the *access pattern* of the real application —
+mmap vs system calls, allocation style (``ftruncate`` vs ``fallocate``),
+value sizes, batching, fsync cadence — because those patterns are what the
+paper's results depend on (page-fault counts, hugepage mappability,
+journal pressure).  None of them re-implement the application's internal
+logic beyond what shapes its I/O.
+
+* :mod:`microbench` — Fig 1/6: sequential/random reads/writes via mmap and
+  via 4KB syscalls (fsync every 10 ops).
+* :mod:`rocksdb` + :mod:`ycsb` — YCSB on a RocksDB-like mmap KV store.
+* :mod:`lmdb` — ftruncate-grown, demand-faulted mmap B-tree (fillseqbatch).
+* :mod:`pmemkv` — fallocate-grown 128MB pool files (fillseq).
+* :mod:`part` — pre-faulted persistent radix tree lookups (latency CDF).
+* :mod:`filebench` — varmail / fileserver / webserver / webproxy.
+* :mod:`pgbench` — PostgreSQL TPC-B-style read-write mix.
+* :mod:`wiredtiger` — FillRandom (unaligned appends) / ReadRandom.
+* :mod:`scalability` — Fig 10 create/append/fsync/unlink per thread.
+"""
+
+from .microbench import (mmap_rw_benchmark, posix_rw_benchmark,
+                         MicrobenchResult)
+from .ycsb import YCSBWorkload, run_ycsb, YCSB_WORKLOADS
+from .rocksdb import RocksDBModel
+from .lmdb import LMDBModel, run_fillseqbatch
+from .pmemkv import PmemKVModel, run_fillseq
+from .part import PARTModel, run_part_lookups
+from .filebench import run_personality, PERSONALITIES, FilebenchResult
+from .pgbench import run_pgbench
+from .wiredtiger import run_wiredtiger
+from .scalability import run_scalability
+from .utilities import run_kernel_compile, run_rsync, run_tar, UTILITIES
+
+__all__ = [
+    "mmap_rw_benchmark", "posix_rw_benchmark", "MicrobenchResult",
+    "YCSBWorkload", "run_ycsb", "YCSB_WORKLOADS", "RocksDBModel",
+    "LMDBModel", "run_fillseqbatch",
+    "PmemKVModel", "run_fillseq",
+    "PARTModel", "run_part_lookups",
+    "run_personality", "PERSONALITIES", "FilebenchResult",
+    "run_pgbench", "run_wiredtiger", "run_scalability",
+    "run_kernel_compile", "run_tar", "run_rsync", "UTILITIES",
+]

@@ -1,0 +1,190 @@
+"""Filebench personality models (paper §5.5, Fig 9a/d, Table 1).
+
+The four personalities the paper uses, at their documented op mixes:
+
+* **varmail**: mail-server pattern — create/append/fsync/read/delete over
+  many small files (metadata-heavy; fsync-heavy).  16 threads, 1M files in
+  the paper; scaled here.
+* **fileserver**: create/write/append/read/delete of medium files.
+* **webserver**: open/read whole small files + a shared append log.
+* **webproxy**: create/append/read then delete, plus repeated reads.
+
+Each personality runs on N virtual CPUs round-robin, so the journal/lock
+design of the file system shows up in the makespan exactly as in Fig 9.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..clock import SimContext
+from ..params import KIB
+from ..structures.stats import ops_per_sec
+from ..vfs.interface import FileSystem
+
+
+@dataclass
+class FilebenchResult:
+    fs_name: str
+    personality: str
+    ops: int
+    elapsed_ns: float
+
+    @property
+    def kops_per_sec(self) -> float:
+        return ops_per_sec(self.ops, self.elapsed_ns) / 1e3
+
+
+def _spread(ctx: SimContext, i: int) -> SimContext:
+    """Round-robin an op index across the virtual CPUs."""
+    return ctx.on_cpu(i % ctx.clock.num_cpus)
+
+
+def _prepopulate(fs: FileSystem, ctx: SimContext, dir_path: str,
+                 nfiles: int, mean_size: int, rng: random.Random) -> List[str]:
+    if not fs.exists(dir_path):
+        fs.mkdir(dir_path, ctx)
+    paths = []
+    for i in range(nfiles):
+        path = f"{dir_path}/pre{i}"
+        f = fs.create(path, ctx)
+        size = max(1024, int(rng.expovariate(1.0 / mean_size)))
+        f.append(b"\x00" * size, ctx)
+        f.close()
+        paths.append(path)
+    return paths
+
+
+def varmail(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
+            seed: int) -> FilebenchResult:
+    """create/fsync/read/append/fsync/read/delete cycles (mail pattern)."""
+    rng = random.Random(seed)
+    base = "/varmail"
+    paths = _prepopulate(fs, ctx, base, nfiles, 16 * KIB, rng)
+    start_ns = ctx.clock.elapsed
+    counter = 0
+    for i in range(ops):
+        c = _spread(ctx, i)
+        kind = i % 4
+        if kind == 0:                                   # deliver new mail
+            counter += 1
+            path = f"{base}/new{counter}"
+            f = fs.create(path, c)
+            f.append(b"\x00" * (8 * KIB), c)
+            f.fsync(c)
+            f.close()
+            paths.append(path)
+        elif kind == 1 and paths:                       # read a mailbox
+            fs.read_file(paths[rng.randrange(len(paths))], c)
+        elif kind == 2 and paths:                       # append + fsync
+            f = fs.open(paths[rng.randrange(len(paths))], c)
+            f.append(b"\x00" * (4 * KIB), c)
+            f.fsync(c)
+            f.close()
+        elif paths:                                     # delete
+            idx = rng.randrange(len(paths))
+            fs.unlink(paths[idx], c)
+            paths[idx] = paths[-1]
+            paths.pop()
+    return FilebenchResult(fs.name, "varmail", ops,
+                           ctx.clock.elapsed - start_ns)
+
+
+def fileserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
+               seed: int) -> FilebenchResult:
+    """create/write whole file/append/read whole file/delete (file server)."""
+    rng = random.Random(seed)
+    base = "/fileserver"
+    paths = _prepopulate(fs, ctx, base, nfiles, 128 * KIB, rng)
+    start_ns = ctx.clock.elapsed
+    counter = 0
+    for i in range(ops):
+        c = _spread(ctx, i)
+        kind = i % 5
+        if kind == 0:
+            counter += 1
+            path = f"{base}/new{counter}"
+            f = fs.create(path, c)
+            f.append(b"\x00" * (128 * KIB), c)
+            f.close()
+            paths.append(path)
+        elif kind == 1 and paths:
+            f = fs.open(paths[rng.randrange(len(paths))], c)
+            f.append(b"\x00" * (16 * KIB), c)
+            f.close()
+        elif kind in (2, 3) and paths:
+            fs.read_file(paths[rng.randrange(len(paths))], c)
+        elif paths:
+            idx = rng.randrange(len(paths))
+            fs.unlink(paths[idx], c)
+            paths[idx] = paths[-1]
+            paths.pop()
+    return FilebenchResult(fs.name, "fileserver", ops,
+                           ctx.clock.elapsed - start_ns)
+
+
+def webserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
+              seed: int) -> FilebenchResult:
+    """read-mostly: open+read whole small files, append to a shared log."""
+    rng = random.Random(seed)
+    base = "/webserver"
+    paths = _prepopulate(fs, ctx, base, nfiles, 32 * KIB, rng)
+    log = fs.create(f"{base}/access.log", ctx)
+    start_ns = ctx.clock.elapsed
+    for i in range(ops):
+        c = _spread(ctx, i)
+        if i % 10 == 9:
+            log.append(b"\x00" * 512, c)
+        elif paths:
+            fs.read_file(paths[rng.randrange(len(paths))], c)
+    return FilebenchResult(fs.name, "webserver", ops,
+                           ctx.clock.elapsed - start_ns)
+
+
+def webproxy(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
+             seed: int) -> FilebenchResult:
+    """create/append/read x5/delete cycles plus a shared log (proxy cache)."""
+    rng = random.Random(seed)
+    base = "/webproxy"
+    paths = _prepopulate(fs, ctx, base, nfiles, 32 * KIB, rng)
+    log = fs.create(f"{base}/proxy.log", ctx)
+    start_ns = ctx.clock.elapsed
+    counter = 0
+    for i in range(ops):
+        c = _spread(ctx, i)
+        kind = i % 7
+        if kind == 0:
+            counter += 1
+            path = f"{base}/obj{counter}"
+            f = fs.create(path, c)
+            f.append(b"\x00" * (16 * KIB), c)
+            f.close()
+            paths.append(path)
+        elif kind == 6 and paths:
+            idx = rng.randrange(len(paths))
+            fs.unlink(paths[idx], c)
+            paths[idx] = paths[-1]
+            paths.pop()
+            log.append(b"\x00" * 256, c)
+        elif paths:
+            fs.read_file(paths[rng.randrange(len(paths))], c)
+    return FilebenchResult(fs.name, "webproxy", ops,
+                           ctx.clock.elapsed - start_ns)
+
+
+PERSONALITIES: Dict[str, Callable] = {
+    "varmail": varmail,
+    "fileserver": fileserver,
+    "webserver": webserver,
+    "webproxy": webproxy,
+}
+
+
+def run_personality(fs: FileSystem, ctx: SimContext, name: str, *,
+                    ops: int = 2000, nfiles: int = 200,
+                    seed: int = 0) -> FilebenchResult:
+    if name not in PERSONALITIES:
+        raise ValueError(f"unknown personality {name!r}")
+    return PERSONALITIES[name](fs, ctx, ops=ops, nfiles=nfiles, seed=seed)

@@ -1,0 +1,80 @@
+"""PostgreSQL pgbench read-write model (paper §5.5, Fig 9b/e; TPC-B-like).
+
+What shapes PostgreSQL's I/O on a PM file system:
+
+* WAL: sequential appends + fsync per transaction group;
+* table heap files: random 8KB page overwrites (the overwrite path where
+  NOVA pays for log-entry add/invalidate + DRAM index updates and WineFS
+  just journals the inode, §5.5);
+* occasional checkpoint: a burst of page writes + fsync.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..clock import SimContext
+from ..params import KIB, MIB
+from ..structures.stats import ops_per_sec
+from ..vfs.interface import FileSystem
+
+_PAGE = 8 * KIB
+
+
+@dataclass
+class PgbenchResult:
+    fs_name: str
+    transactions: int
+    elapsed_ns: float
+
+    @property
+    def tps(self) -> float:
+        return ops_per_sec(self.transactions, self.elapsed_ns)
+
+
+def run_pgbench(fs: FileSystem, ctx: SimContext, *,
+                transactions: int = 2000,
+                table_bytes: int = 64 * MIB,
+                checkpoint_every: int = 500,
+                group_commit: int = 8,
+                seed: int = 0) -> PgbenchResult:
+    """TPC-B-ish: each transaction updates 3 random pages + 1 WAL record."""
+    rng = random.Random(seed)
+    if not fs.exists("/pgdata"):
+        fs.mkdir("/pgdata", ctx)
+    # build the table heap (not timed)
+    table = fs.create("/pgdata/accounts", ctx)
+    # PostgreSQL extends heap files incrementally (sub-hugepage chunks),
+    # so the heap is hole-backed on WineFS and overwrites take the CoW
+    # path — §5.5: "WineFS only modifies the inode in a journal
+    # transaction to point to the newly allocated blocks"
+    chunk = b"\x00" * (512 * KIB)
+    pos = 0
+    while pos < table_bytes:
+        table.append(chunk, ctx)
+        pos += len(chunk)
+    table.fsync(ctx)
+    wal = fs.create("/pgdata/wal", ctx)
+    npages = table_bytes // _PAGE
+
+    start_ns = ctx.clock.elapsed
+    dirty: set = set()
+    for t in range(transactions):
+        c = ctx.on_cpu(t % ctx.clock.num_cpus)
+        # WAL record for the transaction
+        wal.append(b"\x00" * 600, c)
+        if (t + 1) % group_commit == 0:
+            wal.fsync(c)
+        # update accounts / tellers / branches pages
+        for _ in range(3):
+            page = rng.randrange(npages)
+            table.pwrite(page * _PAGE, b"\x00" * _PAGE, c)
+            dirty.add(page)
+        if (t + 1) % checkpoint_every == 0:
+            table.fsync(c)
+            dirty.clear()
+    wal.fsync(ctx)
+    table.fsync(ctx)
+    return PgbenchResult(fs_name=fs.name, transactions=transactions,
+                         elapsed_ns=ctx.clock.elapsed - start_ns)

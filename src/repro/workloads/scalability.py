@@ -1,0 +1,77 @@
+"""Scalability microbenchmark (paper §5.6, Fig 10).
+
+"we create a file, append at 4KB granularities, fsync, and unlink in each
+thread."  Each thread runs on its own logical CPU (up to the machine's CPU
+count; beyond that threads share CPUs, which is also where the paper's
+curves plateau due to VFS-layer bottlenecks).
+
+The file systems differentiate on exactly the paths this exercises:
+per-CPU journals and per-inode logs scale; JBD2/xfs-log stop-the-world
+fsync serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SimContext
+from ..params import KIB
+from ..structures.stats import ops_per_sec
+from ..vfs.interface import FileSystem
+
+#: per-op VFS overhead that grows with runnable threads beyond the
+#: lock-free paths (dentry cache / inode cache contention): this is the
+#: paper's ">16 threads plateau ... due to scalability bottlenecks in the
+#: VFS layer"
+_VFS_CONTENTION_NS = 90.0
+
+
+@dataclass
+class ScalabilityResult:
+    fs_name: str
+    threads: int
+    ops: int
+    elapsed_ns: float
+
+    @property
+    def kops_per_sec(self) -> float:
+        return ops_per_sec(self.ops, self.elapsed_ns) / 1e3
+
+
+def run_scalability(fs: FileSystem, ctx: SimContext, *,
+                    threads: int, ops_per_thread: int = 200,
+                    appends_per_file: int = 4,
+                    seed: int = 0) -> ScalabilityResult:
+    """create/append-4KB/fsync/unlink per thread (one op = one full cycle)."""
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    num_cpus = ctx.clock.num_cpus
+    base = "/scal"
+    if not fs.exists(base):
+        fs.mkdir(base, ctx)
+    for t in range(threads):
+        # per-thread working directories avoid measuring only the shared
+        # parent-dir lock (as filebench's fileset does)
+        d = f"{base}/t{t}"
+        if not fs.exists(d):
+            fs.mkdir(d, ctx)
+
+    start_ns = ctx.clock.elapsed
+    payload = b"\x00" * (4 * KIB)
+    for i in range(ops_per_thread):
+        for t in range(threads):
+            c = ctx.on_cpu(t % num_cpus)
+            if threads > num_cpus:
+                # oversubscribed CPUs: runnable threads contend in the VFS
+                c.charge(_VFS_CONTENTION_NS * (threads / num_cpus))
+            path = f"{base}/t{t}/f{i}"
+            f = fs.create(path, c)
+            for _ in range(appends_per_file):
+                f.append(payload, c)
+            f.fsync(c)
+            f.close()
+            fs.unlink(path, c)
+    total_ops = ops_per_thread * threads
+    return ScalabilityResult(fs_name=fs.name, threads=threads,
+                             ops=total_ops,
+                             elapsed_ns=ctx.clock.elapsed - start_ns)

@@ -1,0 +1,89 @@
+"""WiredTiger model (paper §5.5, Fig 9c/f; MongoDB's default engine).
+
+The paper's FillRandom analysis: "WiredTiger appends data at unaligned
+offsets and NOVA forces these appends to a new 4KB page to ensure data
+atomicity, causing high write amplification.  NOVA copies the data in the
+partial block to the new block and then appends new data.  WineFS
+continues to append to partially full blocks without having to copy old
+data".
+
+So FillRandom is modeled as a stream of ~1KB-value appends (unaligned
+offsets by construction) into per-collection files, with periodic
+checkpoints (fsync).  ReadRandom reads random 1KB ranges back and is
+expected to be FS-insensitive ("throughput remains the same across
+different file systems").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..clock import SimContext
+from ..params import KIB, MIB
+from ..structures.stats import ops_per_sec
+from ..vfs.interface import FileSystem
+
+
+@dataclass
+class WiredTigerResult:
+    fs_name: str
+    workload: str
+    ops: int
+    elapsed_ns: float
+
+    @property
+    def kops_per_sec(self) -> float:
+        return ops_per_sec(self.ops, self.elapsed_ns) / 1e3
+
+
+def run_wiredtiger(fs: FileSystem, ctx: SimContext, *,
+                   workload: str = "fillrandom",
+                   ops: int = 10_000, value_size: int = 1 * KIB,
+                   ntables: int = 4, checkpoint_every: int = 100,
+                   seed: int = 0) -> WiredTigerResult:
+    if workload not in ("fillrandom", "readrandom"):
+        raise ValueError(f"unknown workload {workload!r}")
+    rng = random.Random(seed)
+    if not fs.exists("/wt"):
+        fs.mkdir("/wt", ctx)
+    tables = []
+    for i in range(ntables):
+        path = f"/wt/table-{i}.wt"
+        tables.append(fs.create(path, ctx) if not fs.exists(path)
+                      else fs.open(path, ctx))
+
+    if workload == "fillrandom":
+        start_ns = ctx.clock.elapsed
+        for i in range(ops):
+            c = ctx.on_cpu(i % ctx.clock.num_cpus)
+            t = tables[rng.randrange(ntables)]
+            # 1KB values make every append land at an unaligned offset
+            t.append(b"\x00" * value_size, c)
+            if (i + 1) % checkpoint_every == 0:
+                for t2 in tables:
+                    t2.fsync(c)
+        for t in tables:
+            t.fsync(ctx)
+        return WiredTigerResult(fs.name, workload, ops,
+                                ctx.clock.elapsed - start_ns)
+
+    # readrandom: populate first (not timed), then random reads
+    for t in tables:
+        if fs.getattr_ino(t.ino).size < ops * value_size // ntables:
+            fill = ops * value_size // ntables
+            chunk = b"\x00" * MIB
+            pos = 0
+            while pos < fill:
+                t.append(chunk[:min(len(chunk), fill - pos)], ctx)
+                pos += len(chunk)
+        t.fsync(ctx)
+    start_ns = ctx.clock.elapsed
+    for i in range(ops):
+        c = ctx.on_cpu(i % ctx.clock.num_cpus)
+        t = tables[rng.randrange(ntables)]
+        size = fs.getattr_ino(t.ino).size
+        offset = rng.randrange(max(1, size - value_size))
+        t.pread(offset, value_size, c)
+    return WiredTigerResult(fs.name, workload, ops,
+                            ctx.clock.elapsed - start_ns)

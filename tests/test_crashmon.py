@@ -1,0 +1,149 @@
+"""Crash-consistency framework tests (ACE, explorer, checker)."""
+
+import pytest
+
+from repro.clock import make_context
+from repro.core.filesystem import WineFS
+from repro.crashmon import (AceWorkload, CrashExplorer, SyscallOp,
+                            check_consistency, generate_workloads)
+from repro.crashmon.checker import (ConsistencyError, capture_state,
+                                    check_invariants, states_equal)
+from repro.params import MIB
+from repro.pm.device import PMDevice
+
+
+def _fs(track=True):
+    device = PMDevice(64 * MIB, track_stores=track)
+    fs = WineFS(device, num_cpus=2)
+    ctx = make_context(2)
+    fs.mkfs(ctx)
+    return fs, ctx
+
+
+class TestAce:
+    def test_workload_catalogue(self):
+        workloads = generate_workloads()
+        names = {w.name for w in workloads}
+        # every metadata-mutating syscall appears alone at least once
+        for expected in ("create", "mkdir", "unlink", "rmdir", "rename",
+                         "append", "overwrite", "truncate-shrink",
+                         "fallocate"):
+            assert expected in names
+        # and seq-2 composites exist
+        assert "create-then-rename" in names
+
+    def test_seq1_only(self):
+        assert len(generate_workloads(seq2=False)) < \
+            len(generate_workloads(seq2=True))
+
+    def test_ops_apply(self):
+        fs, ctx = _fs(track=False)
+        for w in generate_workloads():
+            device = PMDevice(64 * MIB)
+            f = WineFS(device, num_cpus=2)
+            c = make_context(2)
+            f.mkfs(c)
+            w.run_setup(f, c)
+            for op in w.ops:
+                op.apply(f, c)    # must not raise
+
+    def test_unknown_op_rejected(self):
+        fs, ctx = _fs(track=False)
+        with pytest.raises(ValueError):
+            SyscallOp("chmod", "/x").apply(fs, ctx)
+
+    def test_str_forms(self):
+        assert "rename" in str(SyscallOp("rename", "/a", arg="/b"))
+        assert "append" in str(SyscallOp("append", "/a", size=10))
+
+
+class TestChecker:
+    def test_capture_state_walks_tree(self):
+        fs, ctx = _fs(track=False)
+        fs.mkdir("/d", ctx)
+        fs.create("/d/f", ctx).append(b"xyz", ctx)
+        state = capture_state(fs)
+        d = state.as_dict()
+        assert d["/d"][0] is True
+        assert d["/d/f"][1] == 3
+
+    def test_states_equal_data_sensitivity(self):
+        fs, ctx = _fs(track=False)
+        f = fs.create("/f", ctx)
+        f.append(b"aaa", ctx)
+        s1 = capture_state(fs)
+        f.pwrite(0, b"bbb", ctx)
+        s2 = capture_state(fs)
+        assert not states_equal(s1, s2, compare_data=True)
+        assert states_equal(s1, s2, compare_data=False)   # same size
+
+    def test_check_consistency_accepts_pre_or_post(self):
+        fs, ctx = _fs(track=False)
+        pre = capture_state(fs)
+        fs.create("/new", ctx)
+        post = capture_state(fs)
+        check_consistency(fs, post, pre, post)      # matches post
+        # a state matching pre is also fine (rolled back)
+        fs.unlink("/new", ctx)
+        rolled = capture_state(fs)
+        check_consistency(fs, rolled, pre, post)
+
+    def test_check_consistency_rejects_intermediate(self):
+        fs, ctx = _fs(track=False)
+        pre = capture_state(fs)
+        fs.create("/a", ctx)
+        mid = capture_state(fs)
+        fs.create("/b", ctx)
+        post = capture_state(fs)
+        with pytest.raises(ConsistencyError):
+            check_consistency(fs, mid, pre, post)
+
+    def test_invariants_pass_on_healthy_fs(self):
+        fs, ctx = _fs(track=False)
+        fs.create("/f", ctx).append(b"x" * 8192, ctx)
+        check_invariants(fs)
+
+
+class TestExplorer:
+    def test_winefs_passes_create(self):
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB)
+        result = explorer.run_workload(
+            AceWorkload("create", ops=[SyscallOp("create", "/f")]))
+        assert result.passed
+        assert result.crash_points > 1          # mid-syscall crash points
+        assert result.states_checked >= result.crash_points
+
+    def test_winefs_passes_rename_clobber(self):
+        """The workload that caught an unlogged slot invalidation during
+        development (see WineFS._free_inode)."""
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB)
+        wl = AceWorkload(
+            "rename-clobber",
+            setup=[SyscallOp("create", "/f0"), SyscallOp("create", "/f1"),
+                   SyscallOp("append", "/f1", size=4096)],
+            ops=[SyscallOp("rename", "/f0", arg="/f1")])
+        result = explorer.run_workload(wl)
+        assert result.passed, result.violations
+
+    def test_subset_bounding(self):
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB, max_subsets=4)
+        subsets = explorer._subsets(list(range(20)))
+        assert len(subsets) <= 4
+
+    def test_small_subsets_exhaustive(self):
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB)
+        subsets = explorer._subsets([1, 2, 3])
+        assert len(subsets) == 8      # 2^3
+
+    @pytest.mark.parametrize("name", ["append", "truncate-shrink",
+                                      "mkdir-then-create"])
+    def test_selected_workloads_pass(self, name):
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB)
+        wl = next(w for w in generate_workloads() if w.name == name)
+        result = explorer.run_workload(wl)
+        assert result.passed, result.violations

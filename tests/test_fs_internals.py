@@ -1,0 +1,211 @@
+"""Lower-level file-system internals: directory indexes, inode tables,
+open-file handles, and the WineFS journal region mechanics."""
+
+import pytest
+
+from repro.clock import make_context
+from repro.core.journal import (ENTRY_BYTES, JournalEntry, JournalManager,
+                                MAX_TXN_ENTRIES, TYPE_COMMIT, TYPE_DATA,
+                                TYPE_START)
+from repro.core.layout import Layout
+from repro.errors import BadFileError, CorruptionError, FSError
+from repro.fs.common.dirindex import LinearDirIndex, RBDirIndex
+from repro.fs.common.inode import Inode, InodeTable
+from repro.params import MIB
+from repro.pm.device import PMDevice
+from repro.core.filesystem import WineFS
+
+
+class TestDirIndexes:
+    @pytest.mark.parametrize("cls", [RBDirIndex, LinearDirIndex])
+    def test_insert_lookup_remove(self, cls):
+        idx = cls()
+        idx.insert("alpha", 10)
+        idx.insert("beta", 20)
+        assert idx.lookup("alpha") == 10
+        assert "beta" in idx
+        assert idx.names() == ["alpha", "beta"]
+        assert idx.remove("alpha") == 10
+        assert idx.lookup("alpha") is None
+        assert len(idx) == 1
+
+    def test_rb_index_charges_log_cost(self):
+        idx = RBDirIndex()
+        for i in range(1000):
+            idx.insert(f"entry{i}", i)
+        ctx = make_context(1)
+        idx.lookup("entry500", ctx)
+        log_cost = ctx.now
+        ctx2 = make_context(1)
+        small = RBDirIndex()
+        small.insert("one", 1)
+        small.lookup("one", ctx2)
+        assert log_cost < 20 * ctx2.now   # logarithmic, not linear
+
+    def test_linear_index_charges_linear_cost(self):
+        big = LinearDirIndex()
+        for i in range(1000):
+            big._entries[f"e{i}"] = i
+        ctx_big = make_context(1)
+        big.lookup("e999", ctx_big)
+        small = LinearDirIndex()
+        small._entries["e"] = 1
+        ctx_small = make_context(1)
+        small.lookup("e", ctx_small)
+        assert ctx_big.now > 100 * ctx_small.now
+
+    def test_rb_index_dram_accounting(self):
+        idx = RBDirIndex()
+        assert idx.dram_bytes == 0
+        idx.insert("x", 1)
+        assert idx.dram_bytes == 64
+        assert LinearDirIndex().dram_bytes == 0   # PMFS keeps no index
+
+
+class TestInodeTable:
+    def test_allocate_sequential(self):
+        table = InodeTable(first_ino=1, capacity=10)
+        inos = [table.allocate().ino for _ in range(3)]
+        assert inos == [1, 2, 3]
+        assert len(table) == 3
+
+    def test_free_and_recycle(self):
+        table = InodeTable(first_ino=1, capacity=10)
+        a = table.allocate()
+        table.free(a.ino)
+        b = table.allocate()
+        assert b.ino == a.ino
+        assert b.gen != a.gen      # recycled number, fresh identity
+
+    def test_double_free_rejected(self):
+        table = InodeTable(first_ino=1, capacity=10)
+        a = table.allocate()
+        table.free(a.ino)
+        with pytest.raises(FSError):
+            table.free(a.ino)
+
+    def test_exhaustion(self):
+        table = InodeTable(first_ino=1, capacity=2)
+        table.allocate()
+        table.allocate()
+        with pytest.raises(FSError):
+            table.allocate()
+
+    def test_adopt_out_of_order(self):
+        table = InodeTable(first_ino=1, capacity=10)
+        table.adopt(Inode(ino=5))
+        assert table.get(5) is not None
+        # skipped slots become allocatable
+        inos = {table.allocate().ino for _ in range(4)}
+        assert inos == {1, 2, 3, 4}
+
+    def test_adopt_outside_range_rejected(self):
+        table = InodeTable(first_ino=1, capacity=4)
+        with pytest.raises(FSError):
+            table.adopt(Inode(ino=99))
+
+    def test_free_count(self):
+        table = InodeTable(first_ino=1, capacity=5)
+        assert table.free_count == 5
+        a = table.allocate()
+        assert table.free_count == 4
+        table.free(a.ino)
+        assert table.free_count == 5
+
+
+class TestOpenFileHandles:
+    def test_closed_handle_rejected(self):
+        device = PMDevice(64 * MIB)
+        fs = WineFS(device, num_cpus=2)
+        ctx = make_context(2)
+        fs.mkfs(ctx)
+        f = fs.create("/f", ctx)
+        f.close()
+        with pytest.raises(BadFileError):
+            f.append(b"x", ctx)
+        with pytest.raises(BadFileError):
+            f.pread(0, 1, ctx)
+        with pytest.raises(BadFileError):
+            f.fsync(ctx)
+
+    def test_handle_offset_tracking(self):
+        device = PMDevice(64 * MIB)
+        fs = WineFS(device, num_cpus=2)
+        ctx = make_context(2)
+        fs.mkfs(ctx)
+        f = fs.create("/f", ctx)
+        f.write(b"abc", ctx)
+        f.write(b"def", ctx)
+        assert f.offset == 6
+        assert fs.read_file("/f", ctx) == b"abcdef"
+
+
+class TestJournalRegion:
+    def _mgr(self):
+        device = PMDevice(64 * MIB, track_stores=True)
+        layout = Layout(num_cpus=2, total_blocks=device.size // 4096)
+        return JournalManager(device, layout), device, layout
+
+    def test_entry_pack_unpack(self):
+        e = JournalEntry(TYPE_DATA, wraparound=3, txn_id=42, addr=0x1000,
+                         undo=b"old-bytes")
+        raw = e.pack()
+        assert len(raw) == ENTRY_BYTES
+        back = JournalEntry.unpack(raw)
+        assert back.txn_id == 42
+        assert back.undo == b"old-bytes"
+        assert back.wraparound == 3
+
+    def test_zero_entry_unpacks_none(self):
+        assert JournalEntry.unpack(b"\x00" * ENTRY_BYTES) is None
+
+    def test_garbage_type_rejected(self):
+        raw = bytearray(ENTRY_BYTES)
+        raw[0] = 0x7F
+        with pytest.raises(CorruptionError):
+            JournalEntry.unpack(bytes(raw))
+
+    def test_oversized_undo_rejected(self):
+        with pytest.raises(FSError):
+            JournalEntry(TYPE_DATA, 0, 1, 0, b"x" * 60).pack()
+
+    def test_txn_lifecycle(self):
+        mgr, device, layout = self._mgr()
+        ctx = make_context(2)
+        txn = mgr.begin(ctx)
+        assert not txn.committed
+        txn.commit(ctx)
+        assert txn.committed
+        with pytest.raises(FSError):
+            txn.commit(ctx)
+
+    def test_reserve_bounds_txn_size(self):
+        mgr, device, layout = self._mgr()
+        ctx = make_context(2)
+        with pytest.raises(FSError):
+            mgr.journals[0].reserve(MAX_TXN_ENTRIES + 1, ctx)
+
+    def test_wraparound_counter_increments(self):
+        mgr, device, layout = self._mgr()
+        ctx = make_context(2)
+        journal = mgr.journals[0]
+        start_wrap = journal.wraparound
+        for _ in range(journal.capacity + 2):
+            journal.append(JournalEntry(TYPE_START, 0, 1, 0, b""), ctx)
+            journal.reclaim_committed()
+        assert journal.wraparound > start_wrap
+
+    def test_scan_orders_by_generation(self):
+        """After a wraparound, scan returns entries oldest-first."""
+        mgr, device, layout = self._mgr()
+        ctx = make_context(2)
+        journal = mgr.journals[0]
+        total = journal.capacity + 4
+        for i in range(total):
+            journal.append(
+                JournalEntry(TYPE_DATA, 0, i + 1, 0, b""), ctx)
+            journal.reclaim_committed()
+        entries = journal.scan()
+        ids = [e.txn_id for e in entries]
+        assert ids == sorted(ids)
+        assert ids[-1] == total

@@ -1,0 +1,93 @@
+"""Fast shape tests for the paper's headline results.
+
+The full figure benchmarks live in ``benchmarks/``; these are scaled-down
+versions that run in seconds so the unit suite alone catches regressions
+in the qualitative results.
+"""
+
+import pytest
+
+from repro.clock import make_context
+from repro.core.filesystem import WineFS
+from repro.fs import Ext4DAX, NovaFS, PMFS
+from repro.aging import AGRAWAL, Geriatrix
+from repro.aging.fragmentation import file_mappability
+from repro.params import GIB, MIB
+from repro.pm.device import PMDevice
+from repro.workloads import mmap_rw_benchmark, run_fillseqbatch
+
+
+def _fresh(cls, size=256 * MIB):
+    device = PMDevice(size)
+    fs = cls(device, num_cpus=4, track_data=False)
+    ctx = make_context(4)
+    fs.mkfs(ctx)
+    return fs, ctx
+
+
+def _aged(cls, util=0.7, churn=3.0, size=256 * MIB):
+    fs, ctx = _fresh(cls, size)
+    Geriatrix(fs, AGRAWAL, target_utilization=util, seed=7).age(
+        ctx, write_volume=int(churn * size))
+    ctx.clock.reset()
+    return fs, ctx
+
+
+class TestHeadlines:
+    def test_fig1_shape_aged_winefs_beats_baselines(self):
+        """Aged WineFS keeps mmap bandwidth; ext4/NOVA lose it."""
+        bw = {}
+        for cls in (WineFS, Ext4DAX, NovaFS):
+            fs, ctx = _aged(cls)
+            stats = fs.statfs()
+            size = int(stats.free_blocks * stats.block_size * 0.6)
+            size -= size % (2 * MIB)
+            r = mmap_rw_benchmark(fs, ctx, file_size=size, io_size=2 * MIB,
+                                  pattern="seq-write")
+            bw[cls.__name__] = r.throughput_mb_s
+        assert bw["WineFS"] > 1.3 * bw["Ext4DAX"]
+        assert bw["WineFS"] >= bw["NovaFS"]
+
+    def test_fig2_shape_hugepages_cut_fault_count_512x(self):
+        wfs, wctx = _fresh(WineFS)
+        r_huge = mmap_rw_benchmark(wfs, wctx, file_size=2 * MIB,
+                                   io_size=2 * MIB, pattern="seq-write",
+                                   create="fallocate")
+        pfs, pctx = _fresh(PMFS)
+        r_base = mmap_rw_benchmark(pfs, pctx, file_size=2 * MIB,
+                                   io_size=2 * MIB, pattern="seq-write",
+                                   create="fallocate")
+        assert r_huge.page_faults_2m == 1
+        assert r_base.page_faults_4k == 512
+        assert r_base.elapsed_ns > r_huge.elapsed_ns
+
+    def test_fig3_shape_aged_free_space_ordering(self):
+        frac = {}
+        for cls in (WineFS, NovaFS):
+            fs, _ = _aged(cls, util=0.6)
+            frac[cls.__name__] = fs.statfs().free_space_aligned_fraction
+        assert frac["WineFS"] > frac["NovaFS"]
+
+    def test_fig7_shape_lmdb_on_winefs(self):
+        """The LMDB result: demand faults are hugepage-sized on WineFS."""
+        kops = {}
+        faults = {}
+        for cls in (WineFS, Ext4DAX):
+            fs, ctx = _aged(cls, util=0.6)
+            r = run_fillseqbatch(fs, ctx, keys=5000, map_size=16 * MIB)
+            kops[cls.__name__] = r.kops_per_sec
+            faults[cls.__name__] = r.page_faults
+        assert kops["WineFS"] > 1.2 * kops["Ext4DAX"]
+        assert faults["Ext4DAX"] > 50 * max(1, faults["WineFS"])
+
+    def test_aged_allocation_mappability_headline(self):
+        """The core claim: a file allocated on an aged WineFS is hugepage-
+        mappable; on aged ext4-DAX it is not."""
+        mapp = {}
+        for cls in (WineFS, Ext4DAX):
+            fs, ctx = _aged(cls)
+            f = fs.create("/probe", ctx)
+            f.fallocate(0, 8 * MIB, ctx)
+            mapp[cls.__name__] = file_mappability(fs, f.ino)
+        assert mapp["WineFS"] >= 0.75
+        assert mapp["Ext4DAX"] <= 0.25

@@ -1,0 +1,200 @@
+"""MMU tests: page tables, TLB, cache model, mapped regions."""
+
+import pytest
+
+from repro.clock import make_context
+from repro.errors import InvalidArgumentError, SimulationError
+from repro.mmu.cache import CacheModel
+from repro.mmu.mmap_region import MappedRegion
+from repro.mmu.page_table import PageTable
+from repro.mmu.tlb import TLB
+from repro.params import (BASE_PAGE, BLOCKS_PER_HUGEPAGE, DEFAULT_MACHINE,
+                          HUGE_PAGE, MIB)
+from repro.pm.device import PMDevice
+from repro.structures.extents import Extent, ExtentList
+
+PPH = HUGE_PAGE // BASE_PAGE
+
+
+class TestPageTable:
+    def test_base_mapping(self):
+        pt = PageTable()
+        pt.install_base(3, 3 * BASE_PAGE)
+        assert pt.is_mapped(3)
+        assert pt.translate(3 * BASE_PAGE + 17) == 3 * BASE_PAGE + 17
+
+    def test_huge_mapping_covers_512_pages(self):
+        pt = PageTable()
+        pt.install_huge(0, 0)
+        for page in (0, 1, 511):
+            assert pt.is_mapped(page)
+        assert not pt.is_mapped(512)
+        assert pt.translate(HUGE_PAGE - 1) == HUGE_PAGE - 1
+
+    def test_huge_requires_alignment(self):
+        pt = PageTable()
+        with pytest.raises(SimulationError):
+            pt.install_huge(3, 0)            # virtual misaligned
+        with pytest.raises(SimulationError):
+            pt.install_huge(0, BASE_PAGE)    # physical misaligned
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        pt.install_base(0, 0)
+        with pytest.raises(SimulationError):
+            pt.install_base(0, BASE_PAGE)
+        with pytest.raises(SimulationError):
+            pt.install_huge(0, HUGE_PAGE)
+
+    def test_translate_unmapped_raises(self):
+        with pytest.raises(SimulationError):
+            PageTable().translate(0)
+
+    def test_hugepage_fraction(self):
+        pt = PageTable()
+        pt.install_huge(0, 0)
+        pt.install_base(512, HUGE_PAGE + 0)
+        assert pt.hugepage_fraction(1024) == 0.5
+
+
+class TestTLB:
+    def test_hit_after_install(self):
+        tlb = TLB(entries_4k=4, entries_2m=4)
+        assert not tlb.access(1, 0, huge=False)   # cold miss
+        assert tlb.access(1, 0, huge=False)       # now hits
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries_4k=2, entries_2m=2)
+        tlb.access(1, 0, False)
+        tlb.access(1, 1, False)
+        tlb.access(1, 2, False)   # evicts page 0
+        assert not tlb.access(1, 0, False)
+
+    def test_sizes_are_separate(self):
+        tlb = TLB(entries_4k=1, entries_2m=1)
+        tlb.access(1, 0, False)
+        tlb.access(1, 0, True)
+        assert tlb.access(1, 0, False)
+        assert tlb.access(1, 0, True)
+
+    def test_invalidate_region(self):
+        tlb = TLB(4, 4)
+        tlb.access(1, 0, False)
+        tlb.access(2, 0, False)
+        dropped = tlb.invalidate_region(1)
+        assert dropped == 1
+        assert not tlb.access(1, 0, False)
+        assert tlb.access(2, 0, False)
+
+    def test_miss_rate(self):
+        tlb = TLB(4, 4)
+        tlb.access(1, 0, False)
+        tlb.access(1, 0, False)
+        assert tlb.miss_rate == 0.5
+
+
+class TestCacheModel:
+    def test_small_hot_set_hits(self):
+        cache = CacheModel(DEFAULT_MACHINE, hot_set_bytes=1024, seed=1)
+        hits = sum(cache.access_hot_line() for _ in range(100))
+        assert hits == 100
+
+    def test_pollution_causes_misses(self):
+        cache = CacheModel(DEFAULT_MACHINE, hot_set_bytes=1024, seed=1)
+        misses = 0
+        for _ in range(200):
+            cache.pollute()
+            if not cache.access_hot_line():
+                misses += 1
+        assert misses > 100   # pte_pollution = 0.9
+
+    def test_latencies(self):
+        cache = CacheModel(DEFAULT_MACHINE, hot_set_bytes=0, seed=0)
+        assert cache.access_latency_ns(True) == DEFAULT_MACHINE.llc_hit_ns
+        assert cache.access_latency_ns(False) == DEFAULT_MACHINE.pm_load_ns
+
+
+def _region(extent_start_blocks, length=4 * MIB, track_data=True,
+            zero_fill=False):
+    dev = PMDevice(64 * MIB)
+    extents = ExtentList([Extent(s, n) for s, n in extent_start_blocks])
+    return MappedRegion(dev, DEFAULT_MACHINE, extents, length, 4096,
+                        fault_zero_fill=zero_fill, track_data=track_data)
+
+
+class TestMappedRegion:
+    def test_aligned_extent_maps_huge(self):
+        region = _region([(0, 2 * BLOCKS_PER_HUGEPAGE)])
+        ctx = make_context(1)
+        region.prefault(ctx)
+        assert ctx.counters.page_faults_2m == 2
+        assert ctx.counters.page_faults_4k == 0
+        assert region.hugepage_fraction == 1.0
+
+    def test_misaligned_extent_maps_base(self):
+        region = _region([(1, 2 * BLOCKS_PER_HUGEPAGE)])
+        ctx = make_context(1)
+        region.prefault(ctx)
+        assert ctx.counters.page_faults_2m == 0
+        assert ctx.counters.page_faults_4k == 1024
+
+    def test_fragmented_extents_map_base(self):
+        half = BLOCKS_PER_HUGEPAGE // 2
+        region = _region([(0, half), (BLOCKS_PER_HUGEPAGE, half),
+                          (3 * BLOCKS_PER_HUGEPAGE, BLOCKS_PER_HUGEPAGE)],
+                         length=2 * MIB)
+        ctx = make_context(1)
+        region.prefault(ctx)
+        assert ctx.counters.page_faults_2m == 0
+
+    def test_write_then_read_roundtrip(self):
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB)
+        ctx = make_context(1)
+        region.write(100, b"payload", ctx)
+        assert region.read(100, 7, ctx) == b"payload"
+
+    def test_write_spanning_extents(self):
+        region = _region([(0, 1), (10, 1)], length=8192)
+        ctx = make_context(1)
+        data = bytes(range(100)) * 50   # 5000 bytes, crosses the boundary
+        region.write(2000, data, ctx)
+        assert region.read(2000, len(data), ctx) == data
+
+    def test_faults_only_once(self):
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB)
+        ctx = make_context(1)
+        region.read(0, 4096, ctx)
+        faults = ctx.counters.page_faults
+        region.read(0, 4096, ctx)
+        assert ctx.counters.page_faults == faults
+
+    def test_out_of_range_rejected(self):
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB)
+        ctx = make_context(1)
+        with pytest.raises(InvalidArgumentError):
+            region.read(2 * MIB - 2, 4, ctx)
+
+    def test_zero_fill_charged_for_unwritten(self):
+        ctx_zero = make_context(1)
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB,
+                         zero_fill=True)
+        region.prefault(ctx_zero)
+        ctx_plain = make_context(1)
+        region2 = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB,
+                          zero_fill=False)
+        region2.prefault(ctx_plain)
+        assert ctx_zero.now > ctx_plain.now
+
+    def test_unmap_invalidates_tlb(self):
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB)
+        ctx = make_context(1)
+        region.read(0, 4096, ctx)
+        assert region.unmap() >= 1
+        assert not region.page_table.is_mapped(0)
+
+    def test_read_element_returns_latency(self):
+        region = _region([(0, BLOCKS_PER_HUGEPAGE)], length=2 * MIB)
+        ctx = make_context(1)
+        region.prefault(ctx)
+        lat = region.read_element(64, ctx)
+        assert lat > 0

@@ -1,0 +1,284 @@
+"""POSIX-semantics tests, parametrized over every file system.
+
+The analog of the paper's "Linux POSIX file system test suite" run
+(§5.2): every evaluated file system must expose the same observable
+behaviour for the namespace and data operations the workloads use.
+"""
+
+import pytest
+
+from repro.errors import (ExistsError, InvalidArgumentError,
+                          IsADirectoryError_, NotADirectoryError_,
+                          NotEmptyError, NotFoundError)
+from repro.params import KIB, MIB
+
+
+class TestCreateOpen:
+    def test_create_then_open(self, any_fs, ctx):
+        any_fs.create("/a", ctx).close()
+        f = any_fs.open("/a", ctx)
+        assert any_fs.getattr_ino(f.ino).size == 0
+
+    def test_create_existing_fails(self, any_fs, ctx):
+        any_fs.create("/a", ctx)
+        with pytest.raises(ExistsError):
+            any_fs.create("/a", ctx)
+
+    def test_open_missing_fails(self, any_fs, ctx):
+        with pytest.raises(NotFoundError):
+            any_fs.open("/nope", ctx)
+
+    def test_open_directory_fails(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        with pytest.raises(IsADirectoryError_):
+            any_fs.open("/d", ctx)
+
+    def test_create_in_missing_dir_fails(self, any_fs, ctx):
+        with pytest.raises(NotFoundError):
+            any_fs.create("/nodir/a", ctx)
+
+    def test_create_under_file_fails(self, any_fs, ctx):
+        any_fs.create("/f", ctx)
+        with pytest.raises(NotADirectoryError_):
+            any_fs.create("/f/child", ctx)
+
+    def test_relative_path_rejected(self, any_fs, ctx):
+        with pytest.raises(InvalidArgumentError):
+            any_fs.create("relative", ctx)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.append(b"hello world", ctx)
+        assert any_fs.read_file("/data", ctx) == b"hello world"
+
+    def test_overwrite_middle(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.append(b"a" * 10000, ctx)
+        f.pwrite(5000, b"B" * 100, ctx)
+        data = any_fs.read_file("/data", ctx)
+        assert data[4999:5101] == b"a" + b"B" * 100 + b"a"
+        assert len(data) == 10000
+
+    def test_write_extends_size(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.pwrite(100, b"x", ctx)
+        assert any_fs.getattr_ino(f.ino).size == 101
+
+    def test_read_past_eof_truncated(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.append(b"short", ctx)
+        assert f.pread(0, 100, ctx) == b"short"
+        assert f.pread(10, 5, ctx) == b""
+
+    def test_sequential_read_advances_offset(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.append(b"abcdef", ctx)
+        f.offset = 0
+        assert f.read(3, ctx) == b"abc"
+        assert f.read(3, ctx) == b"def"
+
+    def test_empty_write_is_noop(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        assert f.pwrite(0, b"", ctx) == 0
+        assert any_fs.getattr_ino(f.ino).size == 0
+
+    def test_large_write_many_blocks(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        payload = bytes(range(256)) * 64 * 40   # 640KB
+        f.append(payload, ctx)
+        assert any_fs.read_file("/data", ctx) == payload
+
+    def test_negative_offset_rejected(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        with pytest.raises(InvalidArgumentError):
+            f.pwrite(-1, b"x", ctx)
+
+    def test_fsync_completes(self, any_fs, ctx):
+        f = any_fs.create("/data", ctx)
+        f.append(b"durable", ctx)
+        f.fsync(ctx)
+        assert any_fs.read_file("/data", ctx) == b"durable"
+
+
+class TestTruncateFallocate:
+    def test_truncate_shrink(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        f.append(b"0123456789" * 1000, ctx)
+        f.ftruncate(100, ctx)
+        assert any_fs.getattr_ino(f.ino).size == 100
+        assert any_fs.read_file("/t", ctx) == (b"0123456789" * 10)
+
+    def test_truncate_grow_is_sparse(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        f.ftruncate(1 * MIB, ctx)
+        st = any_fs.getattr_ino(f.ino)
+        assert st.size == 1 * MIB
+        assert st.blocks == 0               # no allocation yet
+
+    def test_truncate_then_read_zeroes(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        f.append(b"xy", ctx)
+        f.ftruncate(10, ctx)
+        assert any_fs.read_file("/t", ctx) == b"xy" + b"\x00" * 8
+
+    def test_fallocate_allocates(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        f.fallocate(0, 64 * KIB, ctx)
+        st = any_fs.getattr_ino(f.ino)
+        assert st.size == 64 * KIB
+        assert st.blocks == 16
+
+    def test_fallocate_bad_args(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        with pytest.raises(InvalidArgumentError):
+            f.fallocate(0, 0, ctx)
+
+    def test_truncate_frees_blocks(self, any_fs, ctx):
+        f = any_fs.create("/t", ctx)
+        f.fallocate(0, 1 * MIB, ctx)
+        free_before = any_fs.statfs().free_blocks
+        f.ftruncate(0, ctx)
+        assert any_fs.statfs().free_blocks > free_before
+
+
+class TestNamespace:
+    def test_mkdir_readdir(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        any_fs.create("/d/x", ctx)
+        any_fs.create("/d/y", ctx)
+        assert any_fs.readdir("/d", ctx) == ["x", "y"]
+
+    def test_mkdir_existing_fails(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        with pytest.raises(ExistsError):
+            any_fs.mkdir("/d", ctx)
+
+    def test_nested_dirs(self, any_fs, ctx):
+        any_fs.mkdir("/a", ctx)
+        any_fs.mkdir("/a/b", ctx)
+        any_fs.create("/a/b/c", ctx)
+        assert any_fs.getattr("/a/b/c").is_dir is False
+        assert any_fs.getattr("/a/b").is_dir is True
+
+    def test_unlink_removes(self, any_fs, ctx):
+        any_fs.create("/f", ctx)
+        any_fs.unlink("/f", ctx)
+        assert not any_fs.exists("/f")
+        with pytest.raises(NotFoundError):
+            any_fs.unlink("/f", ctx)
+
+    def test_unlink_frees_space(self, any_fs, ctx):
+        f = any_fs.create("/f", ctx)
+        f.fallocate(0, 4 * MIB, ctx)
+        free = any_fs.statfs().free_blocks
+        any_fs.unlink("/f", ctx)
+        assert any_fs.statfs().free_blocks >= free + 1024
+
+    def test_unlink_directory_fails(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        with pytest.raises(IsADirectoryError_):
+            any_fs.unlink("/d", ctx)
+
+    def test_rmdir(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        any_fs.rmdir("/d", ctx)
+        assert not any_fs.exists("/d")
+
+    def test_rmdir_nonempty_fails(self, any_fs, ctx):
+        any_fs.mkdir("/d", ctx)
+        any_fs.create("/d/f", ctx)
+        with pytest.raises(NotEmptyError):
+            any_fs.rmdir("/d", ctx)
+
+    def test_rmdir_file_fails(self, any_fs, ctx):
+        any_fs.create("/f", ctx)
+        with pytest.raises(NotADirectoryError_):
+            any_fs.rmdir("/f", ctx)
+
+    def test_rename_same_dir(self, any_fs, ctx):
+        f = any_fs.create("/old", ctx)
+        f.append(b"content", ctx)
+        any_fs.rename("/old", "/new", ctx)
+        assert not any_fs.exists("/old")
+        assert any_fs.read_file("/new", ctx) == b"content"
+
+    def test_rename_cross_dir(self, any_fs, ctx):
+        any_fs.mkdir("/a", ctx)
+        any_fs.mkdir("/b", ctx)
+        any_fs.create("/a/f", ctx)
+        any_fs.rename("/a/f", "/b/g", ctx)
+        assert any_fs.readdir("/a", ctx) == []
+        assert any_fs.readdir("/b", ctx) == ["g"]
+
+    def test_rename_clobbers_target(self, any_fs, ctx):
+        src = any_fs.create("/src", ctx)
+        src.append(b"SRC", ctx)
+        dst = any_fs.create("/dst", ctx)
+        dst.append(b"x" * 8192, ctx)
+        free = any_fs.statfs().free_blocks
+        any_fs.rename("/src", "/dst", ctx)
+        assert any_fs.read_file("/dst", ctx) == b"SRC"
+        assert any_fs.statfs().free_blocks >= free   # victim blocks freed
+
+    def test_rename_missing_source_fails(self, any_fs, ctx):
+        with pytest.raises(NotFoundError):
+            any_fs.rename("/nope", "/x", ctx)
+
+    def test_getattr_fields(self, any_fs, ctx):
+        f = any_fs.create("/f", ctx)
+        f.append(b"12345", ctx)
+        st = any_fs.getattr("/f", ctx)
+        assert st.size == 5 and not st.is_dir and st.ino == f.ino
+
+    def test_root_listing(self, any_fs, ctx):
+        any_fs.create("/a", ctx)
+        any_fs.mkdir("/b", ctx)
+        assert any_fs.readdir("/", ctx) == ["a", "b"]
+
+
+class TestStatfs:
+    def test_utilization_moves(self, any_fs, ctx):
+        before = any_fs.statfs().utilization
+        f = any_fs.create("/big", ctx)
+        f.fallocate(0, 16 * MIB, ctx)
+        after = any_fs.statfs().utilization
+        assert after > before
+
+    def test_file_count(self, any_fs, ctx):
+        base = any_fs.statfs().files
+        any_fs.create("/one", ctx)
+        any_fs.mkdir("/two", ctx)
+        assert any_fs.statfs().files == base + 2
+
+
+class TestMmapBasics:
+    def test_mmap_read_matches_file(self, any_fs, ctx):
+        f = any_fs.create("/m", ctx)
+        payload = bytes(range(256)) * 32
+        f.append(payload, ctx)
+        region = f.mmap(ctx)
+        assert region.read(0, len(payload), ctx) == payload
+        region.unmap()
+
+    def test_mmap_write_visible_to_reads(self, any_fs, ctx):
+        f = any_fs.create("/m", ctx)
+        f.append(b"\x00" * 8192, ctx)
+        region = f.mmap(ctx)
+        region.write(100, b"via-mmap", ctx)
+        region.unmap()
+        assert any_fs.read_file("/m", ctx)[100:108] == b"via-mmap"
+
+    def test_mmap_empty_rejected(self, any_fs, ctx):
+        f = any_fs.create("/m", ctx)
+        with pytest.raises(InvalidArgumentError):
+            f.mmap(ctx)
+
+    def test_sparse_mmap_demand_allocates(self, any_fs, ctx):
+        f = any_fs.create("/m", ctx)
+        f.ftruncate(4 * MIB, ctx)
+        region = f.mmap(ctx, length=4 * MIB)
+        region.write(0, b"demand", ctx)
+        assert any_fs.getattr_ino(f.ino).blocks > 0
+        region.unmap()

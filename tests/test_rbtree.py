@@ -1,0 +1,177 @@
+"""Red-black tree tests, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.rbtree import RBTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = RBTree()
+        assert len(t) == 0
+        assert not t
+        assert 5 not in t
+        assert t.get(5) is None
+
+    def test_insert_and_get(self):
+        t = RBTree()
+        t.insert(10, "a")
+        t.insert(5, "b")
+        assert t[10] == "a"
+        assert t[5] == "b"
+        assert len(t) == 2
+
+    def test_insert_replaces(self):
+        t = RBTree()
+        t.insert(1, "x")
+        t.insert(1, "y")
+        assert t[1] == "y"
+        assert len(t) == 1
+
+    def test_getitem_missing_raises(self):
+        t = RBTree()
+        with pytest.raises(KeyError):
+            t[42]
+
+    def test_remove(self):
+        t = RBTree()
+        t.insert(1, "a")
+        t.insert(2, "b")
+        assert t.remove(1) == "a"
+        assert 1 not in t
+        assert len(t) == 1
+
+    def test_remove_missing_raises(self):
+        t = RBTree()
+        with pytest.raises(KeyError):
+            t.remove(7)
+
+    def test_setitem_delitem(self):
+        t = RBTree()
+        t[3] = "c"
+        assert t[3] == "c"
+        del t[3]
+        assert 3 not in t
+
+    def test_items_sorted(self):
+        t = RBTree()
+        for k in [5, 1, 9, 3, 7]:
+            t.insert(k, k * 10)
+        assert list(t.keys()) == [1, 3, 5, 7, 9]
+        assert list(t.values()) == [10, 30, 50, 70, 90]
+
+    def test_min_max(self):
+        t = RBTree()
+        for k in [5, 1, 9]:
+            t.insert(k, None)
+        assert t.min_item() == (1, None)
+        assert t.max_item() == (9, None)
+
+    def test_min_empty_raises(self):
+        with pytest.raises(KeyError):
+            RBTree().min_item()
+
+    def test_pop_min(self):
+        t = RBTree()
+        t.insert(2, "b")
+        t.insert(1, "a")
+        assert t.pop_min() == (1, "a")
+        assert len(t) == 1
+
+    def test_clear(self):
+        t = RBTree()
+        t.insert(1, None)
+        t.clear()
+        assert len(t) == 0
+
+
+class TestFloorCeiling:
+    def setup_method(self):
+        self.t = RBTree()
+        for k in [10, 20, 30, 40]:
+            self.t.insert(k, str(k))
+
+    def test_floor_exact(self):
+        assert self.t.floor_item(20) == (20, "20")
+
+    def test_floor_between(self):
+        assert self.t.floor_item(25) == (20, "20")
+
+    def test_floor_below_min(self):
+        assert self.t.floor_item(5) is None
+
+    def test_floor_above_max(self):
+        assert self.t.floor_item(99) == (40, "40")
+
+    def test_ceiling_exact(self):
+        assert self.t.ceiling_item(30) == (30, "30")
+
+    def test_ceiling_between(self):
+        assert self.t.ceiling_item(25) == (30, "30")
+
+    def test_ceiling_above_max(self):
+        assert self.t.ceiling_item(45) is None
+
+    def test_ceiling_below_min(self):
+        assert self.t.ceiling_item(1) == (10, "10")
+
+
+class TestInvariants:
+    def test_sequential_inserts_stay_balanced(self):
+        t = RBTree()
+        for k in range(1000):
+            t.insert(k, k)
+        t.check_invariants()
+        assert list(t.keys()) == list(range(1000))
+
+    def test_alternating_insert_delete(self):
+        t = RBTree()
+        for k in range(200):
+            t.insert(k, k)
+        for k in range(0, 200, 2):
+            t.remove(k)
+        t.check_invariants()
+        assert list(t.keys()) == list(range(1, 200, 2))
+
+    @given(st.lists(st.integers(0, 10_000), min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_semantics(self, keys):
+        t = RBTree()
+        d = {}
+        for k in keys:
+            t.insert(k, k * 2)
+            d[k] = k * 2
+        assert sorted(d.items()) == list(t.items())
+        t.check_invariants()
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["add", "del"]), st.integers(0, 100)),
+        min_size=0, max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_random_ops_preserve_invariants(self, ops):
+        t = RBTree()
+        d = {}
+        for op, k in ops:
+            if op == "add":
+                t.insert(k, k)
+                d[k] = k
+            elif k in d:
+                t.remove(k)
+                del d[k]
+        t.check_invariants()
+        assert sorted(d) == list(t.keys())
+
+    @given(st.sets(st.integers(0, 1000), min_size=1, max_size=100),
+           st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_floor_ceiling_match_reference(self, keys, probe):
+        t = RBTree()
+        for k in keys:
+            t.insert(k, None)
+        floor = max((k for k in keys if k <= probe), default=None)
+        ceil = min((k for k in keys if k >= probe), default=None)
+        got_floor = t.floor_item(probe)
+        got_ceil = t.ceiling_item(probe)
+        assert (got_floor[0] if got_floor else None) == floor
+        assert (got_ceil[0] if got_ceil else None) == ceil

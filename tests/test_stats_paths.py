@@ -1,0 +1,121 @@
+"""Statistics helpers and VFS path utilities."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.structures.stats import (LatencyRecorder, normalize, ops_per_sec,
+                                    percentile, throughput_mb_s)
+from repro.vfs.path import (basename_of, join, normalize_path, parent_of,
+                            split_path)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(map(float, range(101)))
+        assert percentile(data, 0) == 0.0
+        assert percentile(data, 100) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyRecorder:
+    def test_summary(self):
+        rec = LatencyRecorder()
+        rec.extend([10.0, 20.0, 30.0, 40.0])
+        s = rec.summary()
+        assert s.count == 4
+        assert s.mean == 25.0
+        assert s.minimum == 10.0 and s.maximum == 40.0
+        assert "p50" in str(s)
+
+    def test_cdf_monotone(self):
+        rec = LatencyRecorder()
+        rec.extend(float(x) for x in range(100))
+        cdf = rec.cdf(10)
+        lats = [lat for lat, _ in cdf]
+        fracs = [f for _, f in cdf]
+        assert lats == sorted(lats)
+        assert fracs[0] == 0.0 and fracs[-1] == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().summary()
+
+
+class TestThroughput:
+    def test_mb_per_s(self):
+        # 1 MB in 1 ms = 1000 MB/s
+        assert throughput_mb_s(1_000_000, 1e6) == pytest.approx(1000.0)
+
+    def test_ops_per_sec(self):
+        assert ops_per_sec(100, 1e9) == pytest.approx(100.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_mb_s(1, 0)
+        with pytest.raises(ValueError):
+            ops_per_sec(1, -5)
+
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, "zz")
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize_path("/a//b/") == "/a/b"
+        assert normalize_path("/") == "/"
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            normalize_path("a/b")
+        with pytest.raises(InvalidArgumentError):
+            normalize_path("")
+
+    def test_dots_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            normalize_path("/a/../b")
+        with pytest.raises(InvalidArgumentError):
+            normalize_path("/./a")
+
+    def test_split(self):
+        assert split_path("/") == []
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_parent_basename(self):
+        assert parent_of("/a/b/c") == "/a/b"
+        assert parent_of("/a") == "/"
+        assert basename_of("/a/b") == "b"
+        with pytest.raises(InvalidArgumentError):
+            parent_of("/")
+        with pytest.raises(InvalidArgumentError):
+            basename_of("/")
+
+    def test_join(self):
+        assert join("/", "a") == "/a"
+        assert join("/a", "b") == "/a/b"
+        with pytest.raises(InvalidArgumentError):
+            join("/a", "b/c")
+        with pytest.raises(InvalidArgumentError):
+            join("/a", "")
