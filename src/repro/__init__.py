@@ -22,6 +22,8 @@ See README.md and DESIGN.md at the repository root.
 from dataclasses import dataclass
 
 from .clock import EventCounters, SimClock, SimContext, make_context
+from .obs import (MetricsRegistry, NULL_TRACER, Tracer, chrome_trace,
+                  write_chrome_trace, write_metrics_json, write_span_jsonl)
 from .params import (DEFAULT_MACHINE, GIB, HUGE_PAGE, KIB, MIB,
                      MachineParams, PartitionParams)
 from .pm.device import PMDevice
@@ -68,6 +70,8 @@ DATA_CONSISTENT_FS = ["NOVA", "Strata", "WineFS"]
 __all__ = [
     "Machine", "make_machine", "make_context",
     "SimClock", "SimContext", "EventCounters",
+    "MetricsRegistry", "NULL_TRACER", "Tracer", "chrome_trace",
+    "write_chrome_trace", "write_metrics_json", "write_span_jsonl",
     "MachineParams", "PartitionParams", "DEFAULT_MACHINE",
     "PMDevice", "NumaTopology",
     "WineFS", "Ext4DAX", "NovaFS", "PMFS", "XfsDAX", "SplitFS", "StrataFS",

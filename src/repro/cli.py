@@ -30,6 +30,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--size-gib", type=float, default=0.5,
                    help="simulated partition size in GiB")
     p.add_argument("--cpus", type=int, default=4)
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="dump the run's metrics registry as JSON "
+                        "('-' for stdout)")
+
+
+def _dump_metrics(args, counters) -> None:
+    if getattr(args, "metrics_out", None):
+        from .obs import write_metrics_json
+        write_metrics_json(args.metrics_out, counters.registry)
 
 
 def cmd_info(_args) -> int:
@@ -57,6 +66,7 @@ def cmd_age(args) -> int:
           f"churn ({result.files_created} creates / "
           f"{result.files_deleted} deletes)")
     print(fragmentation_report(fs))
+    _dump_metrics(args, ctx.counters)
     return 0
 
 
@@ -79,6 +89,7 @@ def cmd_mmap_bench(args) -> int:
           f"{r.throughput_mb_s:,.0f} MB/s; faults "
           f"{r.page_faults_2m} huge / {r.page_faults_4k} base; "
           f"{r.fault_time_fraction:.0%} of time in faults")
+    _dump_metrics(args, ctx.counters)
     return 0
 
 
@@ -104,6 +115,7 @@ def cmd_scalability(args) -> int:
     from .pm.device import PMDevice
     spec = SPECS_BY_NAME[args.fs]
     table = Table(f"{args.fs} scalability", ["threads", "Kops/s"])
+    merged = None
     for threads in args.threads:
         device = PMDevice(int(args.size_gib * GIB))
         fs = spec.build(device, num_cpus=min(threads, 16),
@@ -113,12 +125,57 @@ def cmd_scalability(args) -> int:
         ctx.clock.reset()
         r = run_scalability(fs, ctx, threads=threads, ops_per_thread=60)
         table.add_row(threads, r.kops_per_sec)
+        merged = ctx.counters if merged is None \
+            else merged.merged_with(ctx.counters)
     print(table.render())
+    if merged is not None:
+        _dump_metrics(args, merged)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .harness import phase_breakdown_table
+    from .obs import Tracer, write_chrome_trace, write_span_jsonl
+    from .workloads import posix_rw_benchmark
+    tracer = Tracer(capacity=args.trace_capacity)
+    if args.workload == "scalability":
+        from .clock import make_context
+        from .pm.device import PMDevice
+        spec = SPECS_BY_NAME[args.fs]
+        device = PMDevice(int(args.size_gib * GIB))
+        fs = spec.build(device, num_cpus=args.cpus, track_data=False)
+        ctx = make_context(16, trace=tracer)
+        device.bind_metrics(ctx.counters.registry, fs=args.fs)
+        fs.mkfs(ctx)
+        ctx.clock.reset()
+        run_scalability(fs, ctx, threads=args.cpus, ops_per_thread=60)
+    else:
+        fs, ctx = fresh_fs(args.fs, size_gib=args.size_gib,
+                           num_cpus=args.cpus, trace=tracer)
+        bench = mmap_rw_benchmark if args.workload == "mmap" \
+            else posix_rw_benchmark
+        bench(fs, ctx, file_size=8 * MIB, pattern=args.pattern)
+    if args.format == "chrome":
+        write_chrome_trace(args.trace_out, tracer, ctx.counters.registry)
+    else:
+        write_span_jsonl(args.trace_out, tracer)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {len(tracer)} spans to {args.trace_out} "
+          f"[{args.format}]{dropped}")
+    print(phase_breakdown_table({fs.name: ctx.counters}).render())
+    _dump_metrics(args, ctx.counters)
     return 0
 
 
 def _parse_threads(value: str) -> List[int]:
     return [int(x) for x in value.split(",") if x]
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +213,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scalability", help="Fig 10 slice for one FS")
     _add_common(p)
     p.add_argument("--threads", type=_parse_threads, default=[1, 4, 16])
+
+    p = sub.add_parser("trace", help="run a workload with span tracing on "
+                                     "and export the trace")
+    p.add_argument("workload", choices=["mmap", "posix", "scalability"],
+                   help="which workload to trace")
+    _add_common(p)
+    p.add_argument("--pattern", default="seq-write",
+                   choices=["seq-write", "rand-write", "seq-read",
+                            "rand-read"],
+                   help="I/O pattern for mmap/posix workloads")
+    p.add_argument("--trace-out", metavar="PATH", default="trace.json",
+                   help="output file (default: trace.json)")
+    p.add_argument("--format", choices=["chrome", "jsonl"],
+                   default="chrome",
+                   help="chrome: Perfetto-compatible trace_event JSON; "
+                        "jsonl: one span object per line")
+    p.add_argument("--trace-capacity", type=_positive_int, default=65536,
+                   help="span ring-buffer size (oldest spans drop first)")
     return parser
 
 
@@ -165,6 +240,7 @@ COMMANDS = {
     "mmap-bench": cmd_mmap_bench,
     "crash-test": cmd_crash_test,
     "scalability": cmd_scalability,
+    "trace": cmd_trace,
 }
 
 

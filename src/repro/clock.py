@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .errors import SimulationError
+from .obs.metrics import MetricsRegistry
+from .obs.trace import NULL_TRACER, NullTracer
 
 
 class SimClock:
@@ -71,27 +73,57 @@ class LockManager:
     [t0, t1] and CPU 2 arrives at t < t1, CPU 2's clock jumps to t1.
     """
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
         self._clock = clock
         self._free_at: Dict[str, float] = {}
         self._holder: Dict[str, Optional[int]] = {}
         self._atomic_next: Dict[str, float] = {}
         self.contended_waits = 0
         self.acquisitions = 0
+        self.lock_wait_ns = 0.0
+        #: observability hooks, attached by SimContext.__post_init__
+        self.counters: Optional["EventCounters"] = None
+        self.trace: NullTracer = NULL_TRACER
+
+    def bind(self, clock: SimClock) -> "LockManager":
+        """Attach the clock (idempotent; first binding wins).
+
+        Allows ``LockManager`` to be a plain dataclass default factory for
+        :class:`SimContext`, which owns the clock.
+        """
+        if self._clock is None:
+            self._clock = clock
+        return self
+
+    def _require_clock(self) -> SimClock:
+        if self._clock is None:
+            raise SimulationError("LockManager is not bound to a SimClock")
+        return self._clock
+
+    def _charge_wait(self, name: str, cpu: int, now: float,
+                     until: float) -> None:
+        wait = until - now
+        self.contended_waits += 1
+        self.lock_wait_ns += wait
+        if self.counters is not None:
+            self.counters.lock_wait_ns += wait
+        if self.trace.enabled:
+            self.trace.record("lock.wait", cpu, now, until, lock=name)
 
     def acquire(self, name: str, cpu: int) -> None:
+        clock = self._require_clock()
         free_at = self._free_at.get(name, 0.0)
-        now = self._clock.now(cpu)
+        now = clock.now(cpu)
         if free_at > now:
-            self.contended_waits += 1
-            self._clock.advance_to(cpu, free_at)
+            self._charge_wait(name, cpu, now, free_at)
+            clock.advance_to(cpu, free_at)
         self._holder[name] = cpu
         self.acquisitions += 1
 
     def release(self, name: str, cpu: int) -> None:
         self._holder[name] = None
         # the lock becomes free at the releasing CPU's current time
-        self._free_at[name] = self._clock.now(cpu)
+        self._free_at[name] = self._require_clock().now(cpu)
 
     def holding(self, name: str) -> Optional[int]:
         return self._holder.get(name)
@@ -109,7 +141,8 @@ class LockManager:
         """
         if hold_ns < 0:
             raise SimulationError("negative hold time")
-        now = self._clock.now(cpu)
+        clock = self._require_clock()
+        now = clock.now(cpu)
         busy = self._atomic_next.get(name, 0.0)
         # fluid model: the resource's busy horizon only ever accumulates
         # hold_ns per use — callers never drag it to their own (late)
@@ -119,33 +152,57 @@ class LockManager:
         # no one waits.  This keeps op-granular round-robin execution
         # from serializing work that would overlap in real time.
         if busy > now:
-            self.contended_waits += 1
-            self._clock.advance_to(cpu, busy)
-        self._clock.charge(cpu, hold_ns)
+            self._charge_wait(name, cpu, now, busy)
+            clock.advance_to(cpu, busy)
+        clock.charge(cpu, hold_ns)
         self._atomic_next[name] = busy + hold_ns
         self.acquisitions += 1
 
 
-@dataclass
+#: EventCounters field -> (registry metric name, labels).  The registry is
+#: the source of truth; the legacy field names are properties over it.
+_COUNTER_LAYOUT = (
+    ("page_faults_4k", "page_faults", (("size", "4k"),)),
+    ("page_faults_2m", "page_faults", (("size", "2m"),)),
+    ("tlb_misses", "tlb_lookups", (("result", "miss"),)),
+    ("tlb_hits", "tlb_lookups", (("result", "hit"),)),
+    ("llc_misses", "llc_lookups", (("result", "miss"),)),
+    ("llc_hits", "llc_lookups", (("result", "hit"),)),
+    ("pm_bytes_read", "pm_bytes", (("direction", "read"),)),
+    ("pm_bytes_written", "pm_bytes", (("direction", "write"),)),
+    ("fault_ns", "phase_ns", (("phase", "fault"),)),
+    ("copy_ns", "phase_ns", (("phase", "copy"),)),
+    ("journal_ns", "phase_ns", (("phase", "journal"),)),
+    ("lock_wait_ns", "phase_ns", (("phase", "lock_wait"),)),
+    ("syscalls", "syscalls", ()),
+)
+
+
 class EventCounters:
     """Hardware-ish event counters the evaluation reports.
 
     These feed Table 2 (page faults), Fig 4/8 (TLB and LLC misses), and the
     fault-time breakdowns of Figs 1, 2 and 6.
+
+    Backed by an :class:`~repro.obs.metrics.MetricsRegistry`: each legacy
+    field is a property over one labelled registry series (e.g.
+    ``page_faults_4k`` ↔ ``page_faults{size="4k"}``), so both the ~20
+    inline ``ctx.counters.x += n`` call sites and registry consumers (the
+    per-phase report, ``--metrics-out``) see the same numbers.
     """
 
-    page_faults_4k: int = 0
-    page_faults_2m: int = 0
-    tlb_misses: int = 0
-    tlb_hits: int = 0
-    llc_misses: int = 0
-    llc_hits: int = 0
-    pm_bytes_read: int = 0
-    pm_bytes_written: int = 0
-    fault_ns: float = 0.0          # time spent inside fault handling
-    copy_ns: float = 0.0           # time spent moving data
-    journal_ns: float = 0.0        # time spent journaling / committing
-    syscalls: int = 0
+    _fields = tuple(attr for attr, _name, _labels in _COUNTER_LAYOUT)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 **values: float) -> None:
+        self.registry = MetricsRegistry() if registry is None else registry
+        for attr, name, labels in _COUNTER_LAYOUT:
+            setattr(self, "_" + attr, self.registry.counter(
+                name, **dict(labels)))
+        for key, value in values.items():
+            if key not in self._fields:
+                raise TypeError(f"unknown counter field {key!r}")
+            setattr(self, key, value)
 
     @property
     def page_faults(self) -> int:
@@ -153,9 +210,39 @@ class EventCounters:
 
     def merged_with(self, other: "EventCounters") -> "EventCounters":
         out = EventCounters()
-        for f in self.__dataclass_fields__:
+        for f in self._fields:
             setattr(out, f, getattr(self, f) + getattr(other, f))
         return out
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f: getattr(self, f) for f in self._fields}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        nonzero = ", ".join(f"{k}={v}" for k, v in self.as_dict().items()
+                            if v)
+        return f"EventCounters({nonzero})"
+
+
+def _counter_property(attr: str) -> property:
+    slot = "_" + attr
+
+    def fget(self: EventCounters) -> float:
+        return getattr(self, slot).value
+
+    def fset(self: EventCounters, value: float) -> None:
+        getattr(self, slot).value = value
+
+    return property(fget, fset, doc=f"registry-backed counter {attr!r}")
+
+
+for _attr, _name, _labels in _COUNTER_LAYOUT:
+    setattr(EventCounters, _attr, _counter_property(_attr))
+del _attr, _name, _labels
 
 
 @dataclass
@@ -163,17 +250,25 @@ class SimContext:
     """Everything an operation needs to account for its costs.
 
     Passed down from workloads through the VFS into file systems and the
-    MMU.  ``cpu`` is the virtual CPU the operation runs on.
+    MMU.  ``cpu`` is the virtual CPU the operation runs on.  ``trace`` is
+    the observability handle: the shared no-op :data:`NULL_TRACER` by
+    default, so tracing is off unless a real
+    :class:`~repro.obs.trace.Tracer` is passed in — and recording spans
+    never charges the clock either way.
     """
 
     clock: SimClock
     cpu: int = 0
     counters: EventCounters = field(default_factory=EventCounters)
-    locks: LockManager = field(default=None)  # type: ignore[assignment]
+    locks: LockManager = field(default_factory=LockManager)
+    trace: NullTracer = NULL_TRACER
 
     def __post_init__(self) -> None:
-        if self.locks is None:
-            self.locks = LockManager(self.clock)
+        self.locks.bind(self.clock)
+        if self.locks.counters is None:
+            self.locks.counters = self.counters
+        if self.trace.enabled and not self.locks.trace.enabled:
+            self.locks.trace = self.trace
         if not 0 <= self.cpu < self.clock.num_cpus:
             raise SimulationError(f"cpu {self.cpu} out of range")
 
@@ -187,12 +282,14 @@ class SimContext:
     def on_cpu(self, cpu: int) -> "SimContext":
         """A view of this context running on a different CPU.
 
-        Shares the clock, counters and lock manager.
+        Shares the clock, counters, lock manager and trace handle.
         """
         return SimContext(clock=self.clock, cpu=cpu, counters=self.counters,
-                          locks=self.locks)
+                          locks=self.locks, trace=self.trace)
 
 
-def make_context(num_cpus: int = 4, cpu: int = 0) -> SimContext:
+def make_context(num_cpus: int = 4, cpu: int = 0,
+                 trace: Optional[NullTracer] = None) -> SimContext:
     """Convenience constructor used throughout tests and examples."""
-    return SimContext(clock=SimClock(num_cpus), cpu=cpu)
+    return SimContext(clock=SimClock(num_cpus), cpu=cpu,
+                      trace=trace if trace is not None else NULL_TRACER)

@@ -87,6 +87,11 @@ class AlignmentAwareAllocator:
         """
         if nblocks <= 0:
             raise SimulationError("allocation must be positive")
+        with ctx.trace.span(ctx, "alloc", blocks=nblocks):
+            return self._alloc(nblocks, ctx, want_aligned=want_aligned)
+
+    def _alloc(self, nblocks: int, ctx: SimContext, *,
+               want_aligned: Optional[bool] = None) -> List[Extent]:
         ctx.charge(_ALLOC_NS)
         home = ctx.cpu % self.layout.num_cpus
         out: List[Extent] = []

@@ -158,16 +158,17 @@ class WineFS(BaseFS):
         indexes, allocator free lists, inode in-use lists) are rebuilt by
         scanning the per-CPU inode tables.
         """
-        layout, clean = read_superblock(self.device)
-        if layout.num_cpus != self.layout.num_cpus or \
-                layout.total_blocks != self.layout.total_blocks:
-            raise CorruptionError("superblock geometry mismatch")
-        self.journal = JournalManager(self.device, self.layout)
-        if not clean:
-            self.journal.recover()
-        self._rebuild_from_scan(ctx)
-        write_superblock(self.device, self.layout, clean=False)
-        self.mounted = True
+        with ctx.trace.span(ctx, "winefs.recover", fs=self.name):
+            layout, clean = read_superblock(self.device)
+            if layout.num_cpus != self.layout.num_cpus or \
+                    layout.total_blocks != self.layout.total_blocks:
+                raise CorruptionError("superblock geometry mismatch")
+            self.journal = JournalManager(self.device, self.layout)
+            if not clean:
+                self.journal.recover()
+            self._rebuild_from_scan(ctx)
+            write_superblock(self.device, self.layout, clean=False)
+            self.mounted = True
 
     def unmount(self, ctx: SimContext) -> None:
         self._check_mounted()
@@ -459,21 +460,24 @@ class WineFS(BaseFS):
         hugepage extents* ("hugepage handling on page faults", §3.6) --
         this is why LMDB-style ftruncate growth still gets hugepages."""
         assert self.allocator is not None
-        while inode.extents.total_blocks <= logical_block:
-            ext = self.allocator.alloc_aligned_for_fault(
-                ctx.cpu % self.layout.num_cpus)
-            if ext is None:
-                exts = self.allocator.alloc(
-                    min(BLOCKS_PER_HUGEPAGE,
-                        logical_block + 1 - inode.extents.total_blocks),
-                    ctx, want_aligned=False)
-                for e in exts:
-                    inode.extents.append(e)
-            else:
-                inode.extents.append(ext)
-        # zeroing newly allocated space happens at allocation, as NOVA does
-        ctx.charge(self.machine.pm_write_ns(self.block_size))
-        self._persist_inode(inode, ctx)
+        with ctx.trace.span(ctx, "fault.alloc", ino=inode.ino,
+                            block=logical_block):
+            while inode.extents.total_blocks <= logical_block:
+                ext = self.allocator.alloc_aligned_for_fault(
+                    ctx.cpu % self.layout.num_cpus)
+                if ext is None:
+                    exts = self.allocator.alloc(
+                        min(BLOCKS_PER_HUGEPAGE,
+                            logical_block + 1 - inode.extents.total_blocks),
+                        ctx, want_aligned=False)
+                    for e in exts:
+                        inode.extents.append(e)
+                else:
+                    inode.extents.append(ext)
+            # zeroing newly allocated space happens at allocation, as NOVA
+            # does
+            ctx.charge(self.machine.pm_write_ns(self.block_size))
+            self._persist_inode(inode, ctx)
 
     # ------------------------------------------------------- data path
 
@@ -494,11 +498,13 @@ class WineFS(BaseFS):
         over = data[:overwrite_len]
         if self._range_is_aligned(inode, offset, overwrite_len):
             # data journaling: write data once to the journal, then in place
-            journal_ns = self.machine.persist_ns(len(over))
-            ctx.charge(journal_ns)
-            ctx.counters.journal_ns += journal_ns
-            ctx.counters.pm_bytes_written += len(over)
-            self._write_in_place(inode, offset, over, ctx)
+            with ctx.trace.span(ctx, "winefs.data_journal", ino=inode.ino,
+                                size=len(over)):
+                journal_ns = self.machine.persist_ns(len(over))
+                ctx.charge(journal_ns)
+                ctx.counters.journal_ns += journal_ns
+                ctx.counters.pm_bytes_written += len(over)
+                self._write_in_place(inode, offset, over, ctx)
         else:
             self._write_cow(inode, offset, over, ctx)
         tail = data[overwrite_len:]
@@ -556,6 +562,13 @@ class WineFS(BaseFS):
     def _write_cow(self, inode: Inode, offset: int, data: bytes,
                    ctx: SimContext) -> None:
         """Copy-on-write into fresh unaligned holes (§3.4)."""
+        assert self.allocator is not None
+        with ctx.trace.span(ctx, "winefs.cow", ino=inode.ino,
+                            size=len(data)):
+            self._write_cow_impl(inode, offset, data, ctx)
+
+    def _write_cow_impl(self, inode: Inode, offset: int, data: bytes,
+                        ctx: SimContext) -> None:
         assert self.allocator is not None
         first = offset // self.block_size
         last = (offset + len(data) - 1) // self.block_size

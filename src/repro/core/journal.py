@@ -195,10 +195,12 @@ class _Transaction:
     def commit(self, ctx: SimContext) -> None:
         if self.committed:
             raise FSError("double commit")
-        self.journal.append(
-            JournalEntry(TYPE_COMMIT, 0, self.txn_id, 0, b""), ctx)
-        self.committed = True
-        self.journal.reclaim_committed()
+        with ctx.trace.span(ctx, "journal.commit", txn=self.txn_id,
+                            entries=self.entries_used):
+            self.journal.append(
+                JournalEntry(TYPE_COMMIT, 0, self.txn_id, 0, b""), ctx)
+            self.committed = True
+            self.journal.reclaim_committed()
 
 
 class JournalManager:
@@ -216,13 +218,14 @@ class JournalManager:
               ) -> _Transaction:
         """Start a transaction in the calling CPU's journal (§3.6: it stays
         in that journal even if the thread later migrates)."""
-        journal = self.journals[ctx.cpu % len(self.journals)]
-        journal.reserve(entries_hint, ctx)
-        txn_id = self._next_txn_id
-        self._next_txn_id += 1
-        self.transactions_started += 1
-        journal.append(JournalEntry(TYPE_START, 0, txn_id, 0, b""), ctx)
-        return _Transaction(self, journal, txn_id)
+        with ctx.trace.span(ctx, "journal.begin", cpu=ctx.cpu):
+            journal = self.journals[ctx.cpu % len(self.journals)]
+            journal.reserve(entries_hint, ctx)
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            self.transactions_started += 1
+            journal.append(JournalEntry(TYPE_START, 0, txn_id, 0, b""), ctx)
+            return _Transaction(self, journal, txn_id)
 
     # -- recovery ------------------------------------------------------------------
 

@@ -19,6 +19,10 @@ class PMError(ReproError):
     """Persistent-memory device errors (out-of-range access, bad flush)."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/tracing layer (kind conflict, label blow-up)."""
+
+
 class FSError(ReproError):
     """Base class for file-system errors; carries a POSIX errno name."""
 

@@ -189,152 +189,158 @@ class BaseFS(FileSystem):
 
     def create(self, path: str, ctx: SimContext) -> OpenFile:
         self._check_mounted()
-        self._syscall(ctx)
-        path = normalize_path(path)
-        parent = self._resolve_parent(path, ctx)
-        name = basename_of(path)
-        pdir = self._dirs[parent.ino]
-        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-        try:
-            if name in pdir:
-                raise ExistsError(path)
-            with self._meta_txn(ctx, entries=4, ino=parent.ino):
-                inode = self._alloc_inode(is_dir=False, ctx=ctx)
-                inode.parent_ino, inode.name = parent.ino, name
-                self._apply_dir_inheritance(parent, inode)
-                pdir.insert(name, inode.ino, ctx)
-                self._persist_inode(inode, ctx)
-                self._persist_inode(parent, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
-        return OpenFile(self, inode.ino, path)
+        with ctx.trace.span(ctx, "vfs.create", fs=self.name, path=path):
+            self._syscall(ctx)
+            path = normalize_path(path)
+            parent = self._resolve_parent(path, ctx)
+            name = basename_of(path)
+            pdir = self._dirs[parent.ino]
+            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+            try:
+                if name in pdir:
+                    raise ExistsError(path)
+                with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                    inode = self._alloc_inode(is_dir=False, ctx=ctx)
+                    inode.parent_ino, inode.name = parent.ino, name
+                    self._apply_dir_inheritance(parent, inode)
+                    pdir.insert(name, inode.ino, ctx)
+                    self._persist_inode(inode, ctx)
+                    self._persist_inode(parent, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+            return OpenFile(self, inode.ino, path)
 
     def _apply_dir_inheritance(self, parent: Inode, child: Inode) -> None:
         """Hook: WineFS directory-level alignment xattrs (§3.6)."""
 
     def open(self, path: str, ctx: SimContext) -> OpenFile:
         self._check_mounted()
-        self._syscall(ctx)
-        path = normalize_path(path)
-        inode = self._resolve(path, ctx)
-        if inode.is_dir:
-            raise IsADirectoryError_(path)
-        return OpenFile(self, inode.ino, path)
+        with ctx.trace.span(ctx, "vfs.open", fs=self.name, path=path):
+            self._syscall(ctx)
+            path = normalize_path(path)
+            inode = self._resolve(path, ctx)
+            if inode.is_dir:
+                raise IsADirectoryError_(path)
+            return OpenFile(self, inode.ino, path)
 
     def unlink(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        path = normalize_path(path)
-        parent = self._resolve_parent(path, ctx)
-        name = basename_of(path)
-        pdir = self._dirs[parent.ino]
-        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-        try:
-            ino = pdir.lookup(name, ctx)
-            if ino is None:
-                raise NotFoundError(path)
-            inode = self._itable.get(ino)
-            assert inode is not None
-            if inode.is_dir:
-                raise IsADirectoryError_(path)
-            with self._meta_txn(ctx, entries=4, ino=parent.ino):
-                pdir.remove(name, ctx)
-                freed = list(inode.extents)
-                if freed:
-                    self._free(freed, ctx)
-                self._free_inode(inode, ctx)
-                self._persist_inode(parent, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.unlink", fs=self.name, path=path):
+            self._syscall(ctx)
+            path = normalize_path(path)
+            parent = self._resolve_parent(path, ctx)
+            name = basename_of(path)
+            pdir = self._dirs[parent.ino]
+            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+            try:
+                ino = pdir.lookup(name, ctx)
+                if ino is None:
+                    raise NotFoundError(path)
+                inode = self._itable.get(ino)
+                assert inode is not None
+                if inode.is_dir:
+                    raise IsADirectoryError_(path)
+                with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                    pdir.remove(name, ctx)
+                    freed = list(inode.extents)
+                    if freed:
+                        self._free(freed, ctx)
+                    self._free_inode(inode, ctx)
+                    self._persist_inode(parent, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
 
     def mkdir(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        path = normalize_path(path)
-        parent = self._resolve_parent(path, ctx)
-        name = basename_of(path)
-        pdir = self._dirs[parent.ino]
-        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-        try:
-            if name in pdir:
-                raise ExistsError(path)
-            with self._meta_txn(ctx, entries=4, ino=parent.ino):
-                inode = self._alloc_inode(is_dir=True, ctx=ctx)
-                inode.parent_ino, inode.name = parent.ino, name
-                self._dirs[inode.ino] = self.dir_index_cls()
-                pdir.insert(name, inode.ino, ctx)
-                self._persist_inode(inode, ctx)
-                self._persist_inode(parent, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.mkdir", fs=self.name, path=path):
+            self._syscall(ctx)
+            path = normalize_path(path)
+            parent = self._resolve_parent(path, ctx)
+            name = basename_of(path)
+            pdir = self._dirs[parent.ino]
+            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+            try:
+                if name in pdir:
+                    raise ExistsError(path)
+                with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                    inode = self._alloc_inode(is_dir=True, ctx=ctx)
+                    inode.parent_ino, inode.name = parent.ino, name
+                    self._dirs[inode.ino] = self.dir_index_cls()
+                    pdir.insert(name, inode.ino, ctx)
+                    self._persist_inode(inode, ctx)
+                    self._persist_inode(parent, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
 
     def rmdir(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        path = normalize_path(path)
-        parent = self._resolve_parent(path, ctx)
-        name = basename_of(path)
-        pdir = self._dirs[parent.ino]
-        ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-        try:
-            ino = pdir.lookup(name, ctx)
-            if ino is None:
-                raise NotFoundError(path)
-            inode = self._itable.get(ino)
-            assert inode is not None
-            if not inode.is_dir:
-                raise NotADirectoryError_(path)
-            if len(self._dirs[ino]):
-                raise NotEmptyError(path)
-            with self._meta_txn(ctx, entries=3, ino=parent.ino):
-                pdir.remove(name, ctx)
-                del self._dirs[ino]
-                self._free_inode(inode, ctx)
-                self._persist_inode(parent, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.rmdir", fs=self.name, path=path):
+            self._syscall(ctx)
+            path = normalize_path(path)
+            parent = self._resolve_parent(path, ctx)
+            name = basename_of(path)
+            pdir = self._dirs[parent.ino]
+            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
+            try:
+                ino = pdir.lookup(name, ctx)
+                if ino is None:
+                    raise NotFoundError(path)
+                inode = self._itable.get(ino)
+                assert inode is not None
+                if not inode.is_dir:
+                    raise NotADirectoryError_(path)
+                if len(self._dirs[ino]):
+                    raise NotEmptyError(path)
+                with self._meta_txn(ctx, entries=3, ino=parent.ino):
+                    pdir.remove(name, ctx)
+                    del self._dirs[ino]
+                    self._free_inode(inode, ctx)
+                    self._persist_inode(parent, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
 
     def rename(self, old: str, new: str, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        old, new = normalize_path(old), normalize_path(new)
-        src_parent = self._resolve_parent(old, ctx)
-        dst_parent = self._resolve_parent(new, ctx)
-        src_name, dst_name = basename_of(old), basename_of(new)
-        # deterministic lock order to avoid simulated deadlock accounting
-        lock_inos = sorted({src_parent.ino, dst_parent.ino})
-        for li in lock_inos:
-            ctx.locks.acquire(self._ino_lock(li), ctx.cpu)
-        try:
-            sdir = self._dirs[src_parent.ino]
-            ddir = self._dirs[dst_parent.ino]
-            ino = sdir.lookup(src_name, ctx)
-            if ino is None:
-                raise NotFoundError(old)
-            with self._meta_txn(ctx, entries=6, ino=src_parent.ino):
-                displaced = ddir.lookup(dst_name, ctx)
-                if displaced is not None:
-                    victim = self._itable.get(displaced)
-                    assert victim is not None
-                    if victim.is_dir:
-                        if len(self._dirs[displaced]):
-                            raise NotEmptyError(new)
-                        del self._dirs[displaced]
-                    elif victim.extents.total_blocks:
-                        self._free(list(victim.extents), ctx)
-                    ddir.remove(dst_name, ctx)
-                    self._free_inode(victim, ctx)
-                sdir.remove(src_name, ctx)
-                ddir.insert(dst_name, ino, ctx)
-                moved = self._itable.get(ino)
-                assert moved is not None
-                moved.parent_ino, moved.name = dst_parent.ino, dst_name
-                self._persist_inode(moved, ctx)
-                self._persist_inode(src_parent, ctx)
-                self._persist_inode(dst_parent, ctx)
-        finally:
-            for li in reversed(lock_inos):
-                ctx.locks.release(self._ino_lock(li), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.rename", fs=self.name, path=old):
+            self._syscall(ctx)
+            old, new = normalize_path(old), normalize_path(new)
+            src_parent = self._resolve_parent(old, ctx)
+            dst_parent = self._resolve_parent(new, ctx)
+            src_name, dst_name = basename_of(old), basename_of(new)
+            # deterministic lock order to avoid simulated deadlock accounting
+            lock_inos = sorted({src_parent.ino, dst_parent.ino})
+            for li in lock_inos:
+                ctx.locks.acquire(self._ino_lock(li), ctx.cpu)
+            try:
+                sdir = self._dirs[src_parent.ino]
+                ddir = self._dirs[dst_parent.ino]
+                ino = sdir.lookup(src_name, ctx)
+                if ino is None:
+                    raise NotFoundError(old)
+                with self._meta_txn(ctx, entries=6, ino=src_parent.ino):
+                    displaced = ddir.lookup(dst_name, ctx)
+                    if displaced is not None:
+                        victim = self._itable.get(displaced)
+                        assert victim is not None
+                        if victim.is_dir:
+                            if len(self._dirs[displaced]):
+                                raise NotEmptyError(new)
+                            del self._dirs[displaced]
+                        elif victim.extents.total_blocks:
+                            self._free(list(victim.extents), ctx)
+                        ddir.remove(dst_name, ctx)
+                        self._free_inode(victim, ctx)
+                    sdir.remove(src_name, ctx)
+                    ddir.insert(dst_name, ino, ctx)
+                    moved = self._itable.get(ino)
+                    assert moved is not None
+                    moved.parent_ino, moved.name = dst_parent.ino, dst_name
+                    self._persist_inode(moved, ctx)
+                    self._persist_inode(src_parent, ctx)
+                    self._persist_inode(dst_parent, ctx)
+            finally:
+                for li in reversed(lock_inos):
+                    ctx.locks.release(self._ino_lock(li), ctx.cpu)
 
     def readdir(self, path: str, ctx: SimContext) -> List[str]:
         self._check_mounted()
@@ -390,99 +396,107 @@ class BaseFS(FileSystem):
 
     def read(self, ino: int, offset: int, size: int, ctx: SimContext) -> bytes:
         self._check_mounted()
-        self._syscall(ctx)
-        if offset < 0 or size < 0:
-            raise InvalidArgumentError("negative offset/size")
-        inode = self._inode_for_data(ino)
-        if offset >= inode.size:
-            return b""
-        size = min(size, inode.size - offset)
-        if size == 0:
-            return b""
-        first_block = offset // self.block_size
-        last_block = (offset + size - 1) // self.block_size
-        nblocks = last_block - first_block + 1
-        ctx.charge(self.machine.pm_load_ns +
-                   self.machine.pm_read_ns(size))
-        ctx.counters.pm_bytes_read += size
-        if not self.track_data:
-            return b"\x00" * size
-        chunks: List[bytes] = []
-        pos = offset
-        end = offset + size
-        allocated_bytes = inode.extents.total_blocks * self.block_size
-        while pos < end:
-            block = pos // self.block_size
-            within = pos % self.block_size
-            take = min(self.block_size - within, end - pos)
-            if block * self.block_size >= allocated_bytes:
-                chunks.append(b"\x00" * take)   # hole past allocation
-            else:
-                phys = inode.extents.physical_block(block)
-                chunks.append(self.device.load(
-                    phys * self.block_size + within, take))
-            pos += take
-        return b"".join(chunks)
+        with ctx.trace.span(ctx, "vfs.read", fs=self.name, ino=ino,
+                            size=size):
+            self._syscall(ctx)
+            if offset < 0 or size < 0:
+                raise InvalidArgumentError("negative offset/size")
+            inode = self._inode_for_data(ino)
+            if offset >= inode.size:
+                return b""
+            size = min(size, inode.size - offset)
+            if size == 0:
+                return b""
+            first_block = offset // self.block_size
+            last_block = (offset + size - 1) // self.block_size
+            nblocks = last_block - first_block + 1
+            ctx.charge(self.machine.pm_load_ns +
+                       self.machine.pm_read_ns(size))
+            ctx.counters.pm_bytes_read += size
+            if not self.track_data:
+                return b"\x00" * size
+            chunks: List[bytes] = []
+            pos = offset
+            end = offset + size
+            allocated_bytes = inode.extents.total_blocks * self.block_size
+            while pos < end:
+                block = pos // self.block_size
+                within = pos % self.block_size
+                take = min(self.block_size - within, end - pos)
+                if block * self.block_size >= allocated_bytes:
+                    chunks.append(b"\x00" * take)   # hole past allocation
+                else:
+                    phys = inode.extents.physical_block(block)
+                    chunks.append(self.device.load(
+                        phys * self.block_size + within, take))
+                pos += take
+            return b"".join(chunks)
 
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
         self._check_mounted()
-        self._syscall(ctx)
-        if offset < 0:
-            raise InvalidArgumentError("negative offset")
-        if not data:
-            return 0
-        inode = self._inode_for_data(ino)
-        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
-        try:
-            grows = offset + len(data) > inode.size
-            self._ensure_blocks(inode, offset + len(data), ctx)
-            self._write_data(inode, offset, data, ctx)
-            inode.written_hwm = max(inode.written_hwm, offset + len(data))
-            if grows:
-                with self._meta_txn(ctx, entries=2, ino=ino):
-                    inode.size = offset + len(data)
-                    self._persist_inode(inode, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
-        return len(data)
+        with ctx.trace.span(ctx, "vfs.write", fs=self.name, ino=ino,
+                            size=len(data)):
+            self._syscall(ctx)
+            if offset < 0:
+                raise InvalidArgumentError("negative offset")
+            if not data:
+                return 0
+            inode = self._inode_for_data(ino)
+            ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+            try:
+                grows = offset + len(data) > inode.size
+                self._ensure_blocks(inode, offset + len(data), ctx)
+                self._write_data(inode, offset, data, ctx)
+                inode.written_hwm = max(inode.written_hwm, offset + len(data))
+                if grows:
+                    with self._meta_txn(ctx, entries=2, ino=ino):
+                        inode.size = offset + len(data)
+                        self._persist_inode(inode, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+            return len(data)
 
     def truncate(self, ino: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        if size < 0:
-            raise InvalidArgumentError("negative size")
-        inode = self._inode_for_data(ino)
-        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
-        try:
-            with self._meta_txn(ctx, entries=3, ino=ino):
-                if size < inode.size:
-                    keep = (size + self.block_size - 1) // self.block_size
-                    freed = inode.extents.truncate_blocks(keep)
-                    if freed:
-                        self._free(freed, ctx)
-                # growing truncate leaves a hole: no allocation (sparse), the
-                # LMDB pattern -- blocks appear on demand at fault time
-                inode.size = size
-                self._persist_inode(inode, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.truncate", fs=self.name, ino=ino,
+                            size=size):
+            self._syscall(ctx)
+            if size < 0:
+                raise InvalidArgumentError("negative size")
+            inode = self._inode_for_data(ino)
+            ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+            try:
+                with self._meta_txn(ctx, entries=3, ino=ino):
+                    if size < inode.size:
+                        keep = (size + self.block_size - 1) // self.block_size
+                        freed = inode.extents.truncate_blocks(keep)
+                        if freed:
+                            self._free(freed, ctx)
+                    # growing truncate leaves a hole: no allocation (sparse),
+                    # the LMDB pattern -- blocks appear on demand at fault time
+                    inode.size = size
+                    self._persist_inode(inode, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(ino), ctx.cpu)
 
     def fallocate(self, ino: int, offset: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        if offset < 0 or size <= 0:
-            raise InvalidArgumentError("bad fallocate range")
-        inode = self._inode_for_data(ino)
-        ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
-        try:
-            with self._meta_txn(ctx, entries=2, ino=ino):
-                self._ensure_blocks(inode, offset + size, ctx)
-                if self._zero_on_fallocate():
-                    ctx.charge(self.machine.pm_write_ns(size))
-                inode.size = max(inode.size, offset + size)
-                self._persist_inode(inode, ctx)
-        finally:
-            ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+        with ctx.trace.span(ctx, "vfs.fallocate", fs=self.name, ino=ino,
+                            size=size):
+            self._syscall(ctx)
+            if offset < 0 or size <= 0:
+                raise InvalidArgumentError("bad fallocate range")
+            inode = self._inode_for_data(ino)
+            ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+            try:
+                with self._meta_txn(ctx, entries=2, ino=ino):
+                    self._ensure_blocks(inode, offset + size, ctx)
+                    if self._zero_on_fallocate():
+                        ctx.charge(self.machine.pm_write_ns(size))
+                    inode.size = max(inode.size, offset + size)
+                    self._persist_inode(inode, ctx)
+            finally:
+                ctx.locks.release(self._ino_lock(ino), ctx.cpu)
 
     def _zero_on_fallocate(self) -> bool:
         """NOVA zeroes at fallocate; ext4-DAX zeroes at fault (§5.4)."""
@@ -490,9 +504,10 @@ class BaseFS(FileSystem):
 
     def fsync(self, ino: int, ctx: SimContext) -> None:
         self._check_mounted()
-        self._syscall(ctx)
-        inode = self._inode_for_data(ino)
-        self._fsync_impl(inode, ctx)
+        with ctx.trace.span(ctx, "vfs.fsync", fs=self.name, ino=ino):
+            self._syscall(ctx)
+            inode = self._inode_for_data(ino)
+            self._fsync_impl(inode, ctx)
 
     # --------------------------------------------------------------- mmap
 
@@ -500,16 +515,18 @@ class BaseFS(FileSystem):
              tlb: Optional[TLB] = None,
              cache: Optional[CacheModel] = None) -> MappedRegion:
         self._check_mounted()
-        self._syscall(ctx)
-        inode = self._inode_for_data(ino)
-        map_len = length if length is not None else inode.size
-        if map_len <= 0:
-            raise InvalidArgumentError("cannot mmap an empty range")
-        region = _FSMappedRegion(
-            fs=self, inode=inode, device=self.device, machine=self.machine,
-            length=map_len, block_size=self.block_size, tlb=tlb, cache=cache,
-            fault_zero_fill=self.fault_zero_fill, track_data=self.track_data)
-        return region
+        with ctx.trace.span(ctx, "vfs.mmap", fs=self.name, ino=ino):
+            self._syscall(ctx)
+            inode = self._inode_for_data(ino)
+            map_len = length if length is not None else inode.size
+            if map_len <= 0:
+                raise InvalidArgumentError("cannot mmap an empty range")
+            region = _FSMappedRegion(
+                fs=self, inode=inode, device=self.device, machine=self.machine,
+                length=map_len, block_size=self.block_size, tlb=tlb,
+                cache=cache, fault_zero_fill=self.fault_zero_fill,
+                track_data=self.track_data)
+            return region
 
     # --------------------------------------------------------------- metrics
 

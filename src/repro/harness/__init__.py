@@ -12,9 +12,11 @@ experiments and prints figure/table-shaped text output.
 from .setup import (FSSpec, ALL_SPECS, SPECS_BY_NAME,
                     METADATA_GROUP, DATA_GROUP,
                     make_fs, aged_fs, fresh_fs)
-from .report import Table, format_series, format_cdf
+from .report import (Table, format_series, format_cdf,
+                     phase_breakdown_table)
 
 __all__ = ["FSSpec", "ALL_SPECS", "SPECS_BY_NAME",
            "METADATA_GROUP", "DATA_GROUP",
            "make_fs", "aged_fs", "fresh_fs",
-           "Table", "format_series", "format_cdf"]
+           "Table", "format_series", "format_cdf",
+           "phase_breakdown_table"]

@@ -89,3 +89,31 @@ def speedup(results: Dict[str, float], over: str) -> Dict[str, float]:
     base = results[over]
     return {k: (v / base if base else float("inf"))
             for k, v in results.items()}
+
+
+#: phase label -> display column, in paper-breakdown order (Figs 1/2/6)
+PHASES = (("fault", "fault_ns"), ("copy", "copy_ns"),
+          ("journal", "journal_ns"), ("lock_wait", "lock_wait_ns"))
+
+
+def phase_breakdown_table(per_fs, title: str = "Per-phase time breakdown"
+                          ) -> Table:
+    """Where did the simulated time go, per file system?
+
+    *per_fs* maps FS name -> an :class:`~repro.clock.EventCounters` or a
+    :class:`~repro.obs.metrics.MetricsRegistry`; either way the phase
+    columns come from the ``phase_ns`` series, plus a total and the
+    fraction of that total each phase accounts for.
+    """
+    table = Table(title, ["fs"] + [f"{label}_ns" for label, _ in PHASES]
+                  + ["total_ns", "breakdown"])
+    for fs_name, source in per_fs.items():
+        registry = getattr(source, "registry", source)
+        values = [registry.value("phase_ns", phase=label)
+                  for label, _ in PHASES]
+        total = sum(values)
+        shares = " ".join(
+            f"{label}={v / total * 100.0:.0f}%" for (label, _), v
+            in zip(PHASES, values)) if total else "-"
+        table.add_row(fs_name, *values, total, shares)
+    return table

@@ -66,14 +66,19 @@ DATA_GROUP = ["NOVA", "Strata", "WineFS"]
 
 
 def make_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
-            track_data: bool = False
+            track_data: bool = False, trace=None
             ) -> Tuple[FileSystem, SimContext]:
-    """Build + mkfs one named file system on a fresh machine."""
+    """Build + mkfs one named file system on a fresh machine.
+
+    *trace* is an optional :class:`~repro.obs.trace.Tracer`; when omitted
+    the context carries the shared no-op handle (tracing off).
+    """
     spec = SPECS_BY_NAME[name]
     size = int(size_gib * GIB)
     device = PMDevice(size)
     fs = spec.build(device, num_cpus, track_data=track_data)
-    ctx = make_context(num_cpus)
+    ctx = make_context(num_cpus, trace=trace)
+    device.bind_metrics(ctx.counters.registry, fs=name)
     fs.mkfs(ctx)
     return fs, ctx
 
@@ -86,7 +91,7 @@ def fresh_fs(name: str, **kwargs) -> Tuple[FileSystem, SimContext]:
 def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
             utilization: float = 0.75, churn_multiple: float = 10.0,
             profile: AgingProfile = AGRAWAL, seed: int = 7,
-            track_data: bool = False
+            track_data: bool = False, trace=None
             ) -> Tuple[FileSystem, SimContext]:
     """Build, format and age one named file system (§5.1 setup).
 
@@ -94,7 +99,7 @@ def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
     complete the aging run; its clean numbers are an upper bound.
     """
     fs, ctx = make_fs(name, size_gib=size_gib, num_cpus=num_cpus,
-                      track_data=track_data)
+                      track_data=track_data, trace=trace)
     spec = SPECS_BY_NAME[name]
     if spec.ageable:
         ager = Geriatrix(fs, profile, target_utilization=utilization,

@@ -114,6 +114,15 @@ class MappedRegion:
         Mirrors the kernel DAX fault path: try a PMD (2MB) mapping first,
         fall back to a PTE (4KB) mapping.
         """
+        if not ctx.trace.enabled:
+            return self._handle_fault(virt_page, ctx)
+        start = ctx.now
+        huge = self._handle_fault(virt_page, ctx)
+        ctx.trace.record("mmu.fault", ctx.cpu, start, ctx.now,
+                         page=virt_page, huge=huge)
+        return huge
+
+    def _handle_fault(self, virt_page: int, ctx: SimContext) -> bool:
         huge_base = virt_page - (virt_page % _PAGES_PER_HUGE)
         if self._can_map_huge(huge_base) and not any(
                 self.page_table.lookup(p) is not None

@@ -62,6 +62,22 @@ class TLB:
         self._map_4k.clear()
         self._map_2m.clear()
 
+    def bind_metrics(self, registry, **labels) -> None:
+        """Expose this TLB through callback gauges on *registry*.
+
+        Reads live state at collection time; nothing is charged to the
+        simulated clock and the hot ``access`` path is untouched.
+        """
+        registry.gauge("tlb_occupancy", fn=lambda: len(self._map_4k),
+                       size="4k", **labels)
+        registry.gauge("tlb_occupancy", fn=lambda: len(self._map_2m),
+                       size="2m", **labels)
+        registry.gauge("tlb_lookups_total", fn=lambda: self.hits,
+                       result="hit", **labels)
+        registry.gauge("tlb_lookups_total", fn=lambda: self.misses,
+                       result="miss", **labels)
+        registry.gauge("tlb_miss_rate", fn=lambda: self.miss_rate, **labels)
+
     @property
     def occupancy(self) -> Tuple[int, int]:
         return len(self._map_4k), len(self._map_2m)

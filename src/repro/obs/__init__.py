@@ -1,0 +1,29 @@
+"""Observability for the simulated WineFS stack.
+
+Three pieces, all keyed to **simulated** nanoseconds (never wall time):
+
+* :mod:`repro.obs.metrics` — a labelled metrics registry (Counter, Gauge,
+  Histogram) that :class:`~repro.clock.EventCounters` sits on top of;
+* :mod:`repro.obs.trace` — nested per-operation spans with a bounded ring
+  buffer; default-off via the shared :data:`NULL_TRACER` handle carried by
+  every :class:`~repro.clock.SimContext`;
+* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters so
+  runs open in Perfetto.
+
+Invariant: observability never charges the :class:`~repro.clock.SimClock`;
+all benchmark numbers are bit-identical with tracing on or off.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, Metric, MetricsRegistry,
+                      format_series)
+from .trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from .export import (chrome_trace, chrome_trace_events, span_jsonl_lines,
+                     write_chrome_trace, write_metrics_json, write_span_jsonl)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "format_series",
+    "NULL_TRACER", "NullTracer", "SpanRecord", "Tracer",
+    "chrome_trace", "chrome_trace_events", "span_jsonl_lines",
+    "write_chrome_trace", "write_metrics_json", "write_span_jsonl",
+]

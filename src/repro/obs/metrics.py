@@ -1,0 +1,232 @@
+"""Metrics registry: labelled counters, gauges and histograms.
+
+The statsd-style shape (one registry, get-or-create metric handles keyed by
+name + sorted labels) follows what production object stores expose; here
+every value is derived from *simulated* state — nothing in this module ever
+reads the wall clock or charges simulated time.
+
+A series is one (name, labels) pair, e.g. ``page_faults{size="2m"}``.
+Handles are cheap plain objects so hot paths can cache them and bump a
+``value`` attribute directly; the registry is only walked at report time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+from ..structures.stats import Summary
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+#: per-metric-name ceiling on distinct label combinations; a workload that
+#: labels by an unbounded dimension (path, offset, ...) fails fast instead
+#: of silently eating memory
+DEFAULT_MAX_SERIES = 1024
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelsKey) -> str:
+    """``name{k="v",...}`` — the conventional exposition key."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base class: one series of one metric."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def series(self) -> str:
+        return format_series(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.series}>"
+
+
+class Counter(Metric):
+    """Monotonic count (int or float).
+
+    ``value`` is a plain attribute so compatibility layers (EventCounters
+    properties) may assign it directly; ``inc`` is the normal API and
+    rejects negative increments.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.series} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge(Metric):
+    """Point-in-time value; either set directly or backed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelsKey,
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        super().__init__(name, labels)
+        self._fn = fn
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ObservabilityError(
+                f"gauge {self.series} is callback-backed")
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+
+#: default histogram buckets: exponential ns ladder, 1ns .. ~1s
+DEFAULT_BUCKETS = tuple(float(10 ** e) for e in range(10))
+
+
+class Histogram(Metric):
+    """Distribution of observations (simulated-ns latencies, sizes).
+
+    Keeps cumulative bucket counts for cheap exposition plus the raw
+    samples (bounded by ``max_samples``) so exact percentiles come from
+    :meth:`summary` via the single-sort ``Summary.from_samples`` path.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelsKey,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 max_samples: int = 100_000) -> None:
+        super().__init__(name, labels)
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.count = 0
+        self.sum = 0.0
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+
+    @property
+    def value(self) -> float:
+        """Mean observation (what a scalar reading of a histogram means)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> Summary:
+        return Summary.from_samples(self._samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"count": self.count, "sum": self.sum}
+        if self._samples:
+            s = self.summary()
+            out.update(p50=s.median, p90=s.p90, p99=s.p99,
+                       min=s.minimum, max=s.maximum)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metric series.
+
+    Re-requesting a series returns the same handle; requesting an existing
+    series as a different metric kind raises.  A per-name cardinality cap
+    guards against unbounded label values.
+    """
+
+    def __init__(self, max_series_per_name: int = DEFAULT_MAX_SERIES) -> None:
+        self._metrics: Dict[Tuple[str, LabelsKey], Metric] = {}
+        self._series_per_name: Dict[str, int] = {}
+        self.max_series_per_name = max_series_per_name
+
+    # -- get-or-create ------------------------------------------------------
+
+    def _lookup(self, cls, name: str, labels: Dict[str, object],
+                **kwargs) -> Metric:
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ObservabilityError(
+                    f"{format_series(*key)} already registered as "
+                    f"{metric.kind}, requested {cls.kind}")
+            return metric
+        count = self._series_per_name.get(name, 0)
+        if count >= self.max_series_per_name:
+            raise ObservabilityError(
+                f"metric {name!r} exceeds {self.max_series_per_name} label "
+                "combinations (unbounded label value?)")
+        metric = cls(name, key[1], **kwargs)
+        self._metrics[key] = metric
+        self._series_per_name[name] = count + 1
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._lookup(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels) -> Gauge:
+        g = self._lookup(Gauge, name, labels, fn=fn)
+        return g  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        h = self._lookup(Histogram, name, labels, buckets=buckets)
+        return h  # type: ignore[return-value]
+
+    # -- introspection ------------------------------------------------------
+
+    def collect(self) -> Iterator[Metric]:
+        yield from self._metrics.values()
+
+    def series_count(self, name: Optional[str] = None) -> int:
+        if name is None:
+            return len(self._metrics)
+        return self._series_per_name.get(name, 0)
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """Scalar value of one series; *default* when never registered."""
+        metric = self._metrics.get((name, _labels_key(labels)))
+        return default if metric is None else metric.value
+
+    def as_dict(self) -> Dict[str, object]:
+        """Exposition snapshot: series key -> scalar (or histogram dict)."""
+        out: Dict[str, object] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.series] = metric.as_dict()
+            else:
+                out[metric.series] = metric.value
+        return out

@@ -356,6 +356,15 @@ class PMDevice:
             self.clwb(line * CACHELINE, CACHELINE)
         self.sfence()
 
+    def bind_metrics(self, registry, **labels) -> None:
+        """Expose device totals through callback gauges on *registry*."""
+        registry.gauge("pm_device_bytes", fn=lambda: self.bytes_read,
+                       direction="read", **labels)
+        registry.gauge("pm_device_bytes", fn=lambda: self.bytes_written,
+                       direction="write", **labels)
+        registry.gauge("pm_materialized_bytes",
+                       fn=lambda: self.materialized_bytes, **labels)
+
     @property
     def materialized_bytes(self) -> int:
         """How much backing memory the sparse store actually uses."""

@@ -15,9 +15,15 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     """Linear-interpolated percentile; pct in [0, 100]."""
     if not samples:
         raise ValueError("no samples")
+    return percentile_sorted(sorted(samples), pct)
+
+
+def percentile_sorted(data: Sequence[float], pct: float) -> float:
+    """:func:`percentile` over already-sorted *data* (no re-sort)."""
+    if not data:
+        raise ValueError("no samples")
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile {pct} out of range")
-    data = sorted(samples)
     if len(data) == 1:
         return data[0]
     rank = pct / 100.0 * (len(data) - 1)
@@ -41,6 +47,26 @@ class Summary:
         return (f"n={self.count} mean={self.mean:.1f} p50={self.median:.1f} "
                 f"p90={self.p90:.1f} p99={self.p99:.1f} "
                 f"min={self.minimum:.1f} max={self.maximum:.1f}")
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Summary":
+        """Build a summary with exactly one sort over the samples.
+
+        ``percentile`` re-sorts on every call (O(n log n) each); this is
+        the path every summary producer should use.
+        """
+        data = sorted(samples)
+        if not data:
+            raise ValueError("no samples")
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            median=percentile_sorted(data, 50),
+            p90=percentile_sorted(data, 90),
+            p99=percentile_sorted(data, 99),
+            minimum=data[0],
+            maximum=data[-1],
+        )
 
 
 class LatencyRecorder:
@@ -66,18 +92,7 @@ class LatencyRecorder:
         return list(self._samples)
 
     def summary(self) -> Summary:
-        if not self._samples:
-            raise ValueError("no samples recorded")
-        data = sorted(self._samples)
-        return Summary(
-            count=len(data),
-            mean=sum(data) / len(data),
-            median=percentile(data, 50),
-            p90=percentile(data, 90),
-            p99=percentile(data, 99),
-            minimum=data[0],
-            maximum=data[-1],
-        )
+        return Summary.from_samples(self._samples)
 
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """(latency, cumulative fraction) pairs suitable for plotting."""

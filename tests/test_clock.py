@@ -138,6 +138,44 @@ class TestEventCounters:
         assert m.pm_bytes_read == 100
         assert m.pm_bytes_written == 7
 
+    def test_merged_with_covers_every_field(self):
+        # a merge must carry every counter field, not just the common ones
+        a = EventCounters(**{f: i + 1
+                             for i, f in enumerate(EventCounters._fields)})
+        b = EventCounters(**{f: 10 * (i + 1)
+                             for i, f in enumerate(EventCounters._fields)})
+        m = a.merged_with(b)
+        for i, f in enumerate(EventCounters._fields):
+            assert getattr(m, f) == 11 * (i + 1), f
+        # the originals are untouched
+        for i, f in enumerate(EventCounters._fields):
+            assert getattr(a, f) == i + 1
+            assert getattr(b, f) == 10 * (i + 1)
+
+    def test_page_faults_property_after_merge(self):
+        # regression: page_faults must stay 4k + 2m on the merged object
+        a = EventCounters(page_faults_4k=3, page_faults_2m=1)
+        b = EventCounters(page_faults_4k=7, page_faults_2m=4)
+        m = a.merged_with(b)
+        assert m.page_faults_4k == 10
+        assert m.page_faults_2m == 5
+        assert m.page_faults == m.page_faults_4k + m.page_faults_2m == 15
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            EventCounters(nonsense=1)
+
+    def test_backed_by_registry_series(self):
+        c = EventCounters(page_faults_2m=6, lock_wait_ns=12.5)
+        assert c.registry.value("page_faults", size="2m") == 6
+        assert c.registry.value("phase_ns", phase="lock_wait") == 12.5
+        c.page_faults_2m += 1
+        assert c.registry.value("page_faults", size="2m") == 7
+
+    def test_equality_compares_values(self):
+        assert EventCounters(syscalls=2) == EventCounters(syscalls=2)
+        assert EventCounters(syscalls=2) != EventCounters(syscalls=3)
+
 
 class TestSimContext:
     def test_make_context(self):
@@ -158,3 +196,31 @@ class TestSimContext:
         ctx = make_context(2)
         with pytest.raises(SimulationError):
             ctx.on_cpu(5)
+
+    def test_lock_manager_default_factory(self):
+        # SimContext builds its own LockManager and binds it to the clock
+        ctx = SimContext(clock=SimClock(2))
+        ctx.locks.acquire("L", 0)
+        ctx.charge(50.0)
+        ctx.locks.release("L", 0)
+        ctx.on_cpu(1).locks.acquire("L", 1)
+        assert ctx.clock.now(1) == 50.0
+
+    def test_unbound_lock_manager_rejected(self):
+        with pytest.raises(SimulationError):
+            LockManager().acquire("L", 0)
+
+    def test_bind_is_idempotent(self):
+        first = SimClock(1)
+        locks = LockManager(first)
+        locks.bind(SimClock(1))
+        assert locks._clock is first
+
+    def test_contention_feeds_lock_wait_counter(self):
+        ctx = make_context(2)
+        ctx.locks.acquire("L", 0)
+        ctx.charge(100.0)
+        ctx.locks.release("L", 0)
+        ctx.on_cpu(1).locks.acquire("L", 1)
+        assert ctx.counters.lock_wait_ns == 100.0
+        assert ctx.locks.lock_wait_ns == 100.0

@@ -1,0 +1,186 @@
+"""Observability wired through the stack: spans from real operations,
+tracing-off determinism, the per-phase report, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import fresh_fs, phase_breakdown_table
+from repro.obs import Tracer
+from repro.params import MIB
+from repro.workloads import mmap_rw_benchmark, run_scalability
+
+
+def _run_mmap(trace=None, seed=3):
+    fs, ctx = fresh_fs("WineFS", size_gib=0.25, trace=trace)
+    mmap_rw_benchmark(fs, ctx, file_size=8 * MIB, io_size=2 * MIB,
+                      pattern="rand-write", seed=seed)
+    return ctx
+
+
+def _run_scalability(trace=None):
+    # more workload CPUs than FS journals: the shared per-journal lock
+    # serializes writers, guaranteeing simulated lock contention
+    from repro.clock import make_context
+    from repro.harness import SPECS_BY_NAME
+    from repro.params import GIB
+    from repro.pm.device import PMDevice
+    device = PMDevice(int(0.25 * GIB))
+    fs = SPECS_BY_NAME["WineFS"].build(device, num_cpus=2, track_data=False)
+    ctx = make_context(8, trace=trace)
+    fs.mkfs(ctx)
+    ctx.clock.reset()
+    run_scalability(fs, ctx, threads=8, ops_per_thread=30)
+    return ctx
+
+
+class TestDeterminism:
+    def test_tracing_off_is_bit_identical(self):
+        # same seed, one run with a live tracer and one without: every
+        # counter and every clock must match exactly
+        plain = _run_mmap(trace=None)
+        traced = _run_mmap(trace=Tracer())
+        assert traced.counters == plain.counters
+        assert traced.counters.as_dict() == plain.counters.as_dict()
+        assert traced.clock.snapshot() == plain.clock.snapshot()
+
+    def test_tracing_off_identical_under_contention(self):
+        plain = _run_scalability(trace=None)
+        traced = _run_scalability(trace=Tracer())
+        assert traced.counters == plain.counters
+        assert traced.clock.snapshot() == plain.clock.snapshot()
+        assert traced.locks.contended_waits == plain.locks.contended_waits
+
+
+class TestStackSpans:
+    def test_vfs_ops_produce_nested_spans(self):
+        tracer = Tracer()
+        ctx = _run_mmap(trace=tracer)
+        spans = tracer.spans()
+        names = {s.name for s in spans}
+        assert "vfs.create" in names
+        assert "vfs.write" in names
+        assert "journal.commit" in names
+        assert "alloc" in names
+        # journal.commit and alloc happen inside VFS operations
+        by_id = {s.span_id: s for s in spans}
+        nested = [s for s in spans if s.name in ("journal.commit", "alloc")
+                  and s.parent_id in by_id]
+        assert nested, "expected nested core spans under VFS operations"
+        for s in nested:
+            parent = by_id[s.parent_id]
+            assert parent.start_ns <= s.start_ns <= s.end_ns <= parent.end_ns
+        assert ctx.trace is tracer
+
+    def test_fault_spans_recorded(self):
+        tracer = Tracer()
+        _run_mmap(trace=tracer)
+        faults = [s for s in tracer.spans() if s.name == "mmu.fault"]
+        assert faults
+        assert all("huge" in s.attrs and "page" in s.attrs for s in faults)
+        assert all(s.end_ns > s.start_ns for s in faults)
+
+    def test_lock_wait_spans_under_contention(self):
+        tracer = Tracer()
+        ctx = _run_scalability(trace=tracer)
+        waits = [s for s in tracer.spans() if s.name == "lock.wait"]
+        assert ctx.locks.contended_waits > 0
+        assert len(waits) == ctx.locks.contended_waits
+        assert sum(s.duration_ns for s in waits) == pytest.approx(
+            ctx.counters.lock_wait_ns)
+        assert all("lock" in s.attrs for s in waits)
+
+
+class TestBoundGauges:
+    def test_device_gauges_track_live_state(self):
+        fs, ctx = fresh_fs("WineFS", size_gib=0.25)
+        reg = ctx.counters.registry
+        before = reg.value("pm_device_bytes", direction="write", fs="WineFS")
+        f = fs.create("/g", ctx)
+        f.append(b"x" * 4096, ctx)
+        after = reg.value("pm_device_bytes", direction="write", fs="WineFS")
+        assert after > before
+
+    def test_tlb_and_page_table_gauges(self):
+        from repro.mmu.page_table import PageTable
+        from repro.mmu.tlb import TLB
+        from repro.obs import MetricsRegistry
+        reg = MetricsRegistry()
+        tlb = TLB(4, 4)
+        pt = PageTable()
+        tlb.bind_metrics(reg, core="0")
+        pt.bind_metrics(reg, region="r0")
+        tlb.access(0, 1, False)
+        tlb.access(0, 1, False)
+        pt.install_base(0, 0)
+        assert reg.value("tlb_lookups_total", result="miss", core="0") == 1
+        assert reg.value("tlb_lookups_total", result="hit", core="0") == 1
+        assert reg.value("tlb_occupancy", size="4k", core="0") == 1
+        assert reg.value("pt_mapped_pages", size="4k", region="r0") == 1
+        assert reg.value("pt_installed_total", size="4k", region="r0") == 1
+
+
+class TestPhaseBreakdown:
+    def test_table_from_counters(self):
+        ctx = _run_mmap()
+        table = phase_breakdown_table({"WineFS": ctx.counters})
+        text = table.render()
+        assert "fault_ns" in text and "lock_wait_ns" in text
+        assert "WineFS" in text
+        # the totals column equals the sum of the phases
+        row = table.rows[0]
+        assert row[0] == "WineFS"
+
+    def test_table_from_registry(self):
+        ctx = _run_mmap()
+        t1 = phase_breakdown_table({"WineFS": ctx.counters}).render()
+        t2 = phase_breakdown_table(
+            {"WineFS": ctx.counters.registry}).render()
+        assert t1 == t2
+
+    def test_empty_phases_render_dash(self):
+        from repro.clock import EventCounters
+        text = phase_breakdown_table({"idle": EventCounters()}).render()
+        assert "-" in text
+
+
+class TestCli:
+    def test_trace_chrome_output(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "mmap", "--fs", "WineFS", "--size-gib", "0.25",
+                   "--trace-out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"vfs.create", "vfs.write"} <= {e["name"] for e in events}
+        assert "Per-phase time breakdown" in capsys.readouterr().out
+
+    def test_trace_jsonl_output(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        rc = main(["trace", "posix", "--size-gib", "0.25",
+                   "--format", "jsonl", "--trace-out", str(out),
+                   "--trace-capacity", "128"])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert 0 < len(lines) <= 128
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = main(["trace", "mmap", "--size-gib", "0.25",
+                   "--trace-out", str(out), "--metrics-out", str(metrics)])
+        assert rc == 0
+        snapshot = json.loads(metrics.read_text())
+        assert any(k.startswith("page_faults") for k in snapshot)
+        assert any(k.startswith("phase_ns") for k in snapshot)
+
+    def test_scalability_metrics_out_merges_rows(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        rc = main(["scalability", "--size-gib", "0.25",
+                   "--threads", "1,2", "--metrics-out", str(metrics)])
+        assert rc == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["syscalls"] > 0

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.errors import InvalidArgumentError
-from repro.structures.stats import (LatencyRecorder, normalize, ops_per_sec,
-                                    percentile, throughput_mb_s)
+from repro.structures.stats import (LatencyRecorder, Summary, normalize,
+                                    ops_per_sec, percentile,
+                                    percentile_sorted, throughput_mb_s)
 from repro.vfs.path import (basename_of, join, normalize_path, parent_of,
                             split_path)
 
@@ -29,6 +30,37 @@ class TestPercentile:
     def test_bad_pct_rejected(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+
+class TestSummaryFromSamples:
+    def test_pins_percentiles(self):
+        # 0..100 inclusive: the linear-interpolated percentiles land
+        # exactly on the sample values
+        data = list(map(float, range(101)))
+        s = Summary.from_samples(reversed(data))   # order must not matter
+        assert s.count == 101
+        assert s.median == 50.0
+        assert s.p90 == 90.0
+        assert s.p99 == 99.0
+        assert s.minimum == 0.0 and s.maximum == 100.0
+        assert s.mean == pytest.approx(50.0)
+
+    def test_matches_percentile_function(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        s = Summary.from_samples(data)
+        assert s.median == percentile(data, 50)
+        assert s.p90 == percentile(data, 90)
+        assert s.p99 == percentile(data, 99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.from_samples([])
+
+    def test_percentile_sorted_requires_no_resort(self):
+        data = sorted([5.0, 1.0, 3.0])
+        assert percentile_sorted(data, 50) == 3.0
+        with pytest.raises(ValueError):
+            percentile_sorted([], 50)
 
 
 class TestLatencyRecorder:
