@@ -246,7 +246,7 @@ class Geriatrix:
                 f = self.fs.open(path, ctx)
             except Exception:
                 continue
-            f.pwrite(offset, b"\x00" * length, ctx)
+            f.pwrite_zeros(offset, length, ctx)
             f.close()
             written += length
             result.bytes_written += length

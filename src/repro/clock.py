@@ -39,6 +39,22 @@ class SimClock:
             raise SimulationError(f"cannot charge negative time: {ns}")
         self._cpu_ns[cpu] += ns
 
+    def charge_repeat(self, cpu: int, ns: float, count: int) -> None:
+        """Advance *cpu*'s clock by *ns*, *count* times.
+
+        Bit-identical to ``count`` sequential :meth:`charge` calls: float
+        addition is not associative, so the adds are performed one at a
+        time (on a local) rather than grouped into one ``count * ns`` add.
+        """
+        if ns < 0:
+            raise SimulationError(f"cannot charge negative time: {ns}")
+        if count <= 0:
+            return
+        v = self._cpu_ns[cpu]
+        for _ in range(count):
+            v += ns
+        self._cpu_ns[cpu] = v
+
     def now(self, cpu: int) -> float:
         return self._cpu_ns[cpu]
 
@@ -208,6 +224,21 @@ class EventCounters:
     def page_faults(self) -> int:
         return self.page_faults_4k + self.page_faults_2m
 
+    def add_repeat(self, attr: str, value: float, count: int) -> None:
+        """``attr += value``, *count* times, in one call.
+
+        Bit-identical to *count* sequential ``+=`` statements (the adds
+        run one at a time on a local, never grouped into ``count * value``)
+        while skipping the per-add property dispatch.
+        """
+        if count <= 0:
+            return
+        cell = getattr(self, "_" + attr)
+        v = cell.value
+        for _ in range(count):
+            v += value
+        cell.value = v
+
     def merged_with(self, other: "EventCounters") -> "EventCounters":
         out = EventCounters()
         for f in self._fields:
@@ -274,6 +305,10 @@ class SimContext:
 
     def charge(self, ns: float) -> None:
         self.clock.charge(self.cpu, ns)
+
+    def charge_repeat(self, ns: float, count: int) -> None:
+        """*count* sequential :meth:`charge` calls, bit-identical."""
+        self.clock.charge_repeat(self.cpu, ns, count)
 
     @property
     def now(self) -> float:

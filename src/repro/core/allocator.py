@@ -56,10 +56,9 @@ class AlignmentAwareAllocator:
         return sum(p.aligned_hugepages() for p in self.pools)
 
     def pool_of_block(self, block: int) -> FreePool:
-        for cpu in range(self.layout.num_cpus):
-            start, length = self.layout.data_pool_range(cpu)
-            if start <= block < start + length:
-                return self.pools[cpu]
+        for pool in self.pools:
+            if pool.range_start <= block < pool.range_end:
+                return pool
         raise SimulationError(f"block {block} outside every data pool")
 
     # -- allocation ---------------------------------------------------------------
@@ -87,12 +86,15 @@ class AlignmentAwareAllocator:
         """
         if nblocks <= 0:
             raise SimulationError("allocation must be positive")
-        with ctx.trace.span(ctx, "alloc", blocks=nblocks):
-            return self._alloc(nblocks, ctx, want_aligned=want_aligned)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "alloc", blocks=nblocks):
+                return self._alloc(nblocks, ctx, want_aligned=want_aligned)
+        return self._alloc(nblocks, ctx, want_aligned=want_aligned)
 
     def _alloc(self, nblocks: int, ctx: SimContext, *,
                want_aligned: Optional[bool] = None) -> List[Extent]:
-        ctx.charge(_ALLOC_NS)
+        # inlined ctx.charge (_ALLOC_NS >= 0, single add)
+        ctx.clock._cpu_ns[ctx.cpu] += _ALLOC_NS
         home = ctx.cpu % self.layout.num_cpus
         out: List[Extent] = []
         remaining = nblocks
@@ -122,7 +124,13 @@ class AlignmentAwareAllocator:
         return out
 
     def _alloc_aligned_chunk(self, home: int) -> Optional[Extent]:
-        for pool in self._pool_order_large(home):
+        # the home pool usually satisfies the request; only rank the
+        # remote pools (same order as _pool_order_large) when it cannot
+        ext = self.pools[home].alloc_aligned_hugepage()
+        if ext is not None:
+            self.aligned_out.add(ext.start // BLOCKS_PER_HUGEPAGE)
+            return ext
+        for pool in self._pool_order_large(home)[1:]:
             ext = pool.alloc_aligned_hugepage()
             if ext is not None:
                 self.aligned_out.add(ext.start // BLOCKS_PER_HUGEPAGE)
@@ -130,12 +138,18 @@ class AlignmentAwareAllocator:
         return None
 
     def _alloc_hole_chunk(self, home: int, nblocks: int) -> Optional[Extent]:
-        for pool in self._pool_order_small(home):
+        # the home pool usually satisfies the request; only rank the
+        # remote pools (same order as _pool_order_small) when it cannot
+        ext = self.pools[home].alloc_avoiding_aligned(nblocks)
+        if ext is not None:
+            return ext
+        order = self._pool_order_small(home)
+        for pool in order[1:]:
             ext = pool.alloc_avoiding_aligned(nblocks)
             if ext is not None:
                 return ext
         # final fallback: any first-fit anywhere, even a partial extent
-        for pool in self._pool_order_small(home):
+        for pool in order:
             largest = pool.largest()
             if largest > 0:
                 return pool.alloc_first_fit(min(nblocks, largest))
@@ -163,7 +177,8 @@ class AlignmentAwareAllocator:
         """Return an extent to its owning pool (§3.4: freed extents go back
         to the data pool they came from and merge with neighbours)."""
         if ctx is not None:
-            ctx.charge(_ALLOC_NS)
+            # inlined ctx.charge (_ALLOC_NS >= 0, single add)
+            ctx.clock._cpu_ns[ctx.cpu] += _ALLOC_NS
         # freeing any part of a hugepage ends its aligned-provenance life
         first_hp = extent.start // BLOCKS_PER_HUGEPAGE
         last_hp = (extent.end - 1) // BLOCKS_PER_HUGEPAGE

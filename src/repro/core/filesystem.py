@@ -22,7 +22,6 @@ the paper lists in §3.2:
 from __future__ import annotations
 
 import struct
-from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
 from ..clock import SimContext
@@ -39,8 +38,8 @@ from ..fs.common.base import BaseFS, ROOT_INO
 from ..fs.common.inode import Inode, InodeTable, INODE_BYTES
 from .allocator import AlignmentAwareAllocator
 from .journal import JournalManager, MAX_TXN_ENTRIES
-from .layout import (INLINE_EXTENTS, EXTENTS_PER_INDIRECT, InodeRecord,
-                     Layout, pack_indirect, pack_inode, read_superblock,
+from .layout import (INLINE_EXTENTS, EXTENTS_PER_INDIRECT, InodePacker,
+                     InodeRecord, Layout, pack_indirect, read_superblock,
                      unpack_inode, write_superblock)
 from .numa_policy import NumaPolicy
 from .rewrite import RewriteQueue
@@ -58,6 +57,9 @@ class _PerCPUInodeTables:
         self.tables = [InodeTable(first_ino=layout.first_ino(cpu),
                                   capacity=layout.inodes_per_cpu)
                        for cpu in range(layout.num_cpus)]
+        # flat ino -> Inode mirror of the per-CPU tables, so the data-path
+        # get() is one dict probe instead of a table dispatch
+        self._by_ino: Dict[int, Inode] = {}
 
     def allocate(self, is_dir: bool = False, owner_cpu: int = 0) -> Inode:
         cpu = owner_cpu % len(self.tables)
@@ -66,32 +68,63 @@ class _PerCPUInodeTables:
             table = self.tables[(cpu + i) % len(self.tables)]
             if table.free_count > 0:
                 inode = table.allocate(is_dir=is_dir, owner_cpu=owner_cpu)
+                self._by_ino[inode.ino] = inode
                 return inode
         raise FSError("all per-CPU inode tables exhausted")
 
     def free(self, ino: int) -> None:
         self.tables[self._layout.cpu_of_ino(ino)].free(ino)
+        self._by_ino.pop(ino, None)
 
     def get(self, ino: int) -> Optional[Inode]:
-        cpu = self._layout.cpu_of_ino(ino)
-        if cpu >= len(self.tables):
-            return None
-        return self.tables[cpu].get(ino)
+        return self._by_ino.get(ino)
 
     def adopt(self, inode: Inode) -> None:
         self.tables[self._layout.cpu_of_ino(inode.ino)].adopt(inode)
+        self._by_ino[inode.ino] = inode
 
     def __contains__(self, ino: int) -> bool:
         return self.get(ino) is not None
 
     def __len__(self) -> int:
-        return sum(len(t) for t in self.tables)
+        # the flat mirror tracks exactly the live inodes across all tables
+        return len(self._by_ino)
 
     def live_inodes(self) -> List[Inode]:
         out: List[Inode] = []
         for t in self.tables:
             out.extend(t.live_inodes())
         return out
+
+
+class _MetaTxnScope:
+    """Hand-rolled context manager for :meth:`WineFS._meta_txn`.
+
+    The metadata paths open ~2 of these per operation; a generator-based
+    ``@contextmanager`` costs two object allocations and two extra frame
+    resumptions per use, which is measurable at aging scale.
+    """
+
+    __slots__ = ("_fs", "_ctx", "_entries", "_txn", "_stack", "_lock")
+
+    def __init__(self, fs: "WineFS", ctx: SimContext, entries: int) -> None:
+        self._fs = fs
+        self._ctx = ctx
+        self._entries = entries
+
+    def __enter__(self) -> None:
+        self._txn, self._stack, self._lock = \
+            self._fs._txn_enter(self._ctx, self._entries)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        txn = self._txn
+        if txn is not None:
+            ctx = self._ctx
+            self._stack.pop()
+            txn.commit(ctx)
+            if self._lock is not None:
+                ctx.locks.release(self._lock, ctx.cpu)
+        return False
 
 
 class WineFS(BaseFS):
@@ -122,6 +155,7 @@ class WineFS(BaseFS):
         self._txn_stack: Dict[int, list] = {}
         self._indirect_chains: Dict[int, List[int]] = {}
         self._serialized_extents: Dict[int, tuple] = {}
+        self._packer = InodePacker()
 
     # ------------------------------------------------------------- lifecycle
 
@@ -135,6 +169,7 @@ class WineFS(BaseFS):
         self._dirs = {}
         self._indirect_chains = {}
         self._serialized_extents = {}
+        self._packer = InodePacker()
         self.journal = JournalManager(self.device, self.layout)
         self._init_allocator()
         root = self._itable.allocate(is_dir=True)
@@ -186,6 +221,7 @@ class WineFS(BaseFS):
         self._dirs = {}
         self._indirect_chains = {}
         self._serialized_extents = {}
+        self._packer = InodePacker()
         records: List[InodeRecord] = []
         watermarks = self._load_watermarks()
         # parallel scan (§5.2): each CPU scans its own table; charge the
@@ -260,32 +296,32 @@ class WineFS(BaseFS):
 
     # ------------------------------------------------------- transactions
 
-    @contextmanager
     def _meta_txn(self, ctx: SimContext, entries: int,
-                  ino: Optional[int] = None) -> Iterator[None]:
+                  ino: Optional[int] = None) -> "_MetaTxnScope":
         assert self.journal is not None
+        return _MetaTxnScope(self, ctx, entries)
+
+    def _txn_enter(self, ctx: SimContext, entries: int):
+        """Open a journal transaction unless one encloses this CPU already.
+
+        Returns (txn, stack, lock_name): txn is None for a nested join,
+        lock_name is None unless the shared-journal lock was taken.
+        """
         stack = self._txn_stack.setdefault(ctx.cpu, [])
         if stack:
             # nested operation joins the enclosing transaction
-            yield
-            return
+            return None, stack, None
         # journals are per-logical-CPU; when the workload runs more CPUs
         # than the FS has journals (e.g. the single-journal ablation), the
         # shared journal serializes its writers
-        jidx = ctx.cpu % self.layout.num_cpus
-        shared = self.layout.num_cpus < ctx.clock.num_cpus
-        if shared:
-            ctx.locks.acquire(f"winefs-journal:{jidx}", ctx.cpu)
+        lock_name = None
+        if self.layout.num_cpus < ctx.clock.num_cpus:
+            lock_name = f"winefs-journal:{ctx.cpu % self.layout.num_cpus}"
+            ctx.locks.acquire(lock_name, ctx.cpu)
         txn = self.journal.begin(ctx, entries_hint=min(entries,
                                                        MAX_TXN_ENTRIES))
         stack.append(txn)
-        try:
-            yield
-        finally:
-            stack.pop()
-            txn.commit(ctx)
-            if shared:
-                ctx.locks.release(f"winefs-journal:{jidx}", ctx.cpu)
+        return txn, stack, lock_name
 
     def _active_txn(self, ctx: SimContext):
         stack = self._txn_stack.get(ctx.cpu)
@@ -313,6 +349,7 @@ class WineFS(BaseFS):
                 txn.log_undo_range(addr, INODE_BYTES, ctx)
         self.device.persist(addr, b"\x00", ctx)
         self._serialized_extents.pop(inode.ino, None)
+        self._packer.drop(inode.ino)
         for block in self._indirect_chains.pop(inode.ino, []):
             assert self.allocator is not None
             self.allocator.free(Extent(block, 1))
@@ -331,42 +368,63 @@ class WineFS(BaseFS):
         the modified leaves.
         """
         assert self.allocator is not None
-        extents = list(inode.extents)
-        rec = InodeRecord(
-            ino=inode.ino, valid=True, is_dir=inode.is_dir,
-            aligned_hint=inode.aligned_hint, nlink=inode.nlink,
-            size=inode.size, parent_ino=inode.parent_ino, name=inode.name,
-            extents=extents)
-        new_tuple = tuple(extents)
-        prev = self._serialized_extents.get(inode.ino)
+        new_tuple = inode.extents.as_tuple()
+        extents = new_tuple
+        nnew = len(new_tuple)
+        ino = inode.ino
+        addr = self.layout.inode_addr(ino)
+        prev = self._serialized_extents.get(ino)
+        old_chain = self._indirect_chains.get(ino)
+        if prev is new_tuple and nnew <= INLINE_EXTENTS and not old_chain:
+            # size-only update of an inline-extent inode: no chain work,
+            # same undo image and slot rewrite as the general path below
+            if txn is not None:
+                txn.log_undo_range(addr, INODE_BYTES, ctx)
+            self._indirect_chains[ino] = []
+            self.device.persist(addr, self._packer.pack(inode, new_tuple, 0),
+                                ctx)
+            return
         prev_len = len(prev) if prev is not None else 0
         lcp = 0
-        if prev is not None:
-            n = min(prev_len, len(new_tuple))
+        if prev is new_tuple:
+            # unchanged since the last serialize (size-only update)
+            lcp = prev_len
+        elif prev is not None:
+            n = min(prev_len, nnew)
             while lcp < n and prev[lcp] == new_tuple[lcp]:
                 lcp += 1
         # append-only: everything except possibly the last old extent
         # (which may have grown by coalescing) is unchanged
         append_only = (prev is not None
-                       and len(new_tuple) >= prev_len
+                       and nnew >= prev_len
                        and lcp >= prev_len - 1)
-        self._serialized_extents[inode.ino] = new_tuple
+        self._serialized_extents[ino] = new_tuple
+        if old_chain is None:
+            old_chain = []
+        if append_only and nnew <= INLINE_EXTENTS and not old_chain:
+            # hot aging path (inline-extent append): the general
+            # append-only branch below reduces to exactly this
+            if txn is not None:
+                txn.log_undo_range(addr, INODE_BYTES, ctx)
+            self._indirect_chains[ino] = []
+            self.device.persist(addr, self._packer.pack(inode, new_tuple, 0),
+                                ctx)
+            return
         overflow = extents[INLINE_EXTENTS:]
-        old_chain = self._indirect_chains.get(inode.ino, [])
+        n_old = len(old_chain)
         needed = (len(overflow) + EXTENTS_PER_INDIRECT - 1) \
             // EXTENTS_PER_INDIRECT
-        addr = self.layout.inode_addr(inode.ino)
-        if append_only and needed >= len(old_chain):
+        if append_only and needed >= n_old:
             # in-place incremental update: old entries are never
             # overwritten, so rolling back the header alone is safe
             chain = list(old_chain)
             while len(chain) < needed:
                 chain.append(self.allocator.alloc_meta_block(ctx).start)
-            first_dirty = min(lcp, max(0, len(new_tuple) - 1))
+            first_dirty = min(lcp, max(0, nnew - 1))
             start_block = max(0, (first_dirty - INLINE_EXTENTS)
                               // EXTENTS_PER_INDIRECT) if needed else 0
-            if len(chain) != len(old_chain):
-                start_block = min(start_block, max(0, len(old_chain) - 1))
+            if len(chain) != n_old:
+                start_block = min(start_block, max(0, n_old - 1))
             for i in reversed(range(start_block, needed)):
                 chunk = overflow[i * EXTENTS_PER_INDIRECT:
                                  (i + 1) * EXTENTS_PER_INDIRECT]
@@ -374,7 +432,7 @@ class WineFS(BaseFS):
                 blob = pack_indirect(nxt, chunk)
                 dirty_idx = first_dirty - INLINE_EXTENTS \
                     - i * EXTENTS_PER_INDIRECT
-                if i < len(old_chain) and len(chain) == len(old_chain) \
+                if i < n_old and len(chain) == n_old \
                         and i == needed - 1 and dirty_idx > 0:
                     # write only the modified tail entries of the leaf
                     lo = 8 + dirty_idx * 8
@@ -410,11 +468,11 @@ class WineFS(BaseFS):
             # replace does not shift its suffix — so charge only for the
             # entries outside the common prefix and common suffix
             lcs = 0
-            max_lcs = min(prev_len, len(new_tuple)) - lcp
+            max_lcs = min(prev_len, nnew) - lcp
             while lcs < max_lcs and prev is not None \
-                    and prev[prev_len - 1 - lcs] == new_tuple[len(new_tuple) - 1 - lcs]:
+                    and prev[prev_len - 1 - lcs] == new_tuple[nnew - 1 - lcs]:
                 lcs += 1
-            changed = (len(new_tuple) - lcp - lcs) + (prev_len - lcp - lcs)
+            changed = (nnew - lcp - lcs) + (prev_len - lcp - lcs)
             ctx.charge(self.machine.persist_ns(64 + changed * 8))
             ctx.counters.pm_bytes_written += 64 + changed * 8
             for surplus in old_chain:
@@ -423,9 +481,10 @@ class WineFS(BaseFS):
                 # the name region never changes on a data-path update, so
                 # only the header + inline-extent area needs an undo image
                 txn.log_undo_range(addr, 72, ctx)
-        self._indirect_chains[inode.ino] = chain
+        self._indirect_chains[ino] = chain
         indirect0 = chain[0] if chain else 0
-        self.device.persist(addr, pack_inode(rec, indirect0), ctx)
+        self.device.persist(addr, self._packer.pack(inode, new_tuple,
+                                                    indirect0), ctx)
 
     # ------------------------------------------------------- allocation hooks
 
@@ -460,24 +519,32 @@ class WineFS(BaseFS):
         hugepage extents* ("hugepage handling on page faults", §3.6) --
         this is why LMDB-style ftruncate growth still gets hugepages."""
         assert self.allocator is not None
-        with ctx.trace.span(ctx, "fault.alloc", ino=inode.ino,
-                            block=logical_block):
-            while inode.extents.total_blocks <= logical_block:
-                ext = self.allocator.alloc_aligned_for_fault(
-                    ctx.cpu % self.layout.num_cpus)
-                if ext is None:
-                    exts = self.allocator.alloc(
-                        min(BLOCKS_PER_HUGEPAGE,
-                            logical_block + 1 - inode.extents.total_blocks),
-                        ctx, want_aligned=False)
-                    for e in exts:
-                        inode.extents.append(e)
-                else:
-                    inode.extents.append(ext)
-            # zeroing newly allocated space happens at allocation, as NOVA
-            # does
-            ctx.charge(self.machine.pm_write_ns(self.block_size))
-            self._persist_inode(inode, ctx)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "fault.alloc", ino=inode.ino,
+                                block=logical_block):
+                self._alloc_for_fault_impl(inode, logical_block, ctx)
+            return
+        self._alloc_for_fault_impl(inode, logical_block, ctx)
+
+    def _alloc_for_fault_impl(self, inode: Inode, logical_block: int,
+                              ctx: SimContext) -> None:
+        assert self.allocator is not None
+        while inode.extents.total_blocks <= logical_block:
+            ext = self.allocator.alloc_aligned_for_fault(
+                ctx.cpu % self.layout.num_cpus)
+            if ext is None:
+                exts = self.allocator.alloc(
+                    min(BLOCKS_PER_HUGEPAGE,
+                        logical_block + 1 - inode.extents.total_blocks),
+                    ctx, want_aligned=False)
+                for e in exts:
+                    inode.extents.append(e)
+            else:
+                inode.extents.append(ext)
+        # zeroing newly allocated space happens at allocation, as NOVA
+        # does
+        ctx.charge(self.machine.pm_write_ns(self.block_size))
+        self._persist_inode(inode, ctx)
 
     # ------------------------------------------------------- data path
 
@@ -498,18 +565,25 @@ class WineFS(BaseFS):
         over = data[:overwrite_len]
         if self._range_is_aligned(inode, offset, overwrite_len):
             # data journaling: write data once to the journal, then in place
-            with ctx.trace.span(ctx, "winefs.data_journal", ino=inode.ino,
-                                size=len(over)):
-                journal_ns = self.machine.persist_ns(len(over))
-                ctx.charge(journal_ns)
-                ctx.counters.journal_ns += journal_ns
-                ctx.counters.pm_bytes_written += len(over)
-                self._write_in_place(inode, offset, over, ctx)
+            if ctx.trace.enabled:
+                with ctx.trace.span(ctx, "winefs.data_journal",
+                                    ino=inode.ino, size=len(over)):
+                    self._data_journal_write(inode, offset, over, ctx)
+            else:
+                self._data_journal_write(inode, offset, over, ctx)
         else:
             self._write_cow(inode, offset, over, ctx)
         tail = data[overwrite_len:]
         if tail:
             self._write_in_place(inode, offset + overwrite_len, tail, ctx)
+
+    def _data_journal_write(self, inode: Inode, offset: int, over: bytes,
+                            ctx: SimContext) -> None:
+        journal_ns = self.machine.persist_ns(len(over))
+        ctx.charge(journal_ns)
+        ctx.counters.journal_ns += journal_ns
+        ctx.counters.pm_bytes_written += len(over)
+        self._write_in_place(inode, offset, over, ctx)
 
     def _range_is_aligned(self, inode: Inode, offset: int,
                           length: int) -> bool:
@@ -547,6 +621,24 @@ class WineFS(BaseFS):
         ctx.charge(ns)
         ctx.counters.pm_bytes_written += len(data)
         if self.track_data:
+            if not self.device.track_stores:
+                # one store per physical run; block-granular records are
+                # only needed when the device is capturing store history
+                first = offset // self.block_size
+                last = (offset + len(data) - 1) // self.block_size
+                within = offset % self.block_size
+                pos = 0
+                for ext in inode.extents.slice_logical(first,
+                                                       last - first + 1):
+                    take = min(ext.length * self.block_size - within,
+                               len(data) - pos)
+                    addr = ext.start * self.block_size + within
+                    self.device.store(addr, data[pos:pos + take])
+                    self.device.clwb(addr, take)
+                    pos += take
+                    within = 0
+                self.device.sfence()
+                return
             pos = 0
             while pos < len(data):
                 block = (offset + pos) // self.block_size
@@ -563,9 +655,12 @@ class WineFS(BaseFS):
                    ctx: SimContext) -> None:
         """Copy-on-write into fresh unaligned holes (§3.4)."""
         assert self.allocator is not None
-        with ctx.trace.span(ctx, "winefs.cow", ino=inode.ino,
-                            size=len(data)):
-            self._write_cow_impl(inode, offset, data, ctx)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "winefs.cow", ino=inode.ino,
+                                size=len(data)):
+                self._write_cow_impl(inode, offset, data, ctx)
+            return
+        self._write_cow_impl(inode, offset, data, ctx)
 
     def _write_cow_impl(self, inode: Inode, offset: int, data: bytes,
                         ctx: SimContext) -> None:

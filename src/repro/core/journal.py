@@ -27,6 +27,7 @@ from ..clock import SimContext
 from ..errors import CorruptionError, FSError
 from ..params import BLOCK_SIZE, CACHELINE
 from ..pm.device import PMDevice
+from ..pm.zeros import Zeros
 from .layout import Layout
 
 ENTRY_BYTES = CACHELINE
@@ -82,6 +83,9 @@ class PerCPUJournal:
         self.tail = 0            # oldest un-reclaimed slot
         self.wraparound = 1      # starts at 1 so zeroed PM reads as stale
         self.waits_for_space = 0
+        # every entry is exactly one cacheline, so its persist cost is a
+        # constant of the machine; computing it per append is pure waste
+        self._entry_persist_ns = device.machine.persist_ns(ENTRY_BYTES)
 
     # -- space ----------------------------------------------------------------
 
@@ -115,10 +119,58 @@ class PerCPUJournal:
         else:
             # fast devices cannot produce crash images, so the journal
             # bytes are unobservable: charge the persist without writing
-            ctx.charge(self.device.machine.persist_ns(ENTRY_BYTES))
+            ctx.charge(self._entry_persist_ns)
             ctx.counters.pm_bytes_written += ENTRY_BYTES
-        ctx.counters.journal_ns += self.device.machine.persist_ns(ENTRY_BYTES)
+        ctx.counters.journal_ns += self._entry_persist_ns
         self.head += 1
+
+    def append_blank(self, ctx: SimContext) -> None:
+        """Advance the journal by one entry, charging exactly what
+        :meth:`append` charges on an untracked (fast) device.
+
+        Only valid in fast mode: the entry bytes are unobservable there,
+        so no :class:`JournalEntry` needs to exist at all.
+        """
+        if (self.head % self.capacity) == 0 and self.head > 0:
+            self.wraparound += 1
+        pns = self._entry_persist_ns
+        # inlined ctx.charge / counter-property writes: pns >= 0 and each
+        # is a single add on the same cell, so values are bit-identical
+        ctx.clock._cpu_ns[ctx.cpu] += pns
+        counters = ctx.counters
+        counters._pm_bytes_written.value += ENTRY_BYTES
+        counters._journal_ns.value += pns
+        self.head += 1
+
+    def append_run(self, n: int, ctx: SimContext) -> None:
+        """*n* blank entries; bit-identical charges to n fast-mode
+        :meth:`append` calls (clock and journal_ns adds stay per-entry
+        because float addition does not regroup)."""
+        if n <= 0:
+            return
+        head = self.head
+        cap = self.capacity
+        for _ in range(n):
+            if head % cap == 0 and head > 0:
+                self.wraparound += 1
+            head += 1
+        self.head = head
+        pns = self._entry_persist_ns
+        # inlined charge_repeat/add_repeat: same one-at-a-time adds on a
+        # local (pns >= 0, n > 0), so the float results are bit-identical
+        cell = ctx.clock._cpu_ns
+        cpu = ctx.cpu
+        v = cell[cpu]
+        for _ in range(n):
+            v += pns
+        cell[cpu] = v
+        counters = ctx.counters
+        counters._pm_bytes_written.value += ENTRY_BYTES * n
+        jcell = counters._journal_ns
+        v = jcell.value
+        for _ in range(n):
+            v += pns
+        jcell.value = v
 
     def reclaim_committed(self) -> None:
         """All operations are immediately durable -> reclaim everything."""
@@ -150,6 +202,9 @@ class PerCPUJournal:
 class _Transaction:
     """Handle for one open transaction; created via JournalManager.begin."""
 
+    __slots__ = ("_mgr", "journal", "txn_id", "entries_used", "committed",
+                 "_logged")
+
     def __init__(self, mgr: "JournalManager", journal: PerCPUJournal,
                  txn_id: int) -> None:
         self._mgr = mgr
@@ -169,6 +224,11 @@ class _Transaction:
         if addr in self._logged:
             return
         self._logged.add(addr)
+        if not self.journal.device.track_stores:
+            # the undo image is unobservable on a fast device; only the
+            # entry's journal traffic matters
+            self._append_blank(1, ctx)
+            return
         old = self.journal.device.load(addr, UNDO_BYTES)
         self._append(TYPE_DATA, addr, old, ctx)
 
@@ -176,13 +236,23 @@ class _Transaction:
         if addr in self._logged:
             return
         self._logged.add(addr)
-        old = self.journal.device.load(addr, length) \
-            if self.journal.device.track_stores else b"\x00" * length
+        if not self.journal.device.track_stores:
+            self._append_blank((length + UNDO_BYTES - 1) // UNDO_BYTES, ctx)
+            return
+        old = self.journal.device.load(addr, length)
         pos = 0
         while pos < length:
             take = min(UNDO_BYTES, length - pos)
             self._append(TYPE_DATA, addr + pos, old[pos:pos + take], ctx)
             pos += take
+
+    def _append_blank(self, n: int, ctx: SimContext) -> None:
+        if n <= 0:
+            return
+        if self.committed:
+            raise FSError("transaction already committed")
+        self.entries_used += n
+        self.journal.append_run(n, ctx)
 
     def _append(self, etype: int, addr: int, undo: bytes,
                 ctx: SimContext) -> None:
@@ -195,12 +265,21 @@ class _Transaction:
     def commit(self, ctx: SimContext) -> None:
         if self.committed:
             raise FSError("double commit")
-        with ctx.trace.span(ctx, "journal.commit", txn=self.txn_id,
-                            entries=self.entries_used):
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "journal.commit", txn=self.txn_id,
+                                entries=self.entries_used):
+                self._commit_impl(ctx)
+            return
+        self._commit_impl(ctx)
+
+    def _commit_impl(self, ctx: SimContext) -> None:
+        if self.journal.device.track_stores:
             self.journal.append(
                 JournalEntry(TYPE_COMMIT, 0, self.txn_id, 0, b""), ctx)
-            self.committed = True
-            self.journal.reclaim_committed()
+        else:
+            self.journal.append_blank(ctx)
+        self.committed = True
+        self.journal.reclaim_committed()
 
 
 class JournalManager:
@@ -218,14 +297,22 @@ class JournalManager:
               ) -> _Transaction:
         """Start a transaction in the calling CPU's journal (§3.6: it stays
         in that journal even if the thread later migrates)."""
-        with ctx.trace.span(ctx, "journal.begin", cpu=ctx.cpu):
-            journal = self.journals[ctx.cpu % len(self.journals)]
-            journal.reserve(entries_hint, ctx)
-            txn_id = self._next_txn_id
-            self._next_txn_id += 1
-            self.transactions_started += 1
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "journal.begin", cpu=ctx.cpu):
+                return self._begin_impl(ctx, entries_hint)
+        return self._begin_impl(ctx, entries_hint)
+
+    def _begin_impl(self, ctx: SimContext, entries_hint: int) -> _Transaction:
+        journal = self.journals[ctx.cpu % len(self.journals)]
+        journal.reserve(entries_hint, ctx)
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.transactions_started += 1
+        if self.device.track_stores:
             journal.append(JournalEntry(TYPE_START, 0, txn_id, 0, b""), ctx)
-            return _Transaction(self, journal, txn_id)
+        else:
+            journal.append_blank(ctx)
+        return _Transaction(self, journal, txn_id)
 
     # -- recovery ------------------------------------------------------------------
 
@@ -258,8 +345,13 @@ class JournalManager:
         return len(committed_ids), len(uncommitted)
 
     def _erase(self, journal: PerCPUJournal) -> None:
-        zero = b"\x00" * ENTRY_BYTES
-        for slot in range(journal.capacity):
-            self.device.persist(journal.base + slot * ENTRY_BYTES, zero)
+        if self.device.track_stores:
+            zero = b"\x00" * ENTRY_BYTES
+            for slot in range(journal.capacity):
+                self.device.persist(journal.base + slot * ENTRY_BYTES, zero)
+        else:
+            # one buffer-free zeroing sweep; same total bytes_written
+            self.device.persist(journal.base,
+                                Zeros(journal.capacity * ENTRY_BYTES))
         journal.head = journal.tail = 0
         journal.wraparound += 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from ..errors import CorruptionError, FSError
@@ -45,6 +46,9 @@ _SB = struct.Struct("<IIIIQ")        # magic, ncpus, clean, version, total_block
 _INODE_HEAD = struct.Struct("<BBHIQQQ")   # valid, flags, nlink, n_extents,
                                           # size, parent_ino, indirect_block
 _EXT = struct.Struct("<II")               # start, length
+#: one Struct per inline-extent count, so n extents pack in a single call
+_INLINE_PACKERS = [struct.Struct("<" + "II" * n)
+                   for n in range(INLINE_EXTENTS + 1)]
 
 FLAG_DIR = 0x1
 FLAG_ALIGNED_HINT = 0x2
@@ -111,7 +115,10 @@ class Layout:
     def first_ino(self, cpu: int) -> int:
         return cpu * INODES_PER_CPU + 1
 
+    @lru_cache(maxsize=65536)
     def inode_addr(self, ino: int) -> int:
+        # pure function of (layout, ino); Layout is a frozen dataclass,
+        # so memoizing on (self, ino) is safe
         cpu = self.cpu_of_ino(ino)
         if cpu >= self.num_cpus:
             raise FSError(f"ino {ino} outside inode tables")
@@ -181,6 +188,60 @@ def pack_inode(rec: InodeRecord, indirect_block: int = 0) -> bytes:
     if len(body) > INODE_SLOT_BYTES:
         raise FSError("inode slot overflow")
     return body.ljust(INODE_SLOT_BYTES, b"\x00")
+
+
+class InodePacker:
+    """:func:`pack_inode` specialized for the serialize-on-every-update
+    path: memoizes each inode's encoded name and inline-extent bytes.
+
+    Names almost never change, and the extent snapshot is an identity-
+    cached tuple (:meth:`ExtentList.as_tuple`), so both memos hit on the
+    dominant size-only/append updates.  Output is byte-identical to
+    :func:`pack_inode` of the equivalent record.  Entries must be dropped
+    when an inode is freed (ino numbers are reused).
+    """
+
+    __slots__ = ("_names", "_inlines")
+
+    def __init__(self) -> None:
+        self._names: dict = {}    # ino -> (name str, packed name field)
+        self._inlines: dict = {}  # ino -> (extents tuple, inline bytes)
+
+    def drop(self, ino: int) -> None:
+        self._names.pop(ino, None)
+        self._inlines.pop(ino, None)
+
+    def pack(self, inode, extents: tuple, indirect_block: int) -> bytes:
+        ino = inode.ino
+        name = inode.name
+        cached = self._names.get(ino)
+        if cached is not None and cached[0] is name:
+            name_field = cached[1]
+        else:
+            name_bytes = name.encode()
+            if len(name_bytes) > MAX_NAME:
+                raise FSError(f"name too long for inode slot: {name!r}")
+            name_field = bytes([len(name_bytes)]) + name_bytes
+            self._names[ino] = (name, name_field)
+        cached = self._inlines.get(ino)
+        if cached is not None and cached[0] is extents:
+            inline = cached[1]
+        else:
+            flat = []
+            for e in extents[:INLINE_EXTENTS]:
+                flat.append(e.start)
+                flat.append(e.length)
+            inline = _INLINE_PACKERS[len(flat) // 2].pack(*flat) \
+                .ljust(INLINE_EXTENTS * _EXT.size, b"\x00")
+            self._inlines[ino] = (extents, inline)
+        flags = (FLAG_DIR if inode.is_dir else 0) | \
+                (FLAG_ALIGNED_HINT if inode.aligned_hint else 0)
+        head = _INODE_HEAD.pack(1, flags, inode.nlink, len(extents),
+                                inode.size, inode.parent_ino, indirect_block)
+        body = head + inline + name_field
+        if len(body) > INODE_SLOT_BYTES:
+            raise FSError("inode slot overflow")
+        return body.ljust(INODE_SLOT_BYTES, b"\x00")
 
 
 def unpack_inode(ino: int, raw: bytes,

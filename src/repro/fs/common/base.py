@@ -32,10 +32,12 @@ from ...errors import (
     NotEmptyError, NotMountedError,
 )
 from ...mmu.cache import CacheModel
-from ...mmu.mmap_region import MappedRegion
+from ...mmu.mmap_region import MappedRegion, _next_region_id
+from ...mmu.page_table import PageTable
 from ...mmu.tlb import TLB
-from ...params import BLOCK_SIZE, BLOCKS_PER_HUGEPAGE, HUGE_PAGE
+from ...params import BASE_PAGE, BLOCK_SIZE, BLOCKS_PER_HUGEPAGE, HUGE_PAGE
 from ...pm.device import PMDevice
+from ...pm.zeros import Zeros, zero_bytes
 from ...structures.extents import Extent, ExtentList
 from ...vfs.interface import FileSystem, FSStats, OpenFile, StatResult
 from ...vfs.path import basename_of, normalize_path, parent_of, split_path
@@ -182,73 +184,97 @@ class BaseFS(FileSystem):
         """Lock name for an inode: keyed on the live object generation so
         recycled inode numbers do not alias across unrelated files."""
         inode = self._itable.get(ino)
-        gen = inode.gen if inode is not None else 0
-        return f"ino:{ino}g{gen}"
+        if inode is None:
+            return f"ino:{ino}g0"
+        # gen never changes on a live object, so the name is cacheable
+        name = inode.lock_name
+        if name is None:
+            name = f"ino:{ino}g{inode.gen}"
+            inode.lock_name = name
+        return name
 
     # --------------------------------------------------------------- namespace
 
     def create(self, path: str, ctx: SimContext) -> OpenFile:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.create", fs=self.name, path=path):
-            self._syscall(ctx)
-            path = normalize_path(path)
-            parent = self._resolve_parent(path, ctx)
-            name = basename_of(path)
-            pdir = self._dirs[parent.ino]
-            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-            try:
-                if name in pdir:
-                    raise ExistsError(path)
-                with self._meta_txn(ctx, entries=4, ino=parent.ino):
-                    inode = self._alloc_inode(is_dir=False, ctx=ctx)
-                    inode.parent_ino, inode.name = parent.ino, name
-                    self._apply_dir_inheritance(parent, inode)
-                    pdir.insert(name, inode.ino, ctx)
-                    self._persist_inode(inode, ctx)
-                    self._persist_inode(parent, ctx)
-            finally:
-                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
-            return OpenFile(self, inode.ino, path)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.create", fs=self.name, path=path):
+                return self._create_impl(path, ctx)
+        return self._create_impl(path, ctx)
+
+    def _create_impl(self, path: str, ctx: SimContext) -> OpenFile:
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        lock = self._ino_lock(parent.ino)
+        ctx.locks.acquire(lock, ctx.cpu)
+        try:
+            if name in pdir:
+                raise ExistsError(path)
+            with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                inode = self._alloc_inode(is_dir=False, ctx=ctx)
+                inode.parent_ino, inode.name = parent.ino, name
+                self._apply_dir_inheritance(parent, inode)
+                pdir.insert(name, inode.ino, ctx)
+                self._persist_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(lock, ctx.cpu)
+        return OpenFile(self, inode.ino, path)
 
     def _apply_dir_inheritance(self, parent: Inode, child: Inode) -> None:
         """Hook: WineFS directory-level alignment xattrs (§3.6)."""
 
     def open(self, path: str, ctx: SimContext) -> OpenFile:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.open", fs=self.name, path=path):
-            self._syscall(ctx)
-            path = normalize_path(path)
-            inode = self._resolve(path, ctx)
-            if inode.is_dir:
-                raise IsADirectoryError_(path)
-            return OpenFile(self, inode.ino, path)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.open", fs=self.name, path=path):
+                return self._open_impl(path, ctx)
+        return self._open_impl(path, ctx)
+
+    def _open_impl(self, path: str, ctx: SimContext) -> OpenFile:
+        self._syscall(ctx)
+        path = normalize_path(path)
+        inode = self._resolve(path, ctx)
+        if inode.is_dir:
+            raise IsADirectoryError_(path)
+        return OpenFile(self, inode.ino, path)
 
     def unlink(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.unlink", fs=self.name, path=path):
-            self._syscall(ctx)
-            path = normalize_path(path)
-            parent = self._resolve_parent(path, ctx)
-            name = basename_of(path)
-            pdir = self._dirs[parent.ino]
-            ctx.locks.acquire(self._ino_lock(parent.ino), ctx.cpu)
-            try:
-                ino = pdir.lookup(name, ctx)
-                if ino is None:
-                    raise NotFoundError(path)
-                inode = self._itable.get(ino)
-                assert inode is not None
-                if inode.is_dir:
-                    raise IsADirectoryError_(path)
-                with self._meta_txn(ctx, entries=4, ino=parent.ino):
-                    pdir.remove(name, ctx)
-                    freed = list(inode.extents)
-                    if freed:
-                        self._free(freed, ctx)
-                    self._free_inode(inode, ctx)
-                    self._persist_inode(parent, ctx)
-            finally:
-                ctx.locks.release(self._ino_lock(parent.ino), ctx.cpu)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.unlink", fs=self.name, path=path):
+                self._unlink_impl(path, ctx)
+            return
+        self._unlink_impl(path, ctx)
+
+    def _unlink_impl(self, path: str, ctx: SimContext) -> None:
+        self._syscall(ctx)
+        path = normalize_path(path)
+        parent = self._resolve_parent(path, ctx)
+        name = basename_of(path)
+        pdir = self._dirs[parent.ino]
+        lock = self._ino_lock(parent.ino)
+        ctx.locks.acquire(lock, ctx.cpu)
+        try:
+            ino = pdir.lookup(name, ctx)
+            if ino is None:
+                raise NotFoundError(path)
+            inode = self._itable.get(ino)
+            assert inode is not None
+            if inode.is_dir:
+                raise IsADirectoryError_(path)
+            with self._meta_txn(ctx, entries=4, ino=parent.ino):
+                pdir.remove(name, ctx)
+                freed = list(inode.extents)
+                if freed:
+                    self._free(freed, ctx)
+                self._free_inode(inode, ctx)
+                self._persist_inode(parent, ctx)
+        finally:
+            ctx.locks.release(lock, ctx.cpu)
 
     def mkdir(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
@@ -396,65 +422,93 @@ class BaseFS(FileSystem):
 
     def read(self, ino: int, offset: int, size: int, ctx: SimContext) -> bytes:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.read", fs=self.name, ino=ino,
-                            size=size):
-            self._syscall(ctx)
-            if offset < 0 or size < 0:
-                raise InvalidArgumentError("negative offset/size")
-            inode = self._inode_for_data(ino)
-            if offset >= inode.size:
-                return b""
-            size = min(size, inode.size - offset)
-            if size == 0:
-                return b""
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.read", fs=self.name, ino=ino,
+                                size=size):
+                return self._read_impl(ino, offset, size, ctx)
+        return self._read_impl(ino, offset, size, ctx)
+
+    def _read_impl(self, ino: int, offset: int, size: int,
+                   ctx: SimContext) -> bytes:
+        self._syscall(ctx)
+        if offset < 0 or size < 0:
+            raise InvalidArgumentError("negative offset/size")
+        inode = self._inode_for_data(ino)
+        if offset >= inode.size:
+            return b""
+        size = min(size, inode.size - offset)
+        if size == 0:
+            return b""
+        ctx.charge(self.machine.pm_load_ns +
+                   self.machine.pm_read_ns(size))
+        ctx.counters.pm_bytes_read += size
+        if not self.track_data:
+            return zero_bytes(size)
+        end = offset + size
+        # the allocation boundary is block-aligned, so bytes before it
+        # come from extents (batched per physical run) and bytes after
+        # it are one zero-filled hole
+        allocated_bytes = inode.extents.total_blocks * self.block_size
+        read_end = min(end, max(offset, allocated_bytes))
+        chunks: List[bytes] = []
+        if offset < read_end:
             first_block = offset // self.block_size
-            last_block = (offset + size - 1) // self.block_size
-            nblocks = last_block - first_block + 1
-            ctx.charge(self.machine.pm_load_ns +
-                       self.machine.pm_read_ns(size))
-            ctx.counters.pm_bytes_read += size
-            if not self.track_data:
-                return b"\x00" * size
-            chunks: List[bytes] = []
+            last_block = (read_end - 1) // self.block_size
+            within = offset % self.block_size
             pos = offset
-            end = offset + size
-            allocated_bytes = inode.extents.total_blocks * self.block_size
-            while pos < end:
-                block = pos // self.block_size
-                within = pos % self.block_size
-                take = min(self.block_size - within, end - pos)
-                if block * self.block_size >= allocated_bytes:
-                    chunks.append(b"\x00" * take)   # hole past allocation
-                else:
-                    phys = inode.extents.physical_block(block)
-                    chunks.append(self.device.load(
-                        phys * self.block_size + within, take))
+            for ext in inode.extents.slice_logical(
+                    first_block, last_block - first_block + 1):
+                take = min(ext.length * self.block_size - within,
+                           read_end - pos)
+                chunks.append(self.device.load(
+                    ext.start * self.block_size + within, take))
                 pos += take
-            return b"".join(chunks)
+                within = 0
+        if end > read_end:
+            chunks.append(zero_bytes(end - read_end))
+        return b"".join(chunks)
 
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.write", fs=self.name, ino=ino,
-                            size=len(data)):
-            self._syscall(ctx)
-            if offset < 0:
-                raise InvalidArgumentError("negative offset")
-            if not data:
-                return 0
-            inode = self._inode_for_data(ino)
-            ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
-            try:
-                grows = offset + len(data) > inode.size
-                self._ensure_blocks(inode, offset + len(data), ctx)
-                self._write_data(inode, offset, data, ctx)
-                inode.written_hwm = max(inode.written_hwm, offset + len(data))
-                if grows:
-                    with self._meta_txn(ctx, entries=2, ino=ino):
-                        inode.size = offset + len(data)
-                        self._persist_inode(inode, ctx)
-            finally:
-                ctx.locks.release(self._ino_lock(ino), ctx.cpu)
-            return len(data)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.write", fs=self.name, ino=ino,
+                                size=len(data)):
+                return self._write_impl(ino, offset, data, ctx)
+        return self._write_impl(ino, offset, data, ctx)
+
+    def _write_impl(self, ino: int, offset: int, data: bytes,
+                    ctx: SimContext) -> int:
+        self._syscall(ctx)
+        if offset < 0:
+            raise InvalidArgumentError("negative offset")
+        if not data:
+            return 0
+        length = len(data)
+        inode = self._inode_for_data(ino)
+        lock = self._ino_lock(ino)
+        ctx.locks.acquire(lock, ctx.cpu)
+        try:
+            grows = offset + length > inode.size
+            self._ensure_blocks(inode, offset + length, ctx)
+            self._write_data(inode, offset, data, ctx)
+            inode.written_hwm = max(inode.written_hwm, offset + length)
+            if grows:
+                with self._meta_txn(ctx, entries=2, ino=ino):
+                    inode.size = offset + length
+                    self._persist_inode(inode, ctx)
+        finally:
+            ctx.locks.release(lock, ctx.cpu)
+        return length
+
+    def write_zeros(self, ino: int, offset: int, length: int,
+                    ctx: SimContext) -> int:
+        """:meth:`write` of *length* zero bytes without materializing the
+        payload (aging churn and zero-fill benches)."""
+        if length <= 0:
+            return 0
+        if self.track_data:
+            return self.write(ino, offset, zero_bytes(length), ctx)
+        return self.write(ino, offset, Zeros(length), ctx)
 
     def truncate(self, ino: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
@@ -481,22 +535,30 @@ class BaseFS(FileSystem):
 
     def fallocate(self, ino: int, offset: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
-        with ctx.trace.span(ctx, "vfs.fallocate", fs=self.name, ino=ino,
-                            size=size):
-            self._syscall(ctx)
-            if offset < 0 or size <= 0:
-                raise InvalidArgumentError("bad fallocate range")
-            inode = self._inode_for_data(ino)
-            ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
-            try:
-                with self._meta_txn(ctx, entries=2, ino=ino):
-                    self._ensure_blocks(inode, offset + size, ctx)
-                    if self._zero_on_fallocate():
-                        ctx.charge(self.machine.pm_write_ns(size))
-                    inode.size = max(inode.size, offset + size)
-                    self._persist_inode(inode, ctx)
-            finally:
-                ctx.locks.release(self._ino_lock(ino), ctx.cpu)
+        if ctx.trace.enabled:
+            with ctx.trace.span(ctx, "vfs.fallocate", fs=self.name, ino=ino,
+                                size=size):
+                self._fallocate_impl(ino, offset, size, ctx)
+            return
+        self._fallocate_impl(ino, offset, size, ctx)
+
+    def _fallocate_impl(self, ino: int, offset: int, size: int,
+                        ctx: SimContext) -> None:
+        self._syscall(ctx)
+        if offset < 0 or size <= 0:
+            raise InvalidArgumentError("bad fallocate range")
+        inode = self._inode_for_data(ino)
+        lock = self._ino_lock(ino)
+        ctx.locks.acquire(lock, ctx.cpu)
+        try:
+            with self._meta_txn(ctx, entries=2, ino=ino):
+                self._ensure_blocks(inode, offset + size, ctx)
+                if self._zero_on_fallocate():
+                    ctx.charge(self.machine.pm_write_ns(size))
+                inode.size = max(inode.size, offset + size)
+                self._persist_inode(inode, ctx)
+        finally:
+            ctx.locks.release(lock, ctx.cpu)
 
     def _zero_on_fallocate(self) -> bool:
         """NOVA zeroes at fallocate; ext4-DAX zeroes at fault (§5.4)."""
@@ -593,6 +655,7 @@ class _FSMappedRegion(MappedRegion):
     def __init__(self, fs: BaseFS, inode: Inode, **kwargs) -> None:
         self._fs = fs
         self._inode = inode
+        self._fault_ctx: Optional[SimContext] = None
         # bypass the extents-cover-length check: sparse mappings are legal
         extents = inode.extents
         super_len = kwargs.pop("length")
@@ -605,29 +668,37 @@ class _FSMappedRegion(MappedRegion):
         self.extents = extents
         self.length = super_len
         self.block_size = block_size
-        from ...mmu.page_table import PageTable
-        from ...mmu.tlb import TLB as _TLB
         self.page_table = PageTable()
         tlb = kwargs.pop("tlb")
         cache = kwargs.pop("cache")
-        self.tlb = tlb if tlb is not None else _TLB(machine.tlb_4k_entries,
-                                                    machine.tlb_2m_entries)
+        self.tlb = tlb if tlb is not None else TLB(machine.tlb_4k_entries,
+                                                   machine.tlb_2m_entries)
         self.cache = cache
         self.fault_zero_fill = kwargs.pop("fault_zero_fill")
         self.track_data = kwargs.pop("track_data")
-        from ...mmu import mmap_region as _mr
-        self.region_id = _mr._next_region_id[0]
-        _mr._next_region_id[0] += 1
+        self.region_id = _next_region_id[0]
+        _next_region_id[0] += 1
         self._blocks_per_page = 1
+        # walk-engine state (MappedRegion.__init__ is bypassed above)
+        self._last_fault = None
+        self._memo_lo = 0
+        self._memo_hi = -1
+        self._memo_gen = -1
         if super_len <= 0:
             raise InvalidArgumentError("mmap length must be positive")
 
     def _page_unwritten(self, virt_page: int) -> bool:
-        from ...params import BASE_PAGE
         return virt_page * BASE_PAGE >= self._inode.written_hwm
 
+    def _first_unwritten_page(self) -> int:
+        return (self._inode.written_hwm + BASE_PAGE - 1) // BASE_PAGE
+
+    def _prefault_run_ready(self, first_page: int, last_page: int) -> bool:
+        # no demand allocation: every block in the run must already exist
+        return ((last_page + 1) * (BASE_PAGE // self.block_size)
+                <= self.extents.total_blocks)
+
     def _phys_of_virt_page(self, virt_page: int) -> int:
-        from ...params import BASE_PAGE
         logical_block = virt_page * (BASE_PAGE // self.block_size)
         if logical_block >= self.extents.total_blocks:
             # demand allocation inside the fault handler
@@ -639,7 +710,6 @@ class _FSMappedRegion(MappedRegion):
         # WineFS's fault handler allocates an aligned extent *before*
         # deciding base-vs-huge, so demand allocation must happen first.
         self._fault_ctx = ctx
-        from ...params import BASE_PAGE
         logical_block = virt_page * (BASE_PAGE // self.block_size)
         if logical_block >= self.extents.total_blocks:
             self._fs.alloc_for_fault(self._inode, logical_block, ctx)

@@ -11,6 +11,7 @@ metadata-heavy workloads like varmail (§5.5).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional
 
@@ -75,6 +76,10 @@ class RBDirIndex(DirIndex):
     def __init__(self) -> None:
         super().__init__()
         self._tree = RBTree()
+        # depth is a pure function of the tree size; cache it so lookups
+        # skip the log2 while the directory's entry count is unchanged
+        self._depth_for_size = -1
+        self._depth = 1
 
     @staticmethod
     def _hash(name: str) -> int:
@@ -87,9 +92,12 @@ class RBDirIndex(DirIndex):
     def _charge_lookup(self, ctx: Optional[SimContext]) -> None:
         if ctx is None:
             return
-        import math
-        depth = max(1, int(math.log2(len(self._tree) + 1)) + 1)
-        ctx.charge(depth * _TREE_NODE_NS)
+        n = len(self._tree)
+        if n != self._depth_for_size:
+            self._depth_for_size = n
+            self._depth = max(1, int(math.log2(n + 1)) + 1)
+        # inlined ctx.charge (depth * _TREE_NODE_NS >= 0, single add)
+        ctx.clock._cpu_ns[ctx.cpu] += self._depth * _TREE_NODE_NS
 
     def insert(self, name: str, ino: int, ctx: Optional[SimContext] = None) -> None:
         super().insert(name, ino, ctx)

@@ -21,7 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 from ...errors import NoSpaceError, SimulationError
 from ...params import BLOCKS_PER_HUGEPAGE
 from ...structures.extents import Extent, align_down, align_up
-from ...structures.rbtree import RBTree
+from ...structures.sortedmap import SortedMap
 
 #: size-index keys pack (length, start) into one int; start < 2^40 covers
 #: partitions up to 4 exabytes of 4KB blocks
@@ -50,10 +50,13 @@ class FreePool:
             raise SimulationError("pool exceeds size-index address range")
         self.range_start = start
         self.range_end = start + length
-        self._tree = RBTree()          # start block -> length
-        self._with_runs = RBTree()     # start block -> run count (runs >= 1)
-        self._by_size = RBTree()       # (length, start) key -> None
-        self._holes_by_size = RBTree() # same, but only runs == 0 extents
+        # ordered maps (kernel WineFS uses rbtrees; nothing here observes
+        # the structure's shape, so the array-backed map's identical
+        # ordered semantics at lower constant cost are a free swap)
+        self._tree = SortedMap()          # start block -> length
+        self._with_runs = SortedMap()     # start block -> run count (>= 1)
+        self._by_size = SortedMap()       # (length, start) key -> None
+        self._holes_by_size = SortedMap() # same, only runs == 0 extents
         self._total_runs = 0
         self.free_blocks = 0
         if length:
@@ -148,7 +151,7 @@ class FreePool:
             self._add_run(take_start + take_len, tail)
         return Extent(take_start, take_len)
 
-    def _smallest_fitting(self, index: RBTree, nblocks: int
+    def _smallest_fitting(self, index: SortedMap, nblocks: int
                           ) -> Optional[Tuple[int, int]]:
         """(start, length) of the smallest indexed extent >= nblocks."""
         item = index.ceiling_item(_size_key(nblocks, 0))

@@ -44,6 +44,9 @@ class Inode:
     #: unique per inode *object*: distinguishes recycled inode numbers so
     #: VFS locks key on the live in-memory inode, as the kernel's do
     gen: int = 0
+    #: lazily built VFS lock name (gen is fixed per object, so it never
+    #: goes stale)
+    lock_name: Optional[str] = None
 
     @property
     def blocks(self) -> int:

@@ -66,6 +66,18 @@ class CacheModel:
             self._pollution_pending = min(
                 1.0, self._pollution_pending + self.machine.pte_pollution)
 
+    def pollute_batch(self, count: int, lines: int = 8) -> None:
+        """*count* :meth:`pollute` calls in one go.
+
+        Pollution saturates at probability 1.0 and no consumer runs
+        between the walks of one mapping run, so once pending reaches 1.0
+        the remaining calls are no-ops and can be skipped.
+        """
+        for _ in range(count):
+            if self._pollution_pending >= 1.0:
+                return
+            self.pollute(lines)
+
     def access_hot_line(self) -> bool:
         """Access one hot cacheline; True if it hit the LLC."""
         p_hit = self.base_residency

@@ -16,15 +16,16 @@ counted in its :class:`~repro.clock.EventCounters`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..clock import SimContext
 from ..errors import InvalidArgumentError, SimulationError
 from ..params import BASE_PAGE, HUGE_PAGE, MachineParams
 from ..pm.device import PMDevice
+from ..pm.zeros import Zeros, zero_bytes
 from ..structures.extents import ExtentList, Extent
 from .cache import CacheModel
-from .page_table import PageTable
+from .page_table import Mapping, PageTable
 from .tlb import TLB
 
 _PAGES_PER_HUGE = HUGE_PAGE // BASE_PAGE
@@ -56,6 +57,12 @@ class MappedRegion:
         when False only costs and counters are produced (large benches).
     """
 
+    #: class-wide switch between the batched walk engine (charge costs per
+    #: mapping *run*) and the per-event reference walk (one TLB event per
+    #: page).  Both produce bit-identical simulated time and counters; the
+    #: equivalence suite flips this to prove it.
+    batch = True
+
     def __init__(self, device: PMDevice, machine: MachineParams,
                  extents: ExtentList, length: int, block_size: int,
                  tlb: Optional[TLB] = None, cache: Optional[CacheModel] = None,
@@ -80,6 +87,15 @@ class MappedRegion:
         self.region_id = _next_region_id[0]
         _next_region_id[0] += 1
         self._blocks_per_page = BASE_PAGE // block_size if block_size < BASE_PAGE else 1
+        #: mapping installed by the most recent _handle_fault (saves the
+        #: fault-then-lookup round trip on the walk path)
+        self._last_fault: Optional[Mapping] = None
+        #: last-run memo: [_memo_lo, _memo_hi] is a span of pages verified
+        #: base-mapped while the page table was at generation _memo_gen;
+        #: sequential access inside it skips the page-table dict entirely
+        self._memo_lo = 0
+        self._memo_hi = -1
+        self._memo_gen = -1
 
     # -- fault handling -----------------------------------------------------------
 
@@ -88,25 +104,34 @@ class MappedRegion:
         logical_block = virt_page * (BASE_PAGE // self.block_size)
         return self.extents.physical_block(logical_block) * self.block_size
 
-    def _can_map_huge(self, virt_page: int) -> bool:
-        """A 2MB mapping needs virtual & physical 2MB alignment and 512
-        physically contiguous blocks (paper §2.2)."""
+    def _huge_phys_or_none(self, virt_page: int) -> Optional[int]:
+        """Physical address for a 2MB mapping at *virt_page*, or None.
+
+        A 2MB mapping needs virtual & physical 2MB alignment and 512
+        physically contiguous blocks (paper §2.2).  Returning the
+        physical address lets the fault handler skip a second extent
+        lookup when the mapping is possible.
+        """
         if virt_page % _PAGES_PER_HUGE:
-            return False
-        huge_start = virt_page - (virt_page % _PAGES_PER_HUGE)
-        if (huge_start + _PAGES_PER_HUGE) * BASE_PAGE > self.length:
-            return False
-        base_phys = self._phys_of_virt_page(huge_start)
+            return None
+        if (virt_page + _PAGES_PER_HUGE) * BASE_PAGE > self.length:
+            return None
+        base_phys = self._phys_of_virt_page(virt_page)
         if base_phys % HUGE_PAGE:
-            return False
+            return None
         # contiguity: every covered page must be at the expected offset
-        logical0 = huge_start * (BASE_PAGE // self.block_size)
+        logical0 = virt_page * (BASE_PAGE // self.block_size)
         blocks_needed = HUGE_PAGE // self.block_size
         try:
             runs = self.extents.slice_logical(logical0, blocks_needed)
         except IndexError:
-            return False
-        return len(runs) == 1
+            return None
+        return base_phys if len(runs) == 1 else None
+
+    def _can_map_huge(self, virt_page: int) -> bool:
+        """A 2MB mapping needs virtual & physical 2MB alignment and 512
+        physically contiguous blocks (paper §2.2)."""
+        return self._huge_phys_or_none(virt_page) is not None
 
     def fault(self, virt_page: int, ctx: SimContext) -> bool:
         """Handle a page fault at *virt_page*; returns True if huge.
@@ -124,13 +149,15 @@ class MappedRegion:
 
     def _handle_fault(self, virt_page: int, ctx: SimContext) -> bool:
         huge_base = virt_page - (virt_page % _PAGES_PER_HUGE)
-        if self._can_map_huge(huge_base) and not any(
-                self.page_table.lookup(p) is not None
-                for p in range(huge_base, huge_base + _PAGES_PER_HUGE)):
-            # (a PMD install is only possible when no PTE in the range is
-            # already populated — otherwise the kernel falls back to 4KB)
-            phys = self._phys_of_virt_page(huge_base)
-            self.page_table.install_huge(huge_base, phys)
+        # (a PMD install is only possible when no PTE in the range is
+        # already populated — otherwise the kernel falls back to 4KB);
+        # checking coverage first skips the contiguity probe for every
+        # later fault inside an already part-populated 2MB range
+        huge_phys = None if self.page_table.covered(huge_base) \
+            else self._huge_phys_or_none(huge_base)
+        if huge_phys is not None:
+            self._last_fault = self.page_table.install_huge(huge_base,
+                                                            huge_phys)
             ns = self.machine.fault_huge_ns
             if self.fault_zero_fill and self._page_unwritten(huge_base):
                 ns += self.machine.pm_write_ns(HUGE_PAGE) * self.machine.fault_zero_page_mult
@@ -139,7 +166,7 @@ class MappedRegion:
             ctx.counters.fault_ns += ns
             return True
         phys = self._phys_of_virt_page(virt_page)
-        self.page_table.install_base(virt_page, phys)
+        self._last_fault = self.page_table.install_base(virt_page, phys)
         ns = self.machine.fault_base_ns
         if self.fault_zero_fill and self._page_unwritten(virt_page):
             ns += self.machine.pm_write_ns(BASE_PAGE) * self.machine.fault_zero_page_mult
@@ -158,26 +185,106 @@ class MappedRegion:
         """
         return True
 
+    def _first_unwritten_page(self) -> int:
+        """First page :meth:`_page_unwritten` holds for (written bytes end
+        at a single high-water mark, so the predicate is monotone)."""
+        return 0
+
+    def _prefault_run_ready(self, first_page: int, last_page: int) -> bool:
+        """True when faulting [first_page, last_page] cannot demand-
+        allocate (all backing blocks already exist)."""
+        return True
+
+    def _prefault_base_run(self, start: int, last: int,
+                           ctx: SimContext) -> int:
+        """Fault-in the unmapped run at *start* (bounded by *last*, inside
+        one 2MB range whose coverage already forbids a PMD install),
+        charging bit-identically to per-page :meth:`fault` calls.
+        Returns the next page for the prefault loop to consider.
+        """
+        pt = self.page_table
+        n = pt.base_unmapped_run(start, last - start + 1)
+        if n == 0:
+            return start
+        machine = self.machine
+        base_ns = machine.fault_base_ns
+        counters = ctx.counters
+        if self.fault_zero_fill:
+            zbound = self._first_unwritten_page()
+            n_written = min(max(zbound - start, 0), n)
+            zero_ns = base_ns + machine.pm_write_ns(BASE_PAGE) \
+                * machine.fault_zero_page_mult
+        else:
+            n_written = n
+            zero_ns = base_ns
+        # pages ascend, so written pages (below the high-water mark)
+        # precede zero-filled ones: two charge_repeat calls reproduce the
+        # per-page charge sequence exactly
+        if n_written:
+            ctx.charge_repeat(base_ns, n_written)
+            counters.add_repeat("fault_ns", base_ns, n_written)
+        n_zero = n - n_written
+        if n_zero:
+            ctx.charge_repeat(zero_ns, n_zero)
+            counters.add_repeat("fault_ns", zero_ns, n_zero)
+        counters.page_faults_4k += n
+        # block_size == BASE_PAGE on this path, so logical blocks and
+        # pages coincide; install one run per physically contiguous extent
+        page = start
+        m = None
+        for run in self.extents.slice_logical(start, n):
+            m = pt.install_base_run(page, run.length, run.start * BASE_PAGE)
+            page += run.length
+        self._last_fault = m
+        return start + n
+
     def prefault(self, ctx: SimContext) -> None:
         """Touch every page once (MAP_POPULATE / application warm-up)."""
         page = 0
         total_pages = (self.length + BASE_PAGE - 1) // BASE_PAGE
+        lookup = self.page_table.lookup
+        can_batch = (self.batch and not ctx.trace.enabled
+                     and self.block_size == BASE_PAGE)
         while page < total_pages:
-            if not self.page_table.is_mapped(page):
-                huge = self.fault(page, ctx)
-                page += _PAGES_PER_HUGE if huge else 1
-            else:
-                m = self.page_table.lookup(page)
-                page += m.span_pages if m else 1
+            m = lookup(page)
+            if m is not None:
+                page += m.span_pages
+                continue
+            if self.fault(page, ctx):
+                page += _PAGES_PER_HUGE
+                continue
+            page += 1
+            if not can_batch:
+                continue
+            # a base page now populates this 2MB range, so every later
+            # fault inside it can only install base pages: bulk-install
+            # the rest of the range
+            range_end = ((page - 1) // _PAGES_PER_HUGE + 1) * _PAGES_PER_HUGE
+            last = min(range_end, total_pages) - 1
+            if last >= page and self._prefault_run_ready(page, last):
+                page = self._prefault_base_run(page, last, ctx)
 
     # -- TLB/walk accounting ----------------------------------------------------------
 
-    def _touch_translation(self, virt_page: int, ctx: SimContext) -> None:
+    def _resolve_page(self, virt_page: int, ctx: SimContext) -> Mapping:
+        """Mapping covering *virt_page*, faulting it in if absent."""
         m = self.page_table.lookup(virt_page)
         if m is None:
+            self._last_fault = None
             self.fault(virt_page, ctx)
-            m = self.page_table.lookup(virt_page)
-            assert m is not None
+            m = self._last_fault
+            if m is None:
+                # a fault override that bypassed _handle_fault
+                m = self.page_table.lookup(virt_page)
+                assert m is not None
+        return m
+
+    def _touch_translation(self, virt_page: int, ctx: SimContext) -> Mapping:
+        """One per-event page touch: fault if needed + one TLB access.
+
+        Returns the mapping so callers never look the page up again.
+        """
+        m = self._resolve_page(virt_page, ctx)
         key_page = m.virt_page if m.huge else virt_page
         hit = self.tlb.access(self.region_id, key_page, m.huge)
         if hit:
@@ -189,19 +296,119 @@ class MappedRegion:
             if self.cache is not None and not m.huge:
                 # a 4-level walk caches PTE lines, evicting hot data (Fig 4)
                 self.cache.pollute()
+        return m
+
+    def translate_range(self, offset: int, size: int,
+                        ctx: SimContext) -> Iterator[Tuple[int, int, Mapping]]:
+        """Resolve [offset, offset+size) into mapping *runs*.
+
+        Yields ``(start_page, npages, mapping)`` in ascending page order:
+        a run is either the touched slice of one 2MB mapping or a span of
+        consecutive 4KB mappings.  Unmapped pages are faulted through the
+        normal fault path at the position they occupy in the range, so a
+        consumer charging TLB costs per yielded run observes the same
+        event order as the per-event walk.  *mapping* is the entry for the
+        run's first page.
+        """
+        self._check_range(offset, size)
+        if size == 0:
+            return
+        pt = self.page_table
+        page = offset // BASE_PAGE
+        last = (offset + size - 1) // BASE_PAGE
+        while page <= last:
+            if pt.generation == self._memo_gen and \
+                    self._memo_lo <= page <= self._memo_hi:
+                # verified base-mapped span: skip the page-table dict
+                run_end = self._memo_hi if self._memo_hi < last else last
+                yield page, run_end - page + 1, pt.lookup(page)
+                page = run_end + 1
+                continue
+            m = self._resolve_page(page, ctx)
+            if m.huge:
+                end = m.virt_page + _PAGES_PER_HUGE
+                span_last = end - 1 if end - 1 < last else last
+                yield page, span_last - page + 1, m
+                page = end
+            else:
+                n = pt.base_run_length(page, last - page + 1)
+                self._memo_note(page, page + n - 1, pt.generation)
+                yield page, n, m
+                page += n
+
+    def _memo_note(self, lo: int, hi: int, gen: int) -> None:
+        """Record a verified base-mapped span, merging adjacent spans."""
+        if gen == self._memo_gen and lo <= self._memo_hi + 1 \
+                and hi >= self._memo_lo - 1:
+            if lo < self._memo_lo:
+                self._memo_lo = lo
+            if hi > self._memo_hi:
+                self._memo_hi = hi
+        else:
+            self._memo_gen = gen
+            self._memo_lo = lo
+            self._memo_hi = hi
+
+    def _charge_base_run(self, start_page: int, n: int,
+                         ctx: SimContext) -> None:
+        """TLB accounting for *n* consecutive base pages, bit-identical to
+        n per-event touches."""
+        machine = self.machine
+        if machine.tlb_hit_ns != 0.0:
+            # hit charges interleave with miss charges page by page;
+            # batching would regroup float adds, so replicate per-event
+            for page in range(start_page, start_page + n):
+                hit = self.tlb.access(self.region_id, page, False)
+                if hit:
+                    ctx.counters.tlb_hits += 1
+                    ctx.charge(machine.tlb_hit_ns)
+                else:
+                    ctx.counters.tlb_misses += 1
+                    ctx.charge(machine.page_walk_ns)
+                    if self.cache is not None:
+                        self.cache.pollute()
+            return
+        hits, misses = self.tlb.access_run(self.region_id, start_page, n,
+                                           False)
+        counters = ctx.counters
+        if hits:
+            # tlb_hit_ns is 0.0: the per-event charge(0.0) is a no-op
+            counters.tlb_hits += hits
+        if misses:
+            counters.tlb_misses += misses
+            ctx.charge_repeat(machine.page_walk_ns, misses)
+            if self.cache is not None:
+                self.cache.pollute_batch(misses)
+
+    def _charge_tlb_huge(self, key_page: int, ctx: SimContext) -> None:
+        """One TLB access against a 2MB entry (no pollute on miss, as in
+        the per-event path)."""
+        hit = self.tlb.access(self.region_id, key_page, True)
+        if hit:
+            ctx.counters.tlb_hits += 1
+            ctx.charge(self.machine.tlb_hit_ns)
+        else:
+            ctx.counters.tlb_misses += 1
+            ctx.charge(self.machine.page_walk_ns)
 
     def _walk_pages(self, offset: int, size: int, ctx: SimContext) -> None:
-        first = offset // BASE_PAGE
-        last = (offset + size - 1) // BASE_PAGE
-        page = first
-        while page <= last:
-            self._touch_translation(page, ctx)
-            m = self.page_table.lookup(page)
-            assert m is not None
+        if not self.batch:
+            # per-event reference path
+            first = offset // BASE_PAGE
+            last = (offset + size - 1) // BASE_PAGE
+            page = first
+            while page <= last:
+                m = self._touch_translation(page, ctx)
+                if m.huge:
+                    page = m.virt_page + _PAGES_PER_HUGE
+                else:
+                    page += 1
+            return
+        for start, n, m in self.translate_range(offset, size, ctx):
             if m.huge:
-                page = m.virt_page + _PAGES_PER_HUGE
+                self._charge_tlb_huge(m.virt_page, ctx)
             else:
-                page += 1
+                self._charge_base_run(start, n, ctx)
 
     # -- data access -----------------------------------------------------------------
 
@@ -221,7 +428,7 @@ class MappedRegion:
         ctx.counters.copy_ns += ns
         ctx.counters.pm_bytes_read += size
         if not self.track_data:
-            return b"\x00" * size
+            return zero_bytes(size)
         return self._copy_out(offset, size, ctx)
 
     def write(self, offset: int, data: bytes, ctx: SimContext) -> None:
@@ -237,11 +444,67 @@ class MappedRegion:
         if self.track_data:
             self._copy_in(offset, data)
 
+    def write_zeros(self, offset: int, length: int, ctx: SimContext) -> None:
+        """:meth:`write` of *length* zero bytes without materializing a
+        payload buffer (aging churn, zero-fill benches)."""
+        if self.track_data:
+            self.write(offset, zero_bytes(length), ctx)
+        else:
+            self.write(offset, Zeros(length), ctx)
+
     def read_element(self, offset: int, ctx: SimContext) -> float:
         """One dependent 64B load (the Fig 4 / Fig 8 pointer-chase probe).
 
         Returns the access latency in ns (also charged to the context).
         """
+        if not self.batch:
+            return self._read_element_ref(offset, ctx)
+        if offset < 0 or offset + 1 > self.length:
+            self._check_range(offset, 1)
+        page = offset // BASE_PAGE
+        pt = self.page_table
+        m = pt._huge.get(page // _PAGES_PER_HUGE)
+        huge = m is not None
+        if not huge:
+            m = pt._base.get(page)
+            if m is None:
+                # fault path: take the reference walk
+                return self._read_element_ref(offset, ctx)
+        # inlined _touch_translation + charges: same events, same float
+        # adds, minus the call/property dispatch.  The clock writes are
+        # deferred onto a local, which keeps the add sequence identical.
+        machine = self.machine
+        counters = ctx.counters
+        cpu_ns = ctx.clock._cpu_ns
+        cpu = ctx.cpu
+        before = v = cpu_ns[cpu]
+        if self.tlb.access(self.region_id, m.virt_page if huge else page,
+                           huge):
+            counters._tlb_hits.value += 1
+            v += machine.tlb_hit_ns
+        else:
+            counters._tlb_misses.value += 1
+            v += machine.page_walk_ns
+            if self.cache is not None and not huge:
+                self.cache.pollute()
+        cache = self.cache
+        if cache is not None:
+            hit = cache.access_hot_line()
+            lat = cache.access_latency_ns(hit)
+            if hit:
+                counters._llc_hits.value += 1
+            else:
+                counters._llc_misses.value += 1
+        else:
+            lat = machine.pm_load_ns
+            counters._llc_misses.value += 1
+        v += lat
+        cpu_ns[cpu] = v
+        return v - before
+
+    def _read_element_ref(self, offset: int, ctx: SimContext) -> float:
+        """Per-event reference for :meth:`read_element` (also the fault
+        path of the batched version)."""
         self._check_range(offset, 1)
         before = ctx.now
         self._touch_translation(offset // BASE_PAGE, ctx)

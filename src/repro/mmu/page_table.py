@@ -41,8 +41,13 @@ class PageTable:
     def __init__(self) -> None:
         self._base: Dict[int, Mapping] = {}
         self._huge: Dict[int, Mapping] = {}   # keyed by huge-page index
+        self._base_in_huge: Dict[int, int] = {}  # base pages per huge index
         self.installed_4k = 0
         self.installed_2m = 0
+        #: bumped whenever mappings are torn down; callers holding memoized
+        #: facts about this table (e.g. the region's last-run memo) compare
+        #: generations instead of revalidating against the dicts
+        self.generation = 0
 
     @staticmethod
     def _huge_index(virt_page: int) -> int:
@@ -67,6 +72,8 @@ class PageTable:
             raise SimulationError("physical address not page-aligned")
         m = Mapping(virt_page, phys_addr, huge=False)
         self._base[virt_page] = m
+        idx = self._huge_index(virt_page)
+        self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + 1
         self.installed_4k += 1
         return m
 
@@ -81,18 +88,68 @@ class PageTable:
         idx = self._huge_index(virt_page)
         if idx in self._huge:
             raise SimulationError(f"huge page {idx} already mapped")
-        for vp in range(virt_page, virt_page + pages_per_huge):
-            if vp in self._base:
-                raise SimulationError(f"base page {vp} already mapped inside "
-                                      "prospective huge range")
+        if self._base_in_huge.get(idx):
+            for vp in range(virt_page, virt_page + pages_per_huge):
+                if vp in self._base:
+                    raise SimulationError(f"base page {vp} already mapped "
+                                          "inside prospective huge range")
         m = Mapping(virt_page, phys_addr, huge=True)
         self._huge[idx] = m
         self.installed_2m += 1
         return m
 
+    def base_unmapped_run(self, virt_page: int, max_pages: int) -> int:
+        """Consecutive pages from *virt_page* with no base mapping.
+
+        Caller guarantees no huge mapping covers the probed range.
+        """
+        base = self._base
+        n = 0
+        while n < max_pages and (virt_page + n) not in base:
+            n += 1
+        return n
+
+    def install_base_run(self, first: int, count: int,
+                         phys0: int) -> Mapping:
+        """install_base for *count* consecutive pages inside ONE 2MB range,
+        physically contiguous from *phys0*.  The caller guarantees the
+        pages are unmapped and the range holds no huge mapping; alignment
+        is still checked.  Returns the last mapping installed.
+        """
+        if phys0 % BASE_PAGE:
+            raise SimulationError("physical address not page-aligned")
+        base = self._base
+        m = None
+        phys = phys0
+        for vp in range(first, first + count):
+            base[vp] = m = Mapping(vp, phys, huge=False)
+            phys += BASE_PAGE
+        idx = self._huge_index(first)
+        self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + count
+        self.installed_4k += count
+        assert m is not None
+        return m
+
     def unmap_all(self) -> None:
         self._base.clear()
         self._huge.clear()
+        self._base_in_huge.clear()
+        self.generation += 1
+
+    def covered(self, huge_base_page: int) -> bool:
+        """Any mapping inside the huge-page range starting at
+        *huge_base_page* (equivalent to probing all 512 pages)."""
+        idx = self._huge_index(huge_base_page)
+        return idx in self._huge or bool(self._base_in_huge.get(idx))
+
+    def base_run_length(self, virt_page: int, max_pages: int) -> int:
+        """Length of the consecutive base-mapped run at *virt_page*,
+        capped at *max_pages*."""
+        base = self._base
+        n = 0
+        while n < max_pages and (virt_page + n) in base:
+            n += 1
+        return n
 
     def translate(self, virt_addr: int) -> int:
         """Virtual byte offset within the region -> physical PM address."""

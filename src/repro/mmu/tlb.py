@@ -48,6 +48,33 @@ class TLB:
             table.popitem(last=False)
         return False
 
+    def access_run(self, region_id: int, start_page: int, npages: int,
+                   huge: bool) -> Tuple[int, int]:
+        """*npages* sequential accesses; returns ``(hits, misses)``.
+
+        Table updates (LRU promotion, install, eviction) happen op-for-op
+        exactly as *npages* :meth:`access` calls would make them; only the
+        hit/miss counter bumps are grouped.
+        """
+        table = self._map_2m if huge else self._map_4k
+        cap = self._cap_2m if huge else self._cap_4k
+        move_to_end = table.move_to_end
+        popitem = table.popitem
+        hits = 0
+        for page_no in range(start_page, start_page + npages):
+            key = (region_id, page_no)
+            if key in table:
+                move_to_end(key)
+                hits += 1
+            else:
+                table[key] = None
+                if len(table) > cap:
+                    popitem(last=False)
+        misses = npages - hits
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
     def invalidate_region(self, region_id: int) -> int:
         """TLB shootdown for one region; returns entries dropped."""
         dropped = 0

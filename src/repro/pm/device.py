@@ -27,6 +27,7 @@ from ..clock import SimContext
 from ..errors import PMError
 from ..params import CACHELINE, BASE_PAGE, DEFAULT_MACHINE, MachineParams
 from .numa import NumaTopology
+from .zeros import Zeros
 
 
 @dataclass(frozen=True)
@@ -48,27 +49,66 @@ class _SparsePages:
         self._pages: Dict[int, bytearray] = {}
 
     def read(self, addr: int, length: int) -> bytes:
+        pages = self._pages
+        first = addr // BASE_PAGE
+        last = (addr + length - 1) // BASE_PAGE
+        for page_no in range(first, last + 1):
+            if page_no in pages:
+                break
+        else:
+            # nothing in range ever written: absent pages read as zeros
+            return bytes(length)
         out = bytearray(length)
         pos = 0
         while pos < length:
             page_no, off = divmod(addr + pos, BASE_PAGE)
             take = min(BASE_PAGE - off, length - pos)
-            page = self._pages.get(page_no)
+            page = pages.get(page_no)
             if page is not None:
                 out[pos:pos + take] = page[off:off + take]
             pos += take
         return bytes(out)
 
     def write(self, addr: int, data: bytes) -> None:
+        length = len(data)
+        page_no, off = divmod(addr, BASE_PAGE)
+        if off + length <= BASE_PAGE:
+            # common case: the write stays inside one page (inode slots,
+            # journal entries, indirect blocks are all page-confined)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(BASE_PAGE)
+                self._pages[page_no] = page
+            page[off:off + length] = data
+            return
         pos = 0
-        while pos < len(data):
+        while pos < length:
             page_no, off = divmod(addr + pos, BASE_PAGE)
-            take = min(BASE_PAGE - off, len(data) - pos)
+            take = min(BASE_PAGE - off, length - pos)
             page = self._pages.get(page_no)
             if page is None:
                 page = bytearray(BASE_PAGE)
                 self._pages[page_no] = page
             page[off:off + take] = data[pos:pos + take]
+            pos += take
+
+    def write_zeros(self, addr: int, length: int) -> None:
+        """Zero [addr, addr+length) without materializing a buffer.
+
+        Fully covered pages are dropped (absent pages read as zeros);
+        partial head/tail pages are zeroed in place if materialized.
+        """
+        pages = self._pages
+        pos = 0
+        while pos < length:
+            page_no, off = divmod(addr + pos, BASE_PAGE)
+            take = min(BASE_PAGE - off, length - pos)
+            if take == BASE_PAGE:
+                pages.pop(page_no, None)
+            else:
+                page = pages.get(page_no)
+                if page is not None:
+                    page[off:off + take] = bytes(take)
             pos += take
 
     def materialized_bytes(self) -> int:
@@ -153,11 +193,24 @@ class PMDevice:
         return self._store.read(addr, length)
 
     def store(self, addr: int, data: bytes, ctx: Optional[SimContext] = None) -> None:
-        """Write bytes into the (volatile) cache tier of the device."""
+        """Write bytes into the (volatile) cache tier of the device.
+
+        *data* may be a :class:`~repro.pm.zeros.Zeros` stand-in: in fast
+        mode the zeros are applied without materializing a buffer; with
+        store tracking they are converted to real bytes so crash-state
+        enumeration keeps byte-exact records.
+        """
         self._check(addr, len(data))
         if not data:
             return
-        self._store.write(addr, data)
+        if type(data) is Zeros:
+            if self._fast:
+                self._store.write_zeros(addr, len(data))
+            else:
+                data = bytes(data)
+                self._store.write(addr, data)
+        else:
+            self._store.write(addr, data)
         self.bytes_written += len(data)
         if ctx is not None:
             remote = self._is_remote(ctx, addr)
@@ -227,9 +280,49 @@ class PMDevice:
 
     def persist(self, addr: int, data: bytes, ctx: Optional[SimContext] = None) -> None:
         """store + clwb + sfence in one call (the common durable-write path)."""
+        if self._fast:
+            # one pass, same three charges in the same order as the calls
+            # below would make them — just without their per-call dispatch
+            # and line-set bookkeeping (skipped in fast mode anyway)
+            length = len(data)
+            if length < 0 or addr < 0 or addr + length > self.size:
+                self._check(addr, length)   # raises with the full message
+            if length:
+                if type(data) is Zeros:
+                    self._store.write_zeros(addr, length)
+                else:
+                    self._store.write(addr, data)
+                self.bytes_written += length
+            if ctx is None:
+                return
+            machine = self.machine
+            cpu_ns = ctx.clock._cpu_ns
+            cpu = ctx.cpu
+            # same adds in the same order as the store/clwb/sfence calls
+            # below would make them, accumulated on a local
+            v = cpu_ns[cpu]
+            if length:
+                # inlined machine.pm_write_ns (identical float ops)
+                ns = length / machine.pm_write_bw * 1e9
+                if self.topology is not None \
+                        and self.topology.is_remote(cpu, addr):
+                    ns *= machine.remote_numa_write_mult
+                v += ns
+                ctx.counters._pm_bytes_written.value += length
+                nlines = ((addr + length - 1) // CACHELINE
+                          - addr // CACHELINE + 1)
+                v += nlines * machine.clwb_ns
+            v += machine.sfence_ns
+            cpu_ns[cpu] = v
+            return
         self.store(addr, data, ctx)
         self.clwb(addr, len(data), ctx)
         self.sfence(ctx)
+
+    def write_zeros(self, addr: int, length: int,
+                    ctx: Optional[SimContext] = None) -> None:
+        """:meth:`store` of *length* zero bytes, buffer-free."""
+        self.store(addr, Zeros(length), ctx)
 
     @staticmethod
     def _overlaps_lines(rec: StoreRecord, first: int, last: int) -> bool:

@@ -10,8 +10,9 @@ be fragmented").
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..params import BLOCKS_PER_HUGEPAGE
 
@@ -103,6 +104,13 @@ class ExtentList:
 
     def __init__(self, extents: Iterable[Extent] = ()) -> None:
         self._extents: List[Extent] = []
+        #: lazy index: _starts[i] is the logical block where extent i
+        #: begins; _total is the block count.  Both are built together on
+        #: demand and dropped together by _invalidate().
+        self._starts: Optional[List[int]] = None
+        self._total: Optional[int] = None
+        #: lazy immutable snapshot; identity answers "unchanged since?"
+        self._tuple: Optional[Tuple[Extent, ...]] = None
         for ext in extents:
             self.append(ext)
 
@@ -115,43 +123,89 @@ class ExtentList:
     def __getitem__(self, i: int) -> Extent:
         return self._extents[i]
 
+    def _invalidate(self) -> None:
+        self._starts = None
+        self._total = None
+        self._tuple = None
+
+    def as_tuple(self) -> Tuple[Extent, ...]:
+        """Immutable snapshot of the extents; cached until the list
+        changes, so unchanged lists return the *same* object."""
+        t = self._tuple
+        if t is None:
+            t = self._tuple = tuple(self._extents)
+        return t
+
+    def _index(self) -> List[int]:
+        starts: List[int] = []
+        acc = 0
+        for e in self._extents:
+            starts.append(acc)
+            acc += e.length
+        self._starts = starts
+        self._total = acc
+        return starts
+
     @property
     def total_blocks(self) -> int:
-        return sum(e.length for e in self._extents)
+        if self._total is None:
+            self._index()
+        return self._total
 
     def append(self, extent: Extent) -> None:
         """Add an extent at the logical end, coalescing if contiguous."""
         if self._extents and self._extents[-1].end == extent.start:
             last = self._extents[-1]
             self._extents[-1] = Extent(last.start, last.length + extent.length)
+            # same extent count, same logical starts: index stays valid
         else:
+            if self._starts is not None:
+                self._starts.append(self._total)
             self._extents.append(extent)
+        if self._total is not None:
+            self._total += extent.length
+        self._tuple = None
 
     def physical_block(self, logical_block: int) -> int:
         """Map a logical file block to its physical block number."""
-        remaining = logical_block
-        for ext in self._extents:
-            if remaining < ext.length:
-                return ext.start + remaining
-            remaining -= ext.length
+        starts = self._starts
+        if starts is None:
+            starts = self._index()
+        i = bisect_right(starts, logical_block) - 1
+        if i >= 0:
+            ext = self._extents[i]
+            within = logical_block - starts[i]
+            if within < ext.length:
+                return ext.start + within
         raise IndexError(f"logical block {logical_block} beyond file "
                          f"({self.total_blocks} blocks)")
 
     def slice_logical(self, logical_start: int, nblocks: int) -> List[Extent]:
         """Physical extents covering logical [logical_start, +nblocks)."""
+        if nblocks <= 0:
+            if nblocks == 0:
+                return []
+            raise IndexError("slice beyond end of file")
+        starts = self._starts
+        if starts is None:
+            starts = self._index()
+        i = bisect_right(starts, logical_start) - 1
         out: List[Extent] = []
-        remaining, skip = nblocks, logical_start
-        for ext in self._extents:
-            if remaining == 0:
-                break
-            if skip >= ext.length:
-                skip -= ext.length
-                continue
-            avail = ext.length - skip
-            take = min(avail, remaining)
-            out.append(Extent(ext.start + skip, take))
-            remaining -= take
-            skip = 0
+        remaining = nblocks
+        pos = logical_start
+        if i >= 0:
+            extents = self._extents
+            nex = len(extents)
+            while remaining > 0 and i < nex:
+                ext = extents[i]
+                within = pos - starts[i]
+                if within >= ext.length:
+                    break
+                take = min(ext.length - within, remaining)
+                out.append(Extent(ext.start + within, take))
+                remaining -= take
+                pos += take
+                i += 1
         if remaining:
             raise IndexError("slice beyond end of file")
         return out
@@ -176,6 +230,7 @@ class ExtentList:
             else:
                 freed.append(ext)
         self._extents = kept
+        self._invalidate()
         return freed
 
     def replace_logical(self, logical_start: int, new_extents: List[Extent]) -> List[Extent]:
@@ -209,6 +264,7 @@ class ExtentList:
                 rebuilt.append(Extent(ext.start + offset_in_ext,
                                       ext_lend - repl_end))
         self._extents = rebuilt._extents
+        self._invalidate()
         return old
 
     # -- fragmentation metrics ---------------------------------------------------

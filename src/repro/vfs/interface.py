@@ -85,10 +85,23 @@ class OpenFile:
         self._check()
         return self.fs.write(self.ino, offset, data, ctx)
 
+    def pwrite_zeros(self, offset: int, length: int, ctx: SimContext) -> int:
+        """Write ``length`` zero bytes at ``offset`` without materializing
+        the buffer (same cost and semantics as ``pwrite`` of zeros)."""
+        self._check()
+        return self.fs.write_zeros(self.ino, offset, length, ctx)
+
     def append(self, data: bytes, ctx: SimContext) -> int:
         self._check()
         size = self.fs.getattr_ino(self.ino).size
         n = self.fs.write(self.ino, size, data, ctx)
+        self.offset = size + n
+        return n
+
+    def append_zeros(self, length: int, ctx: SimContext) -> int:
+        self._check()
+        size = self.fs.getattr_ino(self.ino).size
+        n = self.fs.write_zeros(self.ino, size, length, ctx)
         self.offset = size + n
         return n
 
@@ -153,8 +166,10 @@ class FileSystem(ABC):
 
     def _syscall(self, ctx: SimContext) -> None:
         """Charge one kernel crossing."""
-        ctx.charge(self.machine.syscall_ns)
-        ctx.counters.syscalls += 1
+        # inlined ctx.charge / counter property (syscall_ns >= 0; single
+        # adds on the same cells, so values are bit-identical)
+        ctx.clock._cpu_ns[ctx.cpu] += self.machine.syscall_ns
+        ctx.counters._syscalls.value += 1
 
     # -- namespace ops -----------------------------------------------------------
 
@@ -199,6 +214,12 @@ class FileSystem(ABC):
 
     @abstractmethod
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int: ...
+
+    def write_zeros(self, ino: int, offset: int, length: int,
+                    ctx: SimContext) -> int:
+        """Write ``length`` zero bytes.  Subclasses override to avoid
+        materializing the buffer; the default is behaviour-identical."""
+        return self.write(ino, offset, b"\x00" * length, ctx)
 
     @abstractmethod
     def truncate(self, ino: int, size: int, ctx: SimContext) -> None: ...

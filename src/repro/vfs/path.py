@@ -7,11 +7,13 @@ be empty.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from ..errors import InvalidArgumentError
 
 
+@lru_cache(maxsize=8192)
 def normalize_path(path: str) -> str:
     """Canonical form: leading '/', no trailing '/', no empty components."""
     if not path or not path.startswith("/"):
@@ -23,20 +25,27 @@ def normalize_path(path: str) -> str:
     return "/" + "/".join(parts)
 
 
+@lru_cache(maxsize=8192)
+def _split_cached(path: str) -> Tuple[str, ...]:
+    return tuple(p for p in normalize_path(path).split("/") if p)
+
+
 def split_path(path: str) -> List[str]:
     """Components of a normalized path; [] for the root."""
-    return [p for p in normalize_path(path).split("/") if p]
+    return list(_split_cached(path))
 
 
+@lru_cache(maxsize=8192)
 def parent_of(path: str) -> str:
-    parts = split_path(path)
+    parts = _split_cached(path)
     if not parts:
         raise InvalidArgumentError("root has no parent")
     return "/" + "/".join(parts[:-1])
 
 
+@lru_cache(maxsize=8192)
 def basename_of(path: str) -> str:
-    parts = split_path(path)
+    parts = _split_cached(path)
     if not parts:
         raise InvalidArgumentError("root has no name")
     return parts[-1]

@@ -83,11 +83,10 @@ def mmap_rw_benchmark(fs: FileSystem, ctx: SimContext, *,
             f.ftruncate(file_size, ctx)
         else:
             chunk_size = 4 * MIB
-            zeros = b"\x00" * chunk_size
             pos = 0
             while pos < file_size:
                 take = min(chunk_size, file_size - pos)
-                f.append(zeros[:take], ctx)
+                f.append_zeros(take, ctx)
                 pos += take
             f.fsync(ctx)
     else:
@@ -113,7 +112,7 @@ def mmap_rw_benchmark(fs: FileSystem, ctx: SimContext, *,
             if fs.track_data:
                 region.write(offset, payload, ctx)
             else:
-                region.write(offset, b"\x00" * io_size, ctx)
+                region.write_zeros(offset, io_size, ctx)
         else:
             region.read(offset, io_size, ctx)
     region.unmap()
@@ -167,11 +166,11 @@ def posix_rw_benchmark(fs: FileSystem, ctx: SimContext, *,
     # pre-populate by appending (not timed)
     if not fs.exists(path):
         f = fs.create(path, ctx)
-        chunk = b"\x00" * (256 * KIB)
+        chunk = 256 * KIB
         pos = 0
         while pos < file_size:
-            f.append(chunk[:min(len(chunk), file_size - pos)], ctx)
-            pos += len(chunk)
+            f.append_zeros(min(chunk, file_size - pos), ctx)
+            pos += chunk
         f.fsync(ctx)
     else:
         f = fs.open(path, ctx)

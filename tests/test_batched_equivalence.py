@@ -1,0 +1,198 @@
+"""Batched fast path vs per-event reference path: bit-identical results.
+
+The batched walk engine (``MappedRegion.batch = True``, the default) must
+produce *exactly* the same simulated time — bit-identical floats, not
+approximately equal — and the same observability counters as the per-event
+reference path.  These tests run identical scenarios under both engines
+and compare clock snapshots, counter dicts and the metrics registry.
+
+CI treats a skip of this module as a failure: equivalence is the safety
+argument for every perf optimisation in the batched engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import make_context
+from repro.harness.setup import fresh_fs
+from repro.mmu.mmap_region import MappedRegion
+from repro.params import BASE_PAGE, BLOCKS_PER_HUGEPAGE, DEFAULT_MACHINE, KIB, MIB
+from repro.pm.device import PMDevice
+from repro.structures.extents import Extent, ExtentList
+
+
+def _run_region_scenario(batch: bool, seed: int, *, extent_layout,
+                         track_data: bool, zero_fill: bool,
+                         length: int = 4 * MIB):
+    """One deterministic mixed workload against a raw MappedRegion."""
+    MappedRegion.batch = batch
+    try:
+        dev = PMDevice(64 * MIB)
+        extents = ExtentList([Extent(s, n) for s, n in extent_layout])
+        region = MappedRegion(dev, DEFAULT_MACHINE, extents, length, 4096,
+                              fault_zero_fill=zero_fill,
+                              track_data=track_data)
+        ctx = make_context(2)
+        rng = random.Random(seed)
+        reads = []
+        # large sequential writes crossing huge/base boundaries
+        for off in range(0, length, 2 * MIB):
+            region.write_zeros(off, min(2 * MIB, length - off), ctx)
+        # random small ops
+        for _ in range(120):
+            op = rng.randrange(4)
+            off = rng.randrange(0, length - 64 * KIB)
+            if op == 0:
+                reads.append(region.read(off, rng.choice([64, 4096, 64 * KIB]),
+                                         ctx))
+            elif op == 1:
+                region.write(off, bytes([rng.randrange(256)]) * 512, ctx)
+            elif op == 2:
+                reads.append(region.read_element(off & ~7, ctx))
+            else:
+                region.write_zeros(off, 4096, ctx)
+        # a big strided read sweep (exercises the run memo)
+        for off in range(0, length - 64 * KIB, 256 * KIB):
+            reads.append(region.read(off, 64 * KIB, ctx))
+        region.prefault(ctx)
+        pages = region.unmap()
+        return (ctx.clock.snapshot(), ctx.counters.as_dict(),
+                ctx.counters.registry.as_dict(), reads, pages)
+    finally:
+        MappedRegion.batch = True
+
+
+def _run_fs_scenario(batch: bool, seed: int, fs_name: str, *,
+                     track_data: bool):
+    """File-system level workload: files, mmap, journal, truncate."""
+    MappedRegion.batch = batch
+    try:
+        fs, ctx = fresh_fs(fs_name, size_gib=0.125, num_cpus=2,
+                           track_data=track_data)
+        rng = random.Random(seed)
+        reads = []
+        f = fs.create("/eq", ctx)
+        f.append_zeros(4 * MIB, ctx)
+        f.fsync(ctx)
+        region = f.mmap(ctx, length=8 * MIB)
+        for _ in range(80):
+            op = rng.randrange(5)
+            off = rng.randrange(0, 8 * MIB - 64 * KIB)
+            if op == 0:
+                reads.append(region.read(off, 4096, ctx))
+            elif op == 1:
+                region.write(off, b"\xaa" * 4096, ctx)
+            elif op == 2:
+                region.write_zeros(off, 64 * KIB, ctx)
+            elif op == 3:
+                reads.append(region.read_element(off & ~7, ctx))
+            else:
+                region.read(off, 64 * KIB, ctx)
+        region.unmap()
+        # journal-heavy path: creates, appends, fsyncs, unlink
+        for i in range(30):
+            g = fs.create(f"/j{i}", ctx)
+            g.append(b"\xcd" * (4 * KIB), ctx)
+            g.pwrite_zeros(0, 2 * KIB, ctx)
+            g.fsync(ctx)
+            g.close()
+        for i in range(0, 30, 2):
+            fs.unlink(f"/j{i}", ctx)
+        # truncate + remap: the run memo must not survive the remap stale
+        f.ftruncate(1 * MIB, ctx)
+        f.fallocate(0, 4 * MIB, ctx)
+        region2 = f.mmap(ctx, length=4 * MIB)
+        region2.prefault(ctx)
+        reads.append(region2.read(0, 1 * MIB, ctx))
+        region2.unmap()
+        reads.append(fs.read(f.ino, 0, 2 * MIB, ctx))
+        f.close()
+        return (ctx.clock.snapshot(), ctx.counters.as_dict(),
+                ctx.counters.registry.as_dict(), reads)
+    finally:
+        MappedRegion.batch = True
+
+
+def _assert_identical(fast, ref):
+    """Clock floats must be bit-identical, counters exactly equal."""
+    fast_clock, ref_clock = fast[0], ref[0]
+    assert len(fast_clock) == len(ref_clock)
+    for a, b in zip(fast_clock, ref_clock):
+        # == on floats after identical op sequences; repr disambiguates ULPs
+        assert a == b and repr(a) == repr(b)
+    assert fast[1] == ref[1]
+    assert fast[2] == ref[2]
+    assert fast[3] == ref[3]
+
+
+ALIGNED = [(0, 2 * BLOCKS_PER_HUGEPAGE)]
+MISALIGNED = [(3, BLOCKS_PER_HUGEPAGE + 7), (2048, BLOCKS_PER_HUGEPAGE)]
+MIXED = [(0, BLOCKS_PER_HUGEPAGE), (BLOCKS_PER_HUGEPAGE + 5,
+                                    BLOCKS_PER_HUGEPAGE + 5)]
+
+
+class TestRegionEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("layout", [ALIGNED, MISALIGNED, MIXED],
+                             ids=["aligned", "misaligned", "mixed"])
+    def test_untracked(self, seed, layout):
+        fast = _run_region_scenario(True, seed, extent_layout=layout,
+                                    track_data=False, zero_fill=False)
+        ref = _run_region_scenario(False, seed, extent_layout=layout,
+                                   track_data=False, zero_fill=False)
+        _assert_identical(fast, ref)
+        assert fast[4] == ref[4]  # unmapped page count
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_tracked_data_and_zero_fill(self, seed):
+        fast = _run_region_scenario(True, seed, extent_layout=MIXED,
+                                    track_data=True, zero_fill=True,
+                                    length=4 * MIB)
+        ref = _run_region_scenario(False, seed, extent_layout=MIXED,
+                                   track_data=True, zero_fill=True,
+                                   length=4 * MIB)
+        _assert_identical(fast, ref)
+
+    def test_sub_page_and_boundary_ops(self):
+        """Accesses that straddle exactly one page / one hugepage edge."""
+        def scenario(batch):
+            MappedRegion.batch = batch
+            try:
+                dev = PMDevice(32 * MIB)
+                region = MappedRegion(
+                    dev, DEFAULT_MACHINE,
+                    ExtentList([Extent(0, 2 * BLOCKS_PER_HUGEPAGE)]),
+                    4 * MIB, 4096, fault_zero_fill=False, track_data=False)
+                ctx = make_context(1)
+                out = []
+                hp = 2 * MIB
+                for off in (0, 1, BASE_PAGE - 1, BASE_PAGE, hp - 8, hp,
+                            hp + BASE_PAGE - 1):
+                    out.append(region.read(off, 16, ctx))
+                    region.write(off, b"\x55" * 16, ctx)
+                out.append(region.read(hp - BASE_PAGE, 2 * BASE_PAGE, ctx))
+                return ctx.clock.snapshot(), ctx.counters.as_dict(), out
+            finally:
+                MappedRegion.batch = True
+
+        fast, ref = scenario(True), scenario(False)
+        assert fast[0] == ref[0]
+        assert fast[1] == ref[1]
+        assert fast[2] == ref[2]
+
+
+class TestFilesystemEquivalence:
+    @pytest.mark.parametrize("fs_name", ["WineFS", "PMFS"])
+    @pytest.mark.parametrize("seed", [3, 13])
+    def test_untracked(self, fs_name, seed):
+        fast = _run_fs_scenario(True, seed, fs_name, track_data=False)
+        ref = _run_fs_scenario(False, seed, fs_name, track_data=False)
+        _assert_identical(fast, ref)
+
+    def test_tracked(self):
+        fast = _run_fs_scenario(True, 5, "WineFS", track_data=True)
+        ref = _run_fs_scenario(False, 5, "WineFS", track_data=True)
+        _assert_identical(fast, ref)
