@@ -11,9 +11,20 @@ throughputs/latencies inside the tables.
 from __future__ import annotations
 
 import os
+import random
 from typing import Dict
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: single seed for every benchmark-side RNG; audit note: no benchmark may
+#: use the bare ``random`` module functions (they would couple runs to
+#: interpreter-global state) — take an instance from make_rng() instead
+BENCH_SEED = 1337
+
+
+def make_rng(salt: int = 0) -> random.Random:
+    """The one sanctioned source of benchmark randomness (seeded)."""
+    return random.Random(BENCH_SEED + salt)
 
 #: default experiment scale (kept small enough that the full bench suite
 #: finishes in minutes; DESIGN.md documents the scaling rule)

@@ -99,8 +99,10 @@ def cmd_crash_test(args) -> int:
     from .pm.device import PMDevice
     explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
                              device_size=64 * MIB, num_cpus=2)
+    depth = 1 if args.quick else args.depth
+    workloads = generate_workloads(seq2=depth >= 2, seq3=depth >= 3)
     failures = 0
-    for result in explorer.run_all(generate_workloads(seq2=not args.quick)):
+    for result in explorer.run_all(workloads):
         mark = "PASS" if result.passed else "FAIL"
         print(f"{mark} {result.workload:22s} "
               f"({result.states_checked} crash states)")
@@ -108,6 +110,81 @@ def cmd_crash_test(args) -> int:
         for v in result.violations[:3]:
             print("   ", v[:200])
     return 1 if failures else 0
+
+
+def cmd_faults(args) -> int:
+    """Run a canned WineFS workload under a fault plan and report it."""
+    from .clock import make_context
+    from .core.filesystem import WineFS
+    from .errors import FSError
+    from .faults import FaultPlan, FaultSpec
+    from .obs import fault_report
+    from .params import BLOCK_SIZE
+    from .pm.device import PMDevice
+
+    device = PMDevice(64 * MIB)
+    fs = WineFS(device, num_cpus=2)
+    ctx = make_context(2)
+    fs.mkfs(ctx)
+    f = fs.create("/victim", ctx)
+    f.append(b"\xab" * (64 * BLOCK_SIZE), ctx)
+    f.close()
+    extents = list(fs.file_extents(fs.getattr("/victim").ino))
+
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        specs = []
+        if "poison" in kinds:
+            specs.append(FaultSpec("poison",
+                                   addr=extents[0].start * BLOCK_SIZE,
+                                   length=64))
+        if "torn_store" in kinds:
+            specs.append(FaultSpec("torn_store", at_op=5))
+        if "latency" in kinds:
+            specs.append(FaultSpec("latency", at_op=0, count=500,
+                                   latency_mult=4.0))
+        if "enospc" in kinds:
+            specs.append(FaultSpec("enospc", at_op=2, count=1))
+        if "write_error" in kinds:
+            specs.append(FaultSpec("write_error",
+                                   blocks=(extents[0].start + 1,),
+                                   count=1))
+        plan = FaultPlan(seed=args.seed, specs=specs)
+    if args.emit_plan:
+        with open(args.emit_plan, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+    fs.attach_fault_plan(plan)
+
+    surfaced: List[str] = []
+
+    def attempt(label, fn):
+        try:
+            fn()
+        except FSError as exc:
+            surfaced.append(f"{label}: {exc.errno_name}: {exc}")
+
+    attempt("read", lambda: fs.read_file("/victim", ctx))
+    attempt("overwrite", lambda: fs.open("/victim", ctx)
+            .pwrite(BLOCK_SIZE, b"\xcd" * BLOCK_SIZE, ctx))
+    for i in range(4):
+        attempt(f"create-{i}",
+                lambda i=i: fs.write_file(f"/new{i}",
+                                          b"z" * BLOCK_SIZE, ctx))
+    attempt("reread", lambda: fs.read_file("/victim", ctx))
+    attempt("unmount", lambda: fs.unmount(ctx))
+    attempt("remount", lambda: fs.mount(ctx))
+
+    print(fault_report(plan, title=f"fault report (seed={plan.seed}, "
+                                   f"{len(plan.specs)} specs)"))
+    for line in surfaced:
+        print("surfaced:", line)
+    state = f"read-only ({fs.degraded_reason})" if fs.read_only \
+        else "read-write"
+    print(f"post-run state: {state}")
+    return 0
 
 
 def cmd_scalability(args) -> int:
@@ -208,7 +285,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crash-test", help="run the CrashMonkey/ACE "
                                           "catalogue on WineFS")
     p.add_argument("--quick", action="store_true",
-                   help="seq-1 workloads only")
+                   help="seq-1 workloads only (same as --depth 1)")
+    p.add_argument("--depth", type=int, choices=[1, 2, 3], default=2,
+                   help="ACE sequence depth: 1 = single ops, 2 = + pairs "
+                        "(default), 3 = + triples")
+
+    p = sub.add_parser("faults", help="inject a deterministic fault plan "
+                                      "into a WineFS run and report "
+                                      "injected/masked/surfaced outcomes")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the plan's RNG (torn-store prefixes)")
+    p.add_argument("--kinds", default="poison,torn_store,latency,enospc,"
+                                      "write_error",
+                   help="comma-separated fault kinds for the default plan")
+    p.add_argument("--plan", metavar="PATH", default=None,
+                   help="JSON fault plan to load instead of --kinds")
+    p.add_argument("--emit-plan", metavar="PATH", default=None,
+                   help="write the effective plan as JSON")
 
     p = sub.add_parser("scalability", help="Fig 10 slice for one FS")
     _add_common(p)
@@ -239,6 +332,7 @@ COMMANDS = {
     "age": cmd_age,
     "mmap-bench": cmd_mmap_bench,
     "crash-test": cmd_crash_test,
+    "faults": cmd_faults,
     "scalability": cmd_scalability,
     "trace": cmd_trace,
 }

@@ -32,9 +32,17 @@ _ALLOC_NS = 60.0
 
 
 class AlignmentAwareAllocator:
-    """Per-CPU aligned-extent and hole pools over one partition."""
+    """Per-CPU aligned-extent and hole pools over one partition.
 
-    def __init__(self, layout: Layout) -> None:
+    When a :class:`~repro.faults.FaultPlan` is attached (``faults``), the
+    allocator participates in fault injection: ``enospc`` specs make
+    allocations fail on schedule, and blocks with write errors can be
+    :meth:`quarantine`\\ d so they are never handed out again (the
+    quarantine list is DRAM-only, like an unpersisted badblocks list —
+    a remount rebuilds pools from inodes and forgets it).
+    """
+
+    def __init__(self, layout: Layout, faults=None) -> None:
         self.layout = layout
         self.pools: List[FreePool] = []
         for cpu in range(layout.num_cpus):
@@ -45,6 +53,15 @@ class AlignmentAwareAllocator:
         # was allocated, not its accidental physical alignment — on a
         # clean FS, hole allocations also merge into aligned runs.
         self.aligned_out: set = set()
+        self._faults = None
+        self.set_fault_plan(faults)
+        self.quarantined: set = set()
+
+    def set_fault_plan(self, faults) -> None:
+        """Bind (or clear) a fault plan.  Inactive plans are dropped so
+        the hot allocation path stays a single ``is not None`` check."""
+        self._faults = faults if (faults is not None
+                                  and faults.is_active) else None
 
     # -- introspection -----------------------------------------------------------
 
@@ -95,6 +112,8 @@ class AlignmentAwareAllocator:
                want_aligned: Optional[bool] = None) -> List[Extent]:
         # inlined ctx.charge (_ALLOC_NS >= 0, single add)
         ctx.clock._cpu_ns[ctx.cpu] += _ALLOC_NS
+        if self._faults is not None and self._faults.take_enospc(ctx):
+            raise NoSpaceError("injected fault: space exhausted")
         home = ctx.cpu % self.layout.num_cpus
         out: List[Extent] = []
         remaining = nblocks
@@ -171,6 +190,33 @@ class AlignmentAwareAllocator:
             raise NoSpaceError("no block for indirect extent chain")
         return ext
 
+    # -- fault handling ---------------------------------------------------------------
+
+    def quarantine(self, block: int) -> None:
+        """Take *block* out of circulation permanently (write errors).
+
+        Works whether the block is currently free (pulled from its pool)
+        or allocated (``free`` will refuse to re-insert it later).
+        """
+        if block in self.quarantined:
+            return
+        self.quarantined.add(block)
+        self.aligned_out.discard(block // BLOCKS_PER_HUGEPAGE)
+        self.pool_of_block(block).alloc_exact(block, 1)
+
+    def relocate_block(self, bad: int, ctx: SimContext) -> Extent:
+        """Quarantine *bad* and hand out a 1-block replacement hole.
+
+        Raises :class:`NoSpaceError` when no replacement exists (the
+        caller then surfaces the write error instead of masking it).
+        """
+        self.quarantine(bad)
+        ctx.charge(_ALLOC_NS)
+        ext = self._alloc_hole_chunk(ctx.cpu % self.layout.num_cpus, 1)
+        if ext is None:
+            raise NoSpaceError("no replacement block for relocation")
+        return ext
+
     # -- free ------------------------------------------------------------------------
 
     def free(self, extent: Extent, ctx: Optional[SimContext] = None) -> None:
@@ -179,6 +225,22 @@ class AlignmentAwareAllocator:
         if ctx is not None:
             # inlined ctx.charge (_ALLOC_NS >= 0, single add)
             ctx.clock._cpu_ns[ctx.cpu] += _ALLOC_NS
+        if self.quarantined:
+            bad = [b for b in range(extent.start, extent.end)
+                   if b in self.quarantined]
+            if bad:
+                # split around the quarantined blocks; they never return
+                # to a pool (their hugepages lose provenance regardless)
+                for b in bad:
+                    self.aligned_out.discard(b // BLOCKS_PER_HUGEPAGE)
+                start = extent.start
+                for b in bad:
+                    if b > start:
+                        self.free(Extent(start, b - start))
+                    start = b + 1
+                if start < extent.end:
+                    self.free(Extent(start, extent.end - start))
+                return
         # freeing any part of a hugepage ends its aligned-provenance life
         first_hp = extent.start // BLOCKS_PER_HUGEPAGE
         last_hp = (extent.end - 1) // BLOCKS_PER_HUGEPAGE
@@ -211,6 +273,8 @@ class AlignmentAwareAllocator:
             self.pools.append(FreePool(start, length))
         for ext in sorted(used_extents, key=lambda e: e.start):
             self._mark_used(ext)
+        for block in sorted(self.quarantined):
+            self.pool_of_block(block).alloc_exact(block, 1)
 
     def _mark_used(self, extent: Extent) -> None:
         pool = self.pool_of_block(extent.start)

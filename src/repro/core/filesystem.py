@@ -26,7 +26,8 @@ from typing import Dict, Iterator, List, Optional
 
 from ..clock import SimContext
 from ..errors import (CorruptionError, FSError, InvalidArgumentError,
-                      NotFoundError)
+                      MediaError, NotFoundError)
+from ..faults import MAX_WRITE_RETRIES
 from ..mmu.cache import CacheModel
 from ..mmu.mmap_region import MappedRegion
 from ..mmu.tlb import TLB
@@ -165,6 +166,9 @@ class WineFS(BaseFS):
                       ).data_start_block
 
     def mkfs(self, ctx: SimContext) -> None:
+        # a fresh format clears any degradation from a previous mount
+        self.read_only = False
+        self.degraded_reason = None
         self._itable = _PerCPUInodeTables(self.layout)
         self._dirs = {}
         self._indirect_chains = {}
@@ -183,7 +187,19 @@ class WineFS(BaseFS):
         self.mounted = True
 
     def _init_allocator(self) -> None:
-        self.allocator = AlignmentAwareAllocator(self.layout)
+        self.allocator = AlignmentAwareAllocator(self.layout,
+                                                faults=self.device.faults)
+
+    def attach_fault_plan(self, plan) -> None:
+        """Bind a fault plan to the device *and* the live allocator.
+
+        ``device.set_fault_plan`` alone is enough before ``mkfs``/
+        ``mount`` (the allocator picks the plan up when it is built);
+        this also rebinds an allocator that already exists.
+        """
+        self.device.set_fault_plan(plan)
+        if self.allocator is not None:
+            self.allocator.set_fault_plan(plan)
 
     def mount(self, ctx: SimContext) -> None:
         """Mount from the PM image alone: recover journals, scan inodes.
@@ -192,6 +208,11 @@ class WineFS(BaseFS):
         rolled back in global-ID order, then DRAM structures (directory
         indexes, allocator free lists, inode in-use lists) are rebuilt by
         scanning the per-CPU inode tables.
+
+        Degradation ladder: metadata reads that hit poisoned lines surface
+        ``EIO`` (:class:`~repro.errors.MediaError` is an ``FSError``);
+        journal records that fail their checksum are skipped; either event
+        completes the mount **read-only** instead of refusing to mount.
         """
         with ctx.trace.span(ctx, "winefs.recover", fs=self.name):
             layout, clean = read_superblock(self.device)
@@ -201,9 +222,26 @@ class WineFS(BaseFS):
             self.journal = JournalManager(self.device, self.layout)
             if not clean:
                 self.journal.recover()
+                if self.journal.skipped_records:
+                    self._degrade(
+                        ctx, f"journal recovery skipped "
+                        f"{self.journal.skipped_records} corrupt records")
             self._rebuild_from_scan(ctx)
-            write_superblock(self.device, self.layout, clean=False)
+            if not self.read_only:
+                write_superblock(self.device, self.layout, clean=False)
             self.mounted = True
+
+    def _degrade(self, ctx: Optional[SimContext], reason: str) -> None:
+        """Remount read-only and make the event observable."""
+        if self.read_only:
+            return
+        self.remount_read_only(reason)
+        if ctx is not None:
+            ctx.counters.registry.counter("fs_degraded", fs=self.name).inc()
+            if ctx.trace.enabled:
+                now = ctx.now()
+                ctx.trace.record("fs.degraded", ctx.cpu, now, now,
+                                 fs=self.name, reason=reason)
 
     def unmount(self, ctx: SimContext) -> None:
         self._check_mounted()
@@ -223,6 +261,7 @@ class WineFS(BaseFS):
         self._serialized_extents = {}
         self._packer = InodePacker()
         records: List[InodeRecord] = []
+        lost: List[int] = []
         watermarks = self._load_watermarks()
         # parallel scan (§5.2): each CPU scans its own table; charge the
         # makespan of the largest table to every CPU's clock share
@@ -231,16 +270,28 @@ class WineFS(BaseFS):
             first = self.layout.first_ino(cpu)
             for slot in range(watermarks[cpu]):
                 ino = first + slot
-                raw = self.device.load(self.layout.inode_addr(ino),
-                                       INODE_BYTES, scan_ctx)
-                rec = unpack_inode(
-                    ino, raw,
-                    read_indirect=lambda b: self.device.load(
-                        b * BLOCK_SIZE, BLOCK_SIZE, scan_ctx))
+                try:
+                    raw = self.device.load(self.layout.inode_addr(ino),
+                                           INODE_BYTES, scan_ctx)
+                    rec = unpack_inode(
+                        ino, raw,
+                        read_indirect=lambda b: self.device.load(
+                            b * BLOCK_SIZE, BLOCK_SIZE, scan_ctx))
+                except MediaError:
+                    # poisoned inode slot (or indirect block): the record
+                    # is unreadable — skip it and degrade instead of
+                    # failing the whole mount
+                    lost.append(ino)
+                    continue
                 if rec is not None:
                     records.append(rec)
         used: List[Extent] = []
         for rec in records:
+            try:
+                chain = self._scan_indirect_chain(rec.ino)
+            except MediaError:
+                lost.append(rec.ino)
+                continue
             inode = rec.to_inode()
             inode.parent_ino, inode.name = rec.parent_ino, rec.name
             inode.owner_cpu = self.layout.cpu_of_ino(rec.ino) \
@@ -249,18 +300,32 @@ class WineFS(BaseFS):
             if inode.is_dir:
                 self._dirs[inode.ino] = self.dir_index_cls()
             used.extend(inode.extents)
-            used.extend(Extent(b, 1) for b in
-                        self._scan_indirect_chain(rec.ino))
-        # second pass: rebuild directory indexes from parent pointers
+            used.extend(Extent(b, 1) for b in chain)
+        if lost:
+            self._degrade(ctx, f"{len(lost)} unreadable inode slots "
+                               f"(inos {sorted(lost)[:8]}...)")
+        # second pass: rebuild directory indexes from parent pointers; in
+        # a degraded mount, children whose parent was lost are dropped
+        # (recursively) rather than aborting the mount
+        dropped = True
+        while dropped:
+            dropped = False
+            for inode in self._itable.live_inodes():
+                if inode.ino == ROOT_INO:
+                    continue
+                parent = self._itable.get(inode.parent_ino)
+                if parent is None or not parent.is_dir:
+                    if not self.read_only:
+                        raise CorruptionError(
+                            f"inode {inode.ino} has dangling parent "
+                            f"{inode.parent_ino}")
+                    self._dirs.pop(inode.ino, None)
+                    self._itable.free(inode.ino)
+                    dropped = True
         for inode in self._itable.live_inodes():
             if inode.ino == ROOT_INO:
                 continue
-            parent = self._itable.get(inode.parent_ino)
-            if parent is None or not parent.is_dir:
-                raise CorruptionError(
-                    f"inode {inode.ino} has dangling parent "
-                    f"{inode.parent_ino}")
-            self._dirs[parent.ino].insert(inode.name, inode.ino)
+            self._dirs[inode.parent_ino].insert(inode.name, inode.ino)
         self._init_allocator()
         assert self.allocator is not None
         self.allocator.rebuild_from_inodes(used)
@@ -617,6 +682,68 @@ class WineFS(BaseFS):
 
     def _write_in_place(self, inode: Inode, offset: int, data: bytes,
                         ctx: SimContext) -> None:
+        plan = self.device.faults
+        if plan is not None and plan.wants_write_checks and data:
+            # bounded retry-with-relocation: quarantine each failing
+            # block, move its logical block to a fresh hole, and retry;
+            # only an exhausted budget surfaces EIO to the caller
+            first = offset // self.block_size
+            nblocks = (offset + len(data) - 1) // self.block_size \
+                - first + 1
+            for attempt in range(MAX_WRITE_RETRIES + 1):
+                bad = plan.failing_block(
+                    self._phys_blocks_in(inode, first, nblocks), ctx)
+                if bad is None:
+                    break
+                if attempt == MAX_WRITE_RETRIES:
+                    plan.note("write_error", "surfaced", ctx, block=bad)
+                    raise MediaError(
+                        f"write to block {bad} failed after "
+                        f"{MAX_WRITE_RETRIES} relocation attempts")
+                self._relocate_bad_block(inode, bad, ctx)
+                plan.note("write_error", "masked", ctx, block=bad)
+        self._write_in_place_impl(inode, offset, data, ctx)
+
+    def _phys_blocks_in(self, inode: Inode, first: int,
+                        nblocks: int) -> Iterator[int]:
+        for ext in inode.extents.slice_logical(first, nblocks):
+            yield from range(ext.start, ext.end)
+
+    def _relocate_bad_block(self, inode: Inode, bad: int,
+                            ctx: SimContext) -> None:
+        """Move one logical block off a failing physical block.
+
+        The old content is still readable (the media only rejects
+        writes), so it is salvaged into the replacement hole before the
+        extent map is swung over in a journaled transaction.  The bad
+        block itself stays quarantined, never freed.
+        """
+        assert self.allocator is not None
+        logical = self._logical_of_phys(inode, bad)
+        new_ext = self.allocator.relocate_block(bad, ctx)
+        ctx.charge(self.machine.pm_read_ns(self.block_size)
+                   + self.machine.persist_ns(self.block_size))
+        ctx.counters.pm_bytes_written += self.block_size
+        if self.track_data:
+            old = self.device.load(bad * self.block_size, self.block_size)
+            self.device.store(new_ext.start * self.block_size, old)
+            self.device.clwb(new_ext.start * self.block_size,
+                             self.block_size)
+            self.device.sfence()
+        with self._meta_txn(ctx, entries=4, ino=inode.ino):
+            inode.extents.replace_logical(logical, [new_ext])
+            self._persist_inode(inode, ctx)
+
+    def _logical_of_phys(self, inode: Inode, phys: int) -> int:
+        logical = 0
+        for ext in inode.extents:
+            if ext.start <= phys < ext.end:
+                return logical + (phys - ext.start)
+            logical += ext.length
+        raise FSError(f"block {phys} not mapped by inode {inode.ino}")
+
+    def _write_in_place_impl(self, inode: Inode, offset: int, data: bytes,
+                             ctx: SimContext) -> None:
         ns = self.machine.persist_ns(len(data))
         ctx.charge(ns)
         ctx.counters.pm_bytes_written += len(data)
@@ -668,7 +795,7 @@ class WineFS(BaseFS):
         first = offset // self.block_size
         last = (offset + len(data) - 1) // self.block_size
         nblocks = last - first + 1
-        new_extents = self.allocator.alloc(nblocks, ctx, want_aligned=False)
+        new_extents = self._alloc_cow_blocks(nblocks, ctx)
         head_pad = offset - first * self.block_size
         tail_end = (last + 1) * self.block_size
         tail_pad = tail_end - (offset + len(data))
@@ -691,6 +818,36 @@ class WineFS(BaseFS):
             old_extents = inode.extents.replace_logical(first, new_extents)
             self._persist_inode(inode, ctx)
         self.allocator.free_all(old_extents, ctx)
+
+    def _alloc_cow_blocks(self, nblocks: int,
+                          ctx: SimContext) -> List[Extent]:
+        """Allocate CoW destination blocks, dodging write-failing ones.
+
+        A failing destination is quarantined and the rest of the grab is
+        returned to the pools (``free`` splits around quarantined
+        blocks), then the allocation retries from a clean slate.
+        """
+        assert self.allocator is not None
+        plan = self.device.faults
+        if plan is None or not plan.wants_write_checks:
+            return self.allocator.alloc(nblocks, ctx, want_aligned=False)
+        for attempt in range(MAX_WRITE_RETRIES + 1):
+            extents = self.allocator.alloc(nblocks, ctx,
+                                           want_aligned=False)
+            bad = plan.failing_block(
+                (b for ext in extents
+                 for b in range(ext.start, ext.end)), ctx)
+            if bad is None:
+                return extents
+            self.allocator.quarantine(bad)
+            self.allocator.free_all(extents, ctx)
+            if attempt == MAX_WRITE_RETRIES:
+                plan.note("write_error", "surfaced", ctx, block=bad)
+                raise MediaError(
+                    f"CoW destination block {bad} failed after "
+                    f"{MAX_WRITE_RETRIES} relocation attempts")
+            plan.note("write_error", "masked", ctx, block=bad)
+        raise AssertionError("unreachable")
 
     def read_blocks_raw(self, inode: Inode, first_block: int,
                         nblocks: int) -> bytes:
@@ -723,6 +880,7 @@ class WineFS(BaseFS):
     def setxattr(self, path: str, key: str, value: bytes,
                  ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         self._syscall(ctx)
         inode = self._resolve(path, ctx)
         with self._meta_txn(ctx, entries=2, ino=inode.ino):

@@ -10,6 +10,10 @@ Per paper §3.5/§3.6:
   (address + old bytes) so uncommitted transactions roll back in place;
 * transaction IDs come from one atomic counter shared by all per-CPU
   journals, so recovery can order rollbacks globally;
+* every entry carries a CRC32 over its full cacheline, so recovery can
+  tell a torn or media-corrupted record from a valid one and skip it
+  (counted in :attr:`JournalManager.skipped_records`; the mounting file
+  system degrades to read-only when the count is non-zero);
 * a per-CPU wraparound counter distinguishes live entries from stale ones
   after the circular journal wraps;
 * a transaction reserves its worst-case entries (<= 10, i.e. 640B) before
@@ -20,11 +24,12 @@ Per paper §3.5/§3.6:
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..clock import SimContext
-from ..errors import CorruptionError, FSError
+from ..errors import ChecksumError, CorruptionError, FSError, MediaError
 from ..params import BLOCK_SIZE, CACHELINE
 from ..pm.device import PMDevice
 from ..pm.zeros import Zeros
@@ -36,9 +41,12 @@ TYPE_START = 1
 TYPE_DATA = 2
 TYPE_COMMIT = 3
 
-#: entry header: type(1) pad(1) undo_len(2) wraparound(4) txn_id(8) addr(8)
-_HEAD = struct.Struct("<BBHIQQ")
-UNDO_BYTES = ENTRY_BYTES - _HEAD.size      # 40B of undo payload per entry
+#: entry header: type(1) pad(1) undo_len(2) wraparound(4) crc(4)
+#: txn_id(8) addr(8).  The CRC32 covers the full 64B entry with the crc
+#: field zeroed, so recovery detects torn 8-byte stores and bit rot.
+_HEAD = struct.Struct("<BBHIIQQ")
+_CRC_OFF = 8                                # byte offset of the crc field
+UNDO_BYTES = ENTRY_BYTES - _HEAD.size      # 36B of undo payload per entry
 MAX_TXN_ENTRIES = 10                        # §3.6: at most 10 entries / 640B
 
 
@@ -54,12 +62,14 @@ class JournalEntry:
         if len(self.undo) > UNDO_BYTES:
             raise FSError("undo image exceeds one cacheline entry")
         head = _HEAD.pack(self.etype, 0, len(self.undo), self.wraparound,
-                          self.txn_id, self.addr)
-        return (head + self.undo).ljust(ENTRY_BYTES, b"\x00")
+                          0, self.txn_id, self.addr)
+        raw = (head + self.undo).ljust(ENTRY_BYTES, b"\x00")
+        crc = zlib.crc32(raw)
+        return raw[:_CRC_OFF] + struct.pack("<I", crc) + raw[_CRC_OFF + 4:]
 
     @staticmethod
     def unpack(raw: bytes) -> Optional["JournalEntry"]:
-        etype, _pad, undo_len, wrap, txn_id, addr = _HEAD.unpack(
+        etype, _pad, undo_len, wrap, crc, txn_id, addr = _HEAD.unpack(
             raw[:_HEAD.size])
         if etype == TYPE_NONE:
             return None
@@ -67,6 +77,10 @@ class JournalEntry:
             raise CorruptionError(f"bad journal entry type {etype}")
         if undo_len > UNDO_BYTES:
             raise CorruptionError("undo length overflows entry")
+        if zlib.crc32(raw[:_CRC_OFF] + b"\x00\x00\x00\x00"
+                      + raw[_CRC_OFF + 4:ENTRY_BYTES]) != crc:
+            raise ChecksumError(
+                f"journal entry checksum mismatch (txn {txn_id})")
         return JournalEntry(etype, wrap, txn_id, addr,
                             raw[_HEAD.size:_HEAD.size + undo_len])
 
@@ -185,18 +199,34 @@ class PerCPUJournal:
         carry the wrap generation they were written under, so a slot whose
         generation is *newer* than its predecessor marks the write frontier.
         """
+        entries, _skipped = self.scan_tolerant(tolerate=False)
+        return entries
+
+    def scan_tolerant(self, tolerate: bool = True
+                      ) -> Tuple[List[JournalEntry], int]:
+        """Like :meth:`scan`, but (when *tolerate*) a slot whose load hits
+        a poisoned line or whose record fails its checksum is skipped and
+        counted instead of aborting recovery."""
         entries: List[Tuple[int, JournalEntry]] = []
+        skipped = 0
         for slot in range(self.capacity):
-            raw = self.device.load(self.base + slot * ENTRY_BYTES, ENTRY_BYTES)
-            e = JournalEntry.unpack(raw)
+            try:
+                raw = self.device.load(self.base + slot * ENTRY_BYTES,
+                                       ENTRY_BYTES)
+                e = JournalEntry.unpack(raw)
+            except (MediaError, CorruptionError):
+                if not tolerate:
+                    raise
+                skipped += 1
+                continue
             if e is not None:
                 entries.append((slot, e))
         if not entries:
-            return []
+            return [], skipped
         # order: higher wraparound generation is newer; within a
         # generation, slot order is append order
         entries.sort(key=lambda se: (se[1].wraparound, se[0]))
-        return [e for _slot, e in entries]
+        return [e for _slot, e in entries], skipped
 
 
 class _Transaction:
@@ -292,6 +322,8 @@ class JournalManager:
                          for cpu in range(layout.num_cpus)]
         self._next_txn_id = 1
         self.transactions_started = 0
+        #: corrupt/poisoned records skipped by the last :meth:`recover`
+        self.skipped_records = 0
 
     def begin(self, ctx: SimContext, entries_hint: int = MAX_TXN_ENTRIES
               ) -> _Transaction:
@@ -323,11 +355,19 @@ class JournalManager:
         images in reverse global-transaction-ID order (§3.6: "WineFS
         rolls-back journal entries across per-CPU journals based on the
         transaction ID order").
+
+        Records that fail their checksum or sit on poisoned lines are
+        skipped (graceful degradation), counted in
+        :attr:`skipped_records`; the caller decides whether a non-zero
+        count forces a read-only mount.
         """
         committed_ids = set()
         txn_entries = {}
+        self.skipped_records = 0
         for journal in self.journals:
-            for entry in journal.scan():
+            entries, skipped = journal.scan_tolerant()
+            self.skipped_records += skipped
+            for entry in entries:
                 if entry.etype == TYPE_COMMIT:
                     committed_ids.add(entry.txn_id)
                 elif entry.etype == TYPE_DATA:

@@ -160,9 +160,58 @@ def _seq2_workloads() -> List[AceWorkload]:
     return out
 
 
-def generate_workloads(seq2: bool = True) -> List[AceWorkload]:
-    """All ACE workloads (seq-1, optionally + seq-2)."""
+def _seq3_workloads() -> List[AceWorkload]:
+    """Triples of dependent operations (deeper ACE seq-3 cases).
+
+    These stress cross-op reordering through a middle operation: the
+    crash explorer enumerates in-flight stores inside every op while the
+    preceding ops' effects are already durable.
+    """
+    out: List[AceWorkload] = []
+    out.append(AceWorkload(
+        "create-append-rename",
+        ops=[SyscallOp("create", "/f0"),
+             SyscallOp("append", "/f0", size=4096),
+             SyscallOp("rename", "/f0", arg="/f1")]))
+    out.append(AceWorkload(
+        "create-rename-unlink",
+        ops=[SyscallOp("create", "/f0"),
+             SyscallOp("rename", "/f0", arg="/f1"),
+             SyscallOp("unlink", "/f1")]))
+    out.append(AceWorkload(
+        "mkdir-create-rename",
+        setup=[SyscallOp("mkdir", "/d1")],
+        ops=[SyscallOp("mkdir", "/d0"),
+             SyscallOp("create", "/d0/f"),
+             SyscallOp("rename", "/d0/f", arg="/d1/f")]))
+    out.append(AceWorkload(
+        "append-truncate-append",
+        setup=[SyscallOp("create", "/f0")],
+        ops=[SyscallOp("append", "/f0", size=8192),
+             SyscallOp("truncate", "/f0", size=1000),
+             SyscallOp("append", "/f0", size=3000)]))
+    out.append(AceWorkload(
+        "create-unlink-create",
+        setup=[SyscallOp("create", "/f0"),
+               SyscallOp("append", "/f0", size=4096)],
+        ops=[SyscallOp("unlink", "/f0"),
+             SyscallOp("create", "/f0"),
+             SyscallOp("append", "/f0", size=2048)]))
+    out.append(AceWorkload(
+        "fallocate-overwrite-truncate",
+        setup=[SyscallOp("create", "/f0")],
+        ops=[SyscallOp("fallocate", "/f0", size=65536),
+             SyscallOp("overwrite", "/f0", size=4096),
+             SyscallOp("truncate", "/f0", size=512)]))
+    return out
+
+
+def generate_workloads(seq2: bool = True,
+                       seq3: bool = False) -> List[AceWorkload]:
+    """All ACE workloads (seq-1, optionally + seq-2 and seq-3)."""
     out = _seq1_workloads()
     if seq2:
         out.extend(_seq2_workloads())
+    if seq3:
+        out.extend(_seq3_workloads())
     return out

@@ -93,3 +93,20 @@ class CorruptionError(FSError):
     """Recovery or a checker detected an inconsistent on-PM state."""
 
     errno_name = "EUCLEAN"
+
+
+class ChecksumError(CorruptionError):
+    """A per-record checksum did not match (torn or corrupted record)."""
+
+    errno_name = "EUCLEAN"
+
+
+class MediaError(FSError):
+    """EIO: an uncorrectable PM media error (poisoned cacheline).
+
+    Raised by :class:`~repro.pm.device.PMDevice` when a load touches a
+    poisoned line, and surfaced by the file systems as ``EIO`` instead of
+    crashing — the degradation ladder in DESIGN.md starts here.
+    """
+
+    errno_name = "EIO"

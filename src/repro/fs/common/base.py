@@ -197,6 +197,7 @@ class BaseFS(FileSystem):
 
     def create(self, path: str, ctx: SimContext) -> OpenFile:
         self._check_mounted()
+        self._check_writable()
         if ctx.trace.enabled:
             with ctx.trace.span(ctx, "vfs.create", fs=self.name, path=path):
                 return self._create_impl(path, ctx)
@@ -244,6 +245,7 @@ class BaseFS(FileSystem):
 
     def unlink(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         if ctx.trace.enabled:
             with ctx.trace.span(ctx, "vfs.unlink", fs=self.name, path=path):
                 self._unlink_impl(path, ctx)
@@ -278,6 +280,7 @@ class BaseFS(FileSystem):
 
     def mkdir(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         with ctx.trace.span(ctx, "vfs.mkdir", fs=self.name, path=path):
             self._syscall(ctx)
             path = normalize_path(path)
@@ -300,6 +303,7 @@ class BaseFS(FileSystem):
 
     def rmdir(self, path: str, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         with ctx.trace.span(ctx, "vfs.rmdir", fs=self.name, path=path):
             self._syscall(ctx)
             path = normalize_path(path)
@@ -327,6 +331,7 @@ class BaseFS(FileSystem):
 
     def rename(self, old: str, new: str, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         with ctx.trace.span(ctx, "vfs.rename", fs=self.name, path=old):
             self._syscall(ctx)
             old, new = normalize_path(old), normalize_path(new)
@@ -345,6 +350,9 @@ class BaseFS(FileSystem):
                     raise NotFoundError(old)
                 with self._meta_txn(ctx, entries=6, ino=src_parent.ino):
                     displaced = ddir.lookup(dst_name, ctx)
+                    if displaced == ino:
+                        # POSIX: old and new are the same file -> no-op
+                        return
                     if displaced is not None:
                         victim = self._itable.get(displaced)
                         assert victim is not None
@@ -470,6 +478,7 @@ class BaseFS(FileSystem):
 
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
         self._check_mounted()
+        self._check_writable()
         if ctx.trace.enabled:
             with ctx.trace.span(ctx, "vfs.write", fs=self.name, ino=ino,
                                 size=len(data)):
@@ -512,6 +521,7 @@ class BaseFS(FileSystem):
 
     def truncate(self, ino: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         with ctx.trace.span(ctx, "vfs.truncate", fs=self.name, ino=ino,
                             size=size):
             self._syscall(ctx)
@@ -535,6 +545,7 @@ class BaseFS(FileSystem):
 
     def fallocate(self, ino: int, offset: int, size: int, ctx: SimContext) -> None:
         self._check_mounted()
+        self._check_writable()
         if ctx.trace.enabled:
             with ctx.trace.span(ctx, "vfs.fallocate", fs=self.name, ino=ino,
                                 size=size):

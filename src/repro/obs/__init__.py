@@ -19,6 +19,7 @@ from .metrics import (Counter, Gauge, Histogram, Metric, MetricsRegistry,
 from .trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
 from .export import (chrome_trace, chrome_trace_events, span_jsonl_lines,
                      write_chrome_trace, write_metrics_json, write_span_jsonl)
+from .faults import bind_fault_metrics, fault_report
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
@@ -26,4 +27,5 @@ __all__ = [
     "NULL_TRACER", "NullTracer", "SpanRecord", "Tracer",
     "chrome_trace", "chrome_trace_events", "span_jsonl_lines",
     "write_chrome_trace", "write_metrics_json", "write_span_jsonl",
+    "bind_fault_metrics", "fault_report",
 ]

@@ -1,0 +1,62 @@
+"""Observability helpers for fault injection.
+
+The :class:`~repro.faults.FaultPlan` ledger mirrors events into the
+metrics registry lazily (``fault_events{kind,outcome}``) and, with tracing
+on, emits zero-width ``fault.<kind>`` records.  This module adds the
+pull side: registry gauges that expose the ledger without the plan having
+to push, and a plain-text report for the CLI.
+
+Everything here is read-only over the plan — binding metrics or printing
+a report never perturbs clocks or counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .metrics import MetricsRegistry
+
+#: column layout shared by the CLI and tests
+_REPORT_HEADER = ("kind", "injected", "masked", "surfaced")
+
+
+def bind_fault_metrics(registry: MetricsRegistry, plan) -> None:
+    """Register pull-gauges over *plan*'s ledger.
+
+    One ``fault_outcomes{kind,outcome}`` gauge per (kind, outcome) pair
+    the plan can produce, so dashboards see explicit zeros instead of
+    missing series.
+    """
+    from ..faults.plan import FAULT_KINDS, OUTCOMES
+
+    for kind in FAULT_KINDS:
+        for outcome in OUTCOMES:
+            registry.gauge(
+                "fault_outcomes",
+                fn=(lambda k=kind, o=outcome: float(plan.count(k, o))),
+                kind=kind, outcome=outcome)
+
+
+def fault_report(plan, title: Optional[str] = None) -> str:
+    """Render the plan's ledger as an aligned text table."""
+    rows = plan.report_rows()
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    widths = [max(len(_REPORT_HEADER[0]),
+                  *(len(r[0]) for r in rows)) if rows
+              else len(_REPORT_HEADER[0]),
+              8, 8, 8]
+    header = "  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                       for i, (h, w) in enumerate(zip(_REPORT_HEADER,
+                                                      widths)))
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not rows:
+        lines.append("(no fault events)")
+    for kind, injected, masked, surfaced in rows:
+        lines.append("  ".join([kind.ljust(widths[0]),
+                                str(injected).rjust(widths[1]),
+                                str(masked).rjust(widths[2]),
+                                str(surfaced).rjust(widths[3])]))
+    return "\n".join(lines)

@@ -135,11 +135,15 @@ class PMDevice:
     track_stores:
         When True, every store is logged for crash-state enumeration.  Off
         by default because aging benches issue millions of stores.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  ``None`` (or a plan
+        with no specs) is bit-identical to the plain device: every fault
+        hook hides behind one ``_faults_active`` flag check.
     """
 
     def __init__(self, size: int, machine: MachineParams = DEFAULT_MACHINE,
                  topology: Optional[NumaTopology] = None,
-                 track_stores: bool = False) -> None:
+                 track_stores: bool = False, faults=None) -> None:
         if size <= 0 or size % BASE_PAGE:
             raise PMError("PM size must be a positive multiple of 4KB")
         self.size = size
@@ -166,6 +170,23 @@ class PMDevice:
         self._capture_records: Dict[int, Tuple[int, bytes]] = {}
         self._capture_epoch_of: Dict[int, Optional[int]] = {}
         self._capture_epoch = 0
+        # fault injection (default-off, bit-identical-off)
+        self.faults = None
+        self._faults_active = False
+        if faults is not None:
+            self.set_fault_plan(faults)
+
+    def set_fault_plan(self, plan) -> None:
+        """Attach (or detach, with ``None``) a fault plan.
+
+        An empty plan deactivates the hooks entirely, so attaching
+        ``FaultPlan(seed, [])`` leaves every charge bit-identical to a
+        device that never heard of faults.
+        """
+        self.faults = plan
+        self._faults_active = plan is not None and plan.is_active
+        if plan is not None:
+            plan.attach(self)
 
     # -- bounds ------------------------------------------------------------------
 
@@ -182,8 +203,15 @@ class PMDevice:
     # -- data path ----------------------------------------------------------------
 
     def load(self, addr: int, length: int, ctx: Optional[SimContext] = None) -> bytes:
-        """Read bytes; charges streaming read bandwidth + one load latency."""
+        """Read bytes; charges streaming read bandwidth + one load latency.
+
+        With an active fault plan, a load touching a poisoned cacheline
+        raises :class:`~repro.errors.MediaError` before any byte (or
+        cost) is accounted — the media error aborts the read.
+        """
         self._check(addr, length)
+        if self._faults_active:
+            self.faults.on_load(addr, length, ctx)
         self.bytes_read += length
         if ctx is not None:
             remote = self._is_remote(ctx, addr)
@@ -203,6 +231,12 @@ class PMDevice:
         self._check(addr, len(data))
         if not data:
             return
+        if self._faults_active:
+            # may tear the store to a shorter prefix, heal poisoned
+            # lines the store fully overwrites, or charge latency
+            data = self.faults.on_store(addr, data, ctx)
+            if not len(data):
+                return      # fully torn: nothing reached even the cache
         if type(data) is Zeros:
             if self._fast:
                 self._store.write_zeros(addr, len(data))
@@ -280,7 +314,7 @@ class PMDevice:
 
     def persist(self, addr: int, data: bytes, ctx: Optional[SimContext] = None) -> None:
         """store + clwb + sfence in one call (the common durable-write path)."""
-        if self._fast:
+        if self._fast and not self._faults_active:
             # one pass, same three charges in the same order as the calls
             # below would make them — just without their per-call dispatch
             # and line-set bookkeeping (skipped in fast mode anyway)

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..clock import SimContext
-from ..errors import BadFileError, InvalidArgumentError, NotMountedError
+from ..errors import (BadFileError, InvalidArgumentError, NotMountedError,
+                      ReadOnlyError)
 from ..mmu.cache import CacheModel
 from ..mmu.mmap_region import MappedRegion
 from ..mmu.tlb import TLB
@@ -145,6 +146,11 @@ class FileSystem(ABC):
         self.machine: MachineParams = device.machine
         self.num_cpus = num_cpus
         self.mounted = False
+        # degradation state: once corruption is detected (poisoned
+        # metadata, unreadable journal records) the fs stays mounted but
+        # refuses mutations — data that is still readable stays readable
+        self.read_only = False
+        self.degraded_reason: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -163,6 +169,24 @@ class FileSystem(ABC):
     def _check_mounted(self) -> None:
         if not self.mounted:
             raise NotMountedError(f"{self.name} is not mounted")
+
+    def remount_read_only(self, reason: str) -> None:
+        """Degrade to read-only after detected corruption.
+
+        Mirrors the kernel's ``errors=remount-ro`` behaviour: the first
+        detection wins (the original reason is kept), reads keep working,
+        and every mutating syscall fails with ``EROFS`` until a clean
+        ``mkfs``/``mount`` cycle.
+        """
+        if self.read_only:
+            return
+        self.read_only = True
+        self.degraded_reason = reason
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                f"{self.name} is read-only: {self.degraded_reason}")
 
     def _syscall(self, ctx: SimContext) -> None:
         """Charge one kernel crossing."""

@@ -6,6 +6,9 @@ POSIX-semantics tests run against every file system.
 
 from __future__ import annotations
 
+import random
+import zlib
+
 import pytest
 
 from repro import (Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, WineFS,
@@ -13,6 +16,25 @@ from repro import (Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, WineFS,
 from repro.clock import make_context
 from repro.params import GIB
 from repro.pm.device import PMDevice
+
+#: every test-side RNG derives from this seed so a failing run is
+#: reproducible from the test id alone; tests that need their own seed
+#: sweep (property tests) derive child seeds from the fixture
+TEST_SEED = 20210101
+
+
+@pytest.fixture
+def deterministic_rng(request):
+    """One seeded RNG per test, salted by the test's node id.
+
+    Tests and benchmarks must route randomness through this fixture (or
+    an explicit ``random.Random(seed)``) — never the bare ``random``
+    module functions, which share interpreter-global state across tests.
+    """
+    # crc32, not hash(): str hashing is salted per process and would make
+    # the "deterministic" rng vary run to run
+    salt = zlib.crc32(request.node.nodeid.encode())
+    return random.Random((TEST_SEED << 32) ^ salt)
 
 FS_FACTORIES = {
     "WineFS": lambda dev, n: WineFS(dev, num_cpus=n),

@@ -147,3 +147,73 @@ class TestExplorer:
         wl = next(w for w in generate_workloads() if w.name == name)
         result = explorer.run_workload(wl)
         assert result.passed, result.violations
+
+
+class TestSeq3:
+    def test_seq3_extends_catalogue(self):
+        base = generate_workloads(seq2=True)
+        deep = generate_workloads(seq2=True, seq3=True)
+        assert len(deep) > len(base)
+        names = {w.name for w in deep} - {w.name for w in base}
+        assert "create-append-rename" in names
+        assert all(len(w.ops) == 3 for w in deep
+                   if w.name in names)
+
+    def test_seq3_ops_apply(self):
+        for w in generate_workloads(seq2=False, seq3=True):
+            device = PMDevice(64 * MIB)
+            f = WineFS(device, num_cpus=2)
+            c = make_context(2)
+            f.mkfs(c)
+            w.run_setup(f, c)
+            for op in w.ops:
+                op.apply(f, c)    # must not raise
+
+
+class TestCorpus:
+    """Regression replay of the committed crash-state corpus."""
+
+    @staticmethod
+    def _load():
+        import json
+        import os
+        path = os.path.join(os.path.dirname(__file__), "data",
+                            "crash_corpus.json")
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_corpus_replays_consistently(self):
+        corpus = self._load()
+        explorer = CrashExplorer(
+            lambda dev: WineFS(dev, num_cpus=corpus["num_cpus"]),
+            device_size=corpus["device_mib"] * MIB,
+            num_cpus=corpus["num_cpus"])
+        workloads = {w.name: w
+                     for w in generate_workloads(seq2=True, seq3=True)}
+        by_wl = {}
+        for e in corpus["entries"]:
+            by_wl.setdefault(e["workload"], []).append(e)
+        assert by_wl, "corpus is empty"
+        checked = 0
+        for name, points in by_wl.items():
+            result = explorer.replay_crash_states(workloads[name], points)
+            assert result.passed, (name, result.violations[:3])
+            checked += result.states_checked
+        assert checked == len(corpus["entries"])
+
+    def test_corpus_covers_seq3(self):
+        corpus = self._load()
+        names = {e["workload"] for e in corpus["entries"]}
+        seq3_names = {w.name
+                      for w in generate_workloads(seq2=False, seq3=True)
+                      } - {w.name for w in generate_workloads(seq2=True)}
+        assert names & seq3_names
+
+    def test_build_corpus_deterministic(self):
+        explorer = CrashExplorer(lambda dev: WineFS(dev, num_cpus=2),
+                                 device_size=64 * MIB, num_cpus=2)
+        wl = [w for w in generate_workloads(seq2=False)
+              if w.name in ("create", "append")]
+        a = explorer.build_corpus(wl, per_op_limit=3)
+        b = explorer.build_corpus(wl, per_op_limit=3)
+        assert a == b and a

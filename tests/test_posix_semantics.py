@@ -222,6 +222,14 @@ class TestNamespace:
         assert any_fs.read_file("/dst", ctx) == b"SRC"
         assert any_fs.statfs().free_blocks >= free   # victim blocks freed
 
+    def test_rename_onto_itself_is_noop(self, any_fs, ctx):
+        # POSIX: when old and new name the same file, rename succeeds
+        # and does nothing (found by the property-differential sweep)
+        f = any_fs.create("/same", ctx)
+        f.append(b"keep", ctx)
+        any_fs.rename("/same", "/same", ctx)
+        assert any_fs.read_file("/same", ctx) == b"keep"
+
     def test_rename_missing_source_fails(self, any_fs, ctx):
         with pytest.raises(NotFoundError):
             any_fs.rename("/nope", "/x", ctx)
