@@ -20,6 +20,15 @@ Benches:
                          file (TLB-thrashing path).
 * ``journal_storm``    — create/append/fsync/unlink cycles on WineFS
                          (journal commit path).
+* ``snapshot_restore`` — cold age-and-save vs warm restore of the same
+                         aged WineFS image through the snapshot store.
+* ``fleet_scaling``    — a fixed (fs, pattern, seed) matrix at
+                         ``--jobs 1`` vs ``--jobs 4`` through the fleet
+                         runner (reports are verified identical).
+
+``--jobs N`` shards the (bench, repetition) cells themselves across
+worker processes; wall time is measured inside each worker, so the
+numbers are the same as a serial run (modulo host load).
 
 Results go to ``BENCH_perf.json``; pass ``--baseline`` to compute
 speedups against a previously captured run (the pre-change baseline lives
@@ -44,7 +53,9 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(os.path.dirname(_HERE))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-from repro.harness import aged_fs, fresh_fs                    # noqa: E402
+from repro.harness import aged_fs, fresh_fs, run_fleet         # noqa: E402
+from repro.harness.fleet import (bench_matrix,                 # noqa: E402
+                                 run_bench_matrix)
 from repro.params import KIB, MIB                              # noqa: E402
 from repro.structures.stats import LatencyRecorder             # noqa: E402
 from repro.workloads import mmap_rw_benchmark                  # noqa: E402
@@ -54,10 +65,15 @@ DEFAULT_OUT = os.path.join(_ROOT, "benchmarks", "results", "BENCH_perf.json")
 
 
 def bench_aging_churn(scale: float) -> dict:
-    """Fill + churn WineFS to 75% utilization (the Fig 1 aged setup)."""
+    """Fill + churn WineFS to 75% utilization (the Fig 1 aged setup).
+
+    ``snapshot=False``: this bench measures the aging loop itself, so a
+    cache hit would be cheating (``snapshot_restore`` measures the cache).
+    """
     t0 = time.perf_counter()
     fs, ctx = aged_fs("WineFS", size_gib=0.5, num_cpus=4,
-                      utilization=0.75, churn_multiple=4.0 * scale, seed=7)
+                      utilization=0.75, churn_multiple=4.0 * scale, seed=7,
+                      snapshot=False)
     wall = time.perf_counter() - t0
     stats = fs.statfs()
     return {
@@ -155,26 +171,94 @@ def bench_journal_storm(scale: float) -> dict:
     }
 
 
+def bench_snapshot_restore(scale: float) -> dict:
+    """Cold age-and-save vs warm restore through the snapshot store."""
+    import tempfile
+
+    churn = max(0.5, 4.0 * scale)
+    params = dict(size_gib=0.5, num_cpus=4, utilization=0.75,
+                  churn_multiple=churn, seed=7)
+    prior = os.environ.get("REPRO_SNAPSHOT_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-snap-") as tmp:
+        os.environ["REPRO_SNAPSHOT_DIR"] = tmp
+        try:
+            t0 = time.perf_counter()
+            aged_fs("WineFS", **params)
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            fs, ctx = aged_fs("WineFS", **params)
+            warm = time.perf_counter() - t0
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_SNAPSHOT_DIR", None)
+            else:
+                os.environ["REPRO_SNAPSHOT_DIR"] = prior
+    return {
+        "wall_s": warm,
+        "work": {"cold_s": cold, "churn_multiple": churn,
+                 "speedup_vs_cold": round(cold / warm, 2) if warm else 0.0,
+                 "files": fs.statfs().files},
+    }
+
+
+def bench_fleet_scaling(scale: float) -> dict:
+    """A fixed cell matrix serially vs across 4 worker processes."""
+    seeds = list(range(1, max(3, int(8 * scale)) + 1))
+    # cells must dwarf pool startup (~50ms) for scaling to be visible
+    file_mib = max(8, int(32 * scale))
+    cells = bench_matrix(["WineFS", "PMFS"], ["rand-read"], seeds,
+                         size_gib=0.25, num_cpus=4, file_mib=file_mib)
+    t0 = time.perf_counter()
+    serial_report = run_bench_matrix(cells, jobs=1)
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel_report = run_bench_matrix(cells, jobs=4)
+    parallel = time.perf_counter() - t0
+    return {
+        "wall_s": parallel,
+        "work": {"cells": len(cells), "jobs": 4, "serial_s": serial,
+                 "scaling_x": round(serial / parallel, 2) if parallel
+                 else 0.0,
+                 # scaling_x can only exceed 1 with host_cpus > 1; the
+                 # correctness claim is reports_identical, always
+                 "host_cpus": os.cpu_count(),
+                 "reports_identical": serial_report == parallel_report},
+    }
+
+
 BENCHES = {
     "aging_churn": bench_aging_churn,
     "fig4_cdf": bench_fig4_cdf,
     "mmap_seq": bench_mmap_seq,
     "mmap_rand": bench_mmap_rand,
     "journal_storm": bench_journal_storm,
+    "snapshot_restore": bench_snapshot_restore,
+    "fleet_scaling": bench_fleet_scaling,
 }
 
 
-def run(scale: float, names, repeat: int) -> dict:
+def _perf_cell(cell) -> tuple:
+    """One (bench, repetition) cell; top-level so worker pools can run it.
+
+    Wall time is measured here, inside the worker, so ``--jobs`` never
+    changes what any bench reports.
+    """
+    name, scale = cell
+    return name, BENCHES[name](scale)
+
+
+def run(scale: float, names, repeat: int, jobs: int = 1) -> dict:
+    cells = [(name, scale) for name in names for _ in range(repeat)]
+    results = run_fleet(_perf_cell, cells, jobs=jobs)
     benches = {}
+    # results come back in cell order: best-of-repeat per bench, merged
+    # by the fixed name order rather than completion order
+    for name, result in results:
+        best = benches.get(name)
+        if best is None or result["wall_s"] < best["wall_s"]:
+            benches[name] = result
     for name in names:
-        fn = BENCHES[name]
-        best = None
-        for _ in range(repeat):
-            result = fn(scale)
-            if best is None or result["wall_s"] < best["wall_s"]:
-                best = result
-        print(f"  {name:15s} {best['wall_s']:8.3f}s", flush=True)
-        benches[name] = best
+        print(f"  {name:15s} {benches[name]['wall_s']:8.3f}s", flush=True)
     return benches
 
 
@@ -186,14 +270,18 @@ def main(argv=None) -> int:
                     help="repetitions per bench; the fastest wall time wins")
     ap.add_argument("--bench", action="append", choices=sorted(BENCHES),
                     help="run only the named bench (repeatable)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="shard (bench, repetition) cells across this many "
+                         "worker processes")
     ap.add_argument("--out", default=DEFAULT_OUT)
     ap.add_argument("--baseline", default=None,
                     help="prior BENCH_perf.json to compute speedups against")
     args = ap.parse_args(argv)
 
     names = args.bench or sorted(BENCHES)
-    print(f"perf suite: scale={args.scale} repeat={args.repeat}", flush=True)
-    benches = run(args.scale, names, args.repeat)
+    print(f"perf suite: scale={args.scale} repeat={args.repeat} "
+          f"jobs={args.jobs}", flush=True)
+    benches = run(args.scale, names, args.repeat, jobs=args.jobs)
 
     doc = {
         "schema": "repro.perf/1",

@@ -41,6 +41,37 @@ def _dump_metrics(args, counters) -> None:
         write_metrics_json(args.metrics_out, counters.registry)
 
 
+def cmd_bench(args) -> int:
+    """Deterministic (fs, pattern, seed) matrix over the fleet runner.
+
+    The JSON report contains only simulated quantities and is sorted by
+    cell key, so it is byte-identical for any ``--jobs`` value.
+    """
+    import json
+
+    from .harness.fleet import bench_matrix, run_bench_matrix
+
+    fs_names = sorted(args.bench_fs.split(","))
+    for name in fs_names:
+        if name not in SPECS_BY_NAME:
+            raise SystemExit(f"unknown file system {name!r}")
+    seeds = sorted(int(s) for s in args.seeds.split(","))
+    patterns = sorted(args.patterns.split(","))
+    cells = bench_matrix(fs_names, patterns, seeds,
+                         size_gib=args.size_gib, num_cpus=args.cpus,
+                         aged=args.aged)
+    report = run_bench_matrix(cells, jobs=args.jobs)
+    blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(blob)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(blob)
+        cell_count = len(report["cells"])
+        print(f"wrote {args.out} ({cell_count} cells, jobs={args.jobs})")
+    return 0
+
+
 def cmd_info(_args) -> int:
     table = Table("Evaluated file systems", ["name", "consistency",
                                              "ageable"])
@@ -307,6 +338,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--threads", type=_parse_threads, default=[1, 4, 16])
 
+    p = sub.add_parser("bench", help="run a deterministic benchmark matrix "
+                                     "across worker processes")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (results are byte-identical "
+                        "for any value)")
+    p.add_argument("--fs", dest="bench_fs", default="WineFS,ext4-DAX",
+                   help="comma-separated file systems")
+    p.add_argument("--patterns", default="seq-read,rand-read",
+                   help="comma-separated mmap I/O patterns")
+    p.add_argument("--seeds", default="1,2",
+                   help="comma-separated workload seeds")
+    p.add_argument("--size-gib", type=float, default=0.25)
+    p.add_argument("--cpus", type=int, default=4)
+    p.add_argument("--aged", action="store_true",
+                   help="age each cell's file system first (snapshot-"
+                        "cached)")
+    p.add_argument("--out", metavar="PATH", default="-",
+                   help="report path ('-' for stdout)")
+
     p = sub.add_parser("trace", help="run a workload with span tracing on "
                                      "and export the trace")
     p.add_argument("workload", choices=["mmap", "posix", "scalability"],
@@ -328,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 COMMANDS = {
+    "bench": cmd_bench,
     "info": cmd_info,
     "age": cmd_age,
     "mmap-bench": cmd_mmap_bench,

@@ -116,6 +116,21 @@ class LockManager:
             raise SimulationError("LockManager is not bound to a SimClock")
         return self._clock
 
+    def reset_timeline(self) -> None:
+        """Forget lock history so a clock reset starts a clean timeline.
+
+        Must accompany ``SimClock.reset()``: lock free times are absolute
+        simulated timestamps, so leaving them behind after zeroing the clock
+        makes the next acquisition of any previously-held lock pay the whole
+        prior makespan as a spurious wait.
+        """
+        self._free_at.clear()
+        self._holder.clear()
+        self._atomic_next.clear()
+        self.contended_waits = 0
+        self.acquisitions = 0
+        self.lock_wait_ns = 0.0
+
     def _charge_wait(self, name: str, cpu: int, now: float,
                      until: float) -> None:
         wait = until - now

@@ -691,10 +691,7 @@ class _FSMappedRegion(MappedRegion):
         _next_region_id[0] += 1
         self._blocks_per_page = 1
         # walk-engine state (MappedRegion.__init__ is bypassed above)
-        self._last_fault = None
-        self._memo_lo = 0
-        self._memo_hi = -1
-        self._memo_gen = -1
+        self._init_walk_state()
         if super_len <= 0:
             raise InvalidArgumentError("mmap length must be positive")
 

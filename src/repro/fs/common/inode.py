@@ -17,9 +17,30 @@ from ...structures.extents import ExtentList
 #: serialized inode footprint on PM, charged on inode persists
 INODE_BYTES = 128
 
+class _GenerationCounter:
+    """Monotonic generation source for live inode objects.
+
+    A plain mutable holder (rather than ``itertools.count``) so snapshot
+    restore can fast-forward it past the highest generation present in a
+    restored image, keeping lock names unique across restore + fresh
+    allocations.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self.next = start
+
+    def take(self) -> int:
+        gen = self.next
+        self.next += 1
+        return gen
+
+    def advance_past(self, gen: int) -> None:
+        if gen >= self.next:
+            self.next = gen + 1
+
+
 #: global generation counter for live inode objects
-import itertools
-_GENERATION = itertools.count(1)
+_GENERATION = _GenerationCounter(1)
 
 
 @dataclass
@@ -80,7 +101,7 @@ class InodeTable:
         else:
             raise FSError("inode table exhausted")
         inode = Inode(ino=ino, is_dir=is_dir, owner_cpu=owner_cpu,
-                      gen=next(_GENERATION))
+                      gen=_GENERATION.take())
         self._live[ino] = inode
         return inode
 

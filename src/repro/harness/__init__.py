@@ -3,8 +3,11 @@
 Ties file systems, aging, and workloads together into the paper's
 experiments and prints figure/table-shaped text output.
 
-* :mod:`repro.harness.setup` — build machines, format/age file systems,
-  the strict/relaxed comparison groups of §5.1.
+* :mod:`repro.harness.setup` — build machines, format/age file systems
+  (aged images snapshot-cached under ``$REPRO_SNAPSHOT_DIR``), the
+  strict/relaxed comparison groups of §5.1.
+* :mod:`repro.harness.fleet` — process-pool runner for independent
+  (fs, scenario, seed) cells with deterministic merge order.
 * :mod:`repro.harness.report` — fixed-width tables and ASCII series
   (each bench prints "the same rows/series the paper reports").
 """
@@ -12,11 +15,15 @@ experiments and prints figure/table-shaped text output.
 from .setup import (FSSpec, ALL_SPECS, SPECS_BY_NAME,
                     METADATA_GROUP, DATA_GROUP,
                     make_fs, aged_fs, fresh_fs)
+from .fleet import (run_fleet, merge_numeric, bench_cell, bench_matrix,
+                    run_bench_matrix)
 from .report import (Table, format_series, format_cdf,
                      phase_breakdown_table)
 
 __all__ = ["FSSpec", "ALL_SPECS", "SPECS_BY_NAME",
            "METADATA_GROUP", "DATA_GROUP",
            "make_fs", "aged_fs", "fresh_fs",
+           "run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
+           "run_bench_matrix",
            "Table", "format_series", "format_cdf",
            "phase_breakdown_table"]

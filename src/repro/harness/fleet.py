@@ -1,0 +1,128 @@
+"""Parallel scenario runner: shard independent cells across processes.
+
+Figure sweeps, property-differential seeds, and the perf matrix are all
+embarrassingly parallel: each (fs, scenario, seed) cell builds its own
+simulated machine, so cells share no state and can run anywhere.  The
+determinism rules that keep a parallel run byte-identical to a serial
+one:
+
+* the caller materializes and orders the cell list up front — the cell
+  key, not worker scheduling, defines the merge order;
+* results come back indexed by input position (``Executor.map``), so
+  completion order is invisible;
+* merged reports contain only simulated quantities (ns, counts, bytes).
+  Wall-clock readings, when wanted (perf harness), are measured inside
+  the worker and reported per-cell, never accumulated across workers in
+  arrival order.
+
+``jobs <= 1`` runs inline in this process — same code path, no pool —
+which is also what keeps the fleet usable under coverage and debuggers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..params import KIB, MIB
+from .setup import ALL_SPECS, aged_fs, fresh_fs
+
+__all__ = ["run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
+           "run_bench_matrix", "DEFAULT_BENCH_PATTERNS"]
+
+
+def run_fleet(fn: Callable[[Any], Any], cells: Sequence[Any],
+              jobs: int = 1) -> List[Any]:
+    """``[fn(c) for c in cells]``, fanned over *jobs* worker processes.
+
+    Results are returned in input order regardless of completion order.
+    *fn* and every cell must be picklable (module-level function, plain
+    data) when ``jobs > 1``.
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [fn(cell) for cell in cells]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(fn, cells))
+
+
+def merge_numeric(results: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum numeric fields across result dicts, in iteration order.
+
+    The caller passes results in cell-key order (what :func:`run_fleet`
+    returns), so float accumulation order — and therefore the merged
+    values — never depend on scheduling.  Non-numeric fields keep the
+    first value seen and must agree across results.
+    """
+    merged: Dict[str, Any] = {}
+    for result in results:
+        for key, value in result.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                merged.setdefault(key, value)
+            elif key in merged:
+                merged[key] += value
+            else:
+                merged[key] = value
+    return merged
+
+
+# -- the `repro bench` matrix ------------------------------------------------
+
+DEFAULT_BENCH_PATTERNS = ("seq-read", "rand-read", "seq-write", "rand-write")
+
+
+def bench_matrix(fs_names: Sequence[str], patterns: Sequence[str],
+                 seeds: Sequence[int], *, size_gib: float = 0.25,
+                 num_cpus: int = 4, file_mib: int = 16, io_kib: int = 4,
+                 aged: bool = False) -> List[Dict[str, Any]]:
+    """The sorted (fs, pattern, seed) cell list — the canonical order
+    every merge follows."""
+    cells = [{"fs": fs, "pattern": pattern, "seed": seed,
+              "size_gib": size_gib, "num_cpus": num_cpus,
+              "file_mib": file_mib, "io_kib": io_kib, "aged": aged}
+             for fs in fs_names for pattern in patterns for seed in seeds]
+    cells.sort(key=lambda c: (c["fs"], c["pattern"], c["seed"]))
+    return cells
+
+
+def bench_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one benchmark cell on its own simulated machine.
+
+    Top-level so a process pool can pickle it.  Everything reported is
+    simulated (deterministic for the cell key); no wall clock.
+    """
+    from ..workloads.microbench import mmap_rw_benchmark
+
+    build = aged_fs if cell.get("aged") else fresh_fs
+    fs, ctx = build(cell["fs"], size_gib=cell["size_gib"],
+                    num_cpus=cell["num_cpus"])
+    result = mmap_rw_benchmark(
+        fs, ctx, file_size=cell["file_mib"] * MIB,
+        io_size=cell["io_kib"] * KIB, total_bytes=cell["file_mib"] * MIB,
+        pattern=cell["pattern"], seed=cell["seed"])
+    return {
+        "fs": cell["fs"],
+        "pattern": cell["pattern"],
+        "seed": cell["seed"],
+        "aged": bool(cell.get("aged")),
+        "bytes_moved": result.bytes_moved,
+        "elapsed_ns": result.elapsed_ns,
+        "throughput_mb_s": result.throughput_mb_s,
+        "page_faults_4k": result.page_faults_4k,
+        "page_faults_2m": result.page_faults_2m,
+        "tlb_misses": result.tlb_misses,
+        "fault_ns": result.fault_ns,
+    }
+
+
+def run_bench_matrix(cells: Sequence[Dict[str, Any]],
+                     jobs: int = 1) -> Dict[str, Any]:
+    """Run the matrix and build the report; byte-identical for any *jobs*."""
+    results = run_fleet(bench_cell, cells, jobs=jobs)
+    totals = merge_numeric(
+        {"bytes_moved": r["bytes_moved"], "elapsed_ns": r["elapsed_ns"],
+         "tlb_misses": r["tlb_misses"],
+         "page_faults": r["page_faults_4k"] + r["page_faults_2m"]}
+        for r in results)
+    return {"schema": "repro.bench/1", "cells": results, "totals": totals}

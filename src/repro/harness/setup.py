@@ -16,16 +16,19 @@ fragmentation regime in minutes instead of weeks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..aging import AGRAWAL, AgingProfile, Geriatrix
 from ..clock import SimContext, make_context
-from ..params import GIB
+from ..params import DEFAULT_MACHINE, GIB
 from ..pm.device import PMDevice
+from ..snapshot import store as snapshot_store
 from ..vfs.interface import FileSystem
 from ..core.filesystem import WineFS
 from ..fs import Ext4DAX, NovaFS, PMFS, SplitFS, StrataFS, XfsDAX
+from ..fs.common.inode import _GENERATION
 
 
 @dataclass(frozen=True)
@@ -88,16 +91,89 @@ def fresh_fs(name: str, **kwargs) -> Tuple[FileSystem, SimContext]:
     return make_fs(name, **kwargs)
 
 
+def _reset_after_setup(fs: FileSystem, ctx: SimContext) -> None:
+    """Zero every accumulator once setup (mkfs + aging) is done.
+
+    Aging time is setup, not measurement (paper §5.1), and that holds for
+    *all* simulated history: the per-CPU clocks, the lock timeline (lock
+    free times are absolute timestamps — left behind, the first
+    acquisition after a clock reset pays the whole aging makespan as a
+    spurious wait), the metrics registry the counters write through, and
+    the device byte totals the ``pm_device_bytes`` gauges report.
+    """
+    ctx.clock.reset()
+    ctx.locks.reset_timeline()
+    ctx.counters.registry.reset()
+    fs.device.bytes_read = 0
+    fs.device.bytes_written = 0
+
+
+def _aged_cache_key(name: str, *, size_gib: float, num_cpus: int,
+                    utilization: float, churn_multiple: float,
+                    profile: AgingProfile, seed: int,
+                    track_data: bool) -> str:
+    return snapshot_store.cache_key({
+        "kind": "aged_fs",
+        "fs": name,
+        "size_bytes": int(size_gib * GIB),
+        "num_cpus": num_cpus,
+        "utilization": utilization,
+        "churn_multiple": churn_multiple,
+        "profile": profile,
+        "seed": seed,
+        "track_data": track_data,
+        "machine": DEFAULT_MACHINE,
+    })
+
+
+def _restore_aged(key: str, name: str
+                  ) -> Optional[Tuple[FileSystem, SimContext]]:
+    root = snapshot_store.load(key)
+    if not isinstance(root, dict):
+        return None
+    fs = root.get("fs")
+    ctx = root.get("ctx")
+    if not isinstance(fs, FileSystem) or not isinstance(ctx, SimContext):
+        return None
+    # callback gauges are dropped at encode time; re-create them exactly
+    # as make_fs does so the registry matches the freshly-aged path
+    fs.device.bind_metrics(ctx.counters.registry, fs=name)
+    # inode generations must stay unique across restore + fresh allocations
+    # (they key VFS lock names); fast-forward the process-wide counter
+    for inode in fs._itable.live_inodes():
+        _GENERATION.advance_past(inode.gen)
+    return fs, ctx
+
+
 def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
             utilization: float = 0.75, churn_multiple: float = 10.0,
             profile: AgingProfile = AGRAWAL, seed: int = 7,
-            track_data: bool = False, trace=None
+            track_data: bool = False, trace=None, snapshot: bool = True
             ) -> Tuple[FileSystem, SimContext]:
     """Build, format and age one named file system (§5.1 setup).
 
     PMFS is returned clean — the paper does the same because PMFS cannot
     complete the aging run; its clean numbers are an upper bound.
+
+    With *snapshot* (the default), the aged image is cached under
+    ``$REPRO_SNAPSHOT_DIR`` (default ``~/.cache/repro``) keyed by every
+    aging parameter, and later calls restore it bit-identically instead
+    of re-aging.  Set ``REPRO_SNAPSHOT=0`` (or ``snapshot=False``) to
+    force re-aging; tracing a run disables the cache automatically since
+    a restore would replay no spans.
     """
+    use_cache = (snapshot and trace is None
+                 and os.environ.get("REPRO_SNAPSHOT", "1") != "0")
+    key = ""
+    if use_cache:
+        key = _aged_cache_key(name, size_gib=size_gib, num_cpus=num_cpus,
+                              utilization=utilization,
+                              churn_multiple=churn_multiple,
+                              profile=profile, seed=seed,
+                              track_data=track_data)
+        restored = _restore_aged(key, name)
+        if restored is not None:
+            return restored
     fs, ctx = make_fs(name, size_gib=size_gib, num_cpus=num_cpus,
                       track_data=track_data, trace=trace)
     spec = SPECS_BY_NAME[name]
@@ -105,6 +181,10 @@ def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
         ager = Geriatrix(fs, profile, target_utilization=utilization,
                          seed=seed)
         ager.age(ctx, write_volume=int(churn_multiple * size_gib * GIB))
-    # the aging time is setup, not measurement: reset the clocks
-    ctx.clock.reset()
+    _reset_after_setup(fs, ctx)
+    if use_cache and fs.device.faults is None:
+        snapshot_store.save(key, {"fs": fs, "ctx": ctx}, meta={
+            "fs": name, "size_gib": size_gib, "num_cpus": num_cpus,
+            "utilization": utilization, "churn_multiple": churn_multiple,
+            "profile": profile, "seed": seed, "track_data": track_data})
     return fs, ctx

@@ -87,6 +87,15 @@ class MappedRegion:
         self.region_id = _next_region_id[0]
         _next_region_id[0] += 1
         self._blocks_per_page = BASE_PAGE // block_size if block_size < BASE_PAGE else 1
+        self._init_walk_state()
+
+    def _init_walk_state(self) -> None:
+        """Walk-engine state shared by every constructor path.
+
+        ``_FSMappedRegion.__init__`` bypasses ``MappedRegion.__init__``
+        (sparse mappings fail its extents-cover-length check), so this
+        must stay a separate call both constructors make.
+        """
         #: mapping installed by the most recent _handle_fault (saves the
         #: fault-then-lookup round trip on the walk path)
         self._last_fault: Optional[Mapping] = None
@@ -96,6 +105,14 @@ class MappedRegion:
         self._memo_lo = 0
         self._memo_hi = -1
         self._memo_gen = -1
+        #: per-fault charge for a zero-filling fault, precomputed: the sum
+        #: is the same float every fault, so hoisting it out of
+        #: _handle_fault changes nothing bit-wise
+        machine = self.machine
+        self._fault_base_zero_ns = machine.fault_base_ns \
+            + machine.pm_write_ns(BASE_PAGE) * machine.fault_zero_page_mult
+        self._fault_huge_zero_ns = machine.fault_huge_ns \
+            + machine.pm_write_ns(HUGE_PAGE) * machine.fault_zero_page_mult
 
     # -- fault handling -----------------------------------------------------------
 
@@ -155,24 +172,31 @@ class MappedRegion:
         # later fault inside an already part-populated 2MB range
         huge_phys = None if self.page_table.covered(huge_base) \
             else self._huge_phys_or_none(huge_base)
+        # counter/clock writes are inlined (the read_element pattern):
+        # same values in the same order as ctx.charge + the counter
+        # properties, minus the dispatch overhead — this path runs once
+        # per unique page in every aged/rand workload
+        counters = ctx.counters
         if huge_phys is not None:
             self._last_fault = self.page_table.install_huge(huge_base,
                                                             huge_phys)
-            ns = self.machine.fault_huge_ns
             if self.fault_zero_fill and self._page_unwritten(huge_base):
-                ns += self.machine.pm_write_ns(HUGE_PAGE) * self.machine.fault_zero_page_mult
-            ctx.charge(ns)
-            ctx.counters.page_faults_2m += 1
-            ctx.counters.fault_ns += ns
+                ns = self._fault_huge_zero_ns
+            else:
+                ns = self.machine.fault_huge_ns
+            ctx.clock._cpu_ns[ctx.cpu] += ns
+            counters._page_faults_2m.value += 1
+            counters._fault_ns.value += ns
             return True
         phys = self._phys_of_virt_page(virt_page)
         self._last_fault = self.page_table.install_base(virt_page, phys)
-        ns = self.machine.fault_base_ns
         if self.fault_zero_fill and self._page_unwritten(virt_page):
-            ns += self.machine.pm_write_ns(BASE_PAGE) * self.machine.fault_zero_page_mult
-        ctx.charge(ns)
-        ctx.counters.page_faults_4k += 1
-        ctx.counters.fault_ns += ns
+            ns = self._fault_base_zero_ns
+        else:
+            ns = self.machine.fault_base_ns
+        ctx.clock._cpu_ns[ctx.cpu] += ns
+        counters._page_faults_4k.value += 1
+        counters._fault_ns.value += ns
         return False
 
     def _page_unwritten(self, virt_page: int) -> bool:
@@ -212,8 +236,7 @@ class MappedRegion:
         if self.fault_zero_fill:
             zbound = self._first_unwritten_page()
             n_written = min(max(zbound - start, 0), n)
-            zero_ns = base_ns + machine.pm_write_ns(BASE_PAGE) \
-                * machine.fault_zero_page_mult
+            zero_ns = self._fault_base_zero_ns
         else:
             n_written = n
             zero_ns = base_ns
@@ -373,9 +396,9 @@ class MappedRegion:
         counters = ctx.counters
         if hits:
             # tlb_hit_ns is 0.0: the per-event charge(0.0) is a no-op
-            counters.tlb_hits += hits
+            counters._tlb_hits.value += hits
         if misses:
-            counters.tlb_misses += misses
+            counters._tlb_misses.value += misses
             ctx.charge_repeat(machine.page_walk_ns, misses)
             if self.cache is not None:
                 self.cache.pollute_batch(misses)
@@ -422,8 +445,49 @@ class MappedRegion:
         self._check_range(offset, size)
         if size == 0:
             return b""
+        machine = self.machine
+        first = offset // BASE_PAGE
+        last = (offset + size - 1) // BASE_PAGE
+        if (self.batch and machine.tlb_hit_ns == 0.0
+                and last - first < 8 and not ctx.trace.enabled):
+            # small-read fast path (the mmap_rand profile: 1-2 touched
+            # pages per op).  Applies only when every touched page is
+            # already base-mapped: then translate_range would yield the
+            # span as ONE base run (base_run_length counts consecutive
+            # mapped pages), so one access_run + grouped charges below
+            # replays _walk_pages' float-add sequence exactly.  The adds
+            # accumulate on a local with a single clock store; stores
+            # don't change float values, so the result is bit-identical.
+            base = self.page_table._base
+            page = first
+            while page <= last and page in base:
+                page += 1
+            if page > last:
+                hits, misses = self.tlb.access_run(self.region_id, first,
+                                                   last - first + 1, False)
+                counters = ctx.counters
+                cpu_ns = ctx.clock._cpu_ns
+                cpu = ctx.cpu
+                v = cpu_ns[cpu]
+                if hits:
+                    counters._tlb_hits.value += hits
+                if misses:
+                    counters._tlb_misses.value += misses
+                    walk_ns = machine.page_walk_ns
+                    for _ in range(misses):
+                        v += walk_ns
+                    if self.cache is not None:
+                        self.cache.pollute_batch(misses)
+                ns = machine.pm_read_ns(size)
+                v += ns
+                cpu_ns[cpu] = v
+                counters._copy_ns.value += ns
+                counters._pm_bytes_read.value += size
+                if not self.track_data:
+                    return zero_bytes(size)
+                return self._copy_out(offset, size, ctx)
         self._walk_pages(offset, size, ctx)
-        ns = self.machine.pm_read_ns(size)
+        ns = machine.pm_read_ns(size)
         ctx.charge(ns)
         ctx.counters.copy_ns += ns
         ctx.counters.pm_bytes_read += size

@@ -16,6 +16,15 @@ from typing import Tuple
 from ..errors import SimulationError
 
 
+#: entry keys pack (region_id, page_no) into one int — ``region << 48 |
+#: page`` — because the lookup dicts are the hottest structures in the
+#: simulator and int keys hash/compare much faster than tuples.  48 bits
+#: of page number cover 2^60 bytes of mapping, far beyond any simulated
+#: device.
+_KEY_SHIFT = 48
+_PAGE_MASK = (1 << _KEY_SHIFT) - 1
+
+
 class TLB:
     """LRU TLB keyed by (region id, page number, huge?)."""
 
@@ -24,8 +33,8 @@ class TLB:
             raise SimulationError("TLB needs at least one entry per size")
         self._cap_4k = entries_4k
         self._cap_2m = entries_2m
-        self._map_4k: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
-        self._map_2m: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._map_4k: "OrderedDict[int, None]" = OrderedDict()
+        self._map_2m: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -37,7 +46,7 @@ class TLB:
         """
         table = self._map_2m if huge else self._map_4k
         cap = self._cap_2m if huge else self._cap_4k
-        key = (region_id, page_no)
+        key = (region_id << _KEY_SHIFT) | page_no
         if key in table:
             table.move_to_end(key)
             self.hits += 1
@@ -61,8 +70,9 @@ class TLB:
         move_to_end = table.move_to_end
         popitem = table.popitem
         hits = 0
+        base_key = region_id << _KEY_SHIFT
         for page_no in range(start_page, start_page + npages):
-            key = (region_id, page_no)
+            key = base_key | page_no
             if key in table:
                 move_to_end(key)
                 hits += 1
@@ -79,7 +89,7 @@ class TLB:
         """TLB shootdown for one region; returns entries dropped."""
         dropped = 0
         for table in (self._map_4k, self._map_2m):
-            stale = [k for k in table if k[0] == region_id]
+            stale = [k for k in table if k >> _KEY_SHIFT == region_id]
             for k in stale:
                 del table[k]
             dropped += len(stale)

@@ -206,6 +206,28 @@ class MetricsRegistry:
         h = self._lookup(Histogram, name, labels, buckets=buckets)
         return h  # type: ignore[return-value]
 
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every stored series in place, keeping handles valid.
+
+        Counters go back to 0, settable gauges to 0.0, histograms drop all
+        observations.  Callback-backed gauges are left alone — they reflect
+        live object state, not accumulated history.  Existing handles cached
+        by hot paths (EventCounters properties) stay bound.
+        """
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                metric.value = 0
+            elif isinstance(metric, Gauge):
+                if metric._fn is None:
+                    metric._value = 0.0
+            elif isinstance(metric, Histogram):
+                metric.bucket_counts = [0] * (len(metric.buckets) + 1)
+                metric.count = 0
+                metric.sum = 0.0
+                metric._samples = []
+
     # -- introspection ------------------------------------------------------
 
     def collect(self) -> Iterator[Metric]:

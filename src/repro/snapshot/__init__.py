@@ -1,0 +1,26 @@
+"""Versioned, pickle-free snapshots of aged simulation state.
+
+``codec`` turns a whitelisted object graph into a tagged binary stream
+whose restore is bit-identical (exact floats, preserved dict order and
+shared references); ``store`` wraps it in a content-addressed on-disk
+cache with magic/version/CRC framing so corrupt or stale files fall back
+to re-aging.  ``harness.aged_fs`` is the consumer.
+"""
+
+from .codec import (SnapshotDecodeError, SnapshotUnsupported, decode,
+                    encode)
+from .store import (FORMAT_VERSION, cache_key, load, save, snapshot_dir,
+                    snapshot_path)
+
+__all__ = [
+    "SnapshotDecodeError",
+    "SnapshotUnsupported",
+    "decode",
+    "encode",
+    "FORMAT_VERSION",
+    "cache_key",
+    "load",
+    "save",
+    "snapshot_dir",
+    "snapshot_path",
+]

@@ -1,0 +1,511 @@
+"""Pickle-free object-graph codec for simulation snapshots.
+
+Serializes the complete state of an aged file system — device sparse
+pages, page tables, allocator pools, journal, inode table, clocks,
+metrics — as a tagged binary stream that can be restored bit-identically:
+floats round-trip as their exact IEEE-754 bytes, dict insertion order is
+preserved, and shared references (e.g. the registry Counter handles that
+EventCounters properties write through) come back as shared references.
+
+Unlike pickle, nothing in the stream can execute code on load: only
+classes explicitly whitelisted from ``repro``'s own modules may appear,
+and instances are rebuilt with ``cls.__new__`` + attribute fills, never
+``__reduce__``.  Any object the codec does not understand (callables,
+RNGs, open handles, foreign classes) raises :class:`SnapshotUnsupported`
+at *encode* time, so callers fall back to recomputing instead of caching
+a lie.
+
+Identity rules (what makes restore bit-identical, not just equal):
+
+- Mutable objects (instances, list/dict/set/bytearray) are memoized
+  pre-order by ``id()``, so cycles (``RewriteQueue._fs`` → fs) and shared
+  handles decode to the same object graph shape.
+- Tuples are memoized post-order (they must be built from their elements)
+  with an in-progress guard: a cycle routed through a tuple is
+  unsupported rather than an infinite loop.
+- Dicts decode in encode order, so iteration-order-dependent float
+  accumulation replays identically.  Sets are encoded in sorted order to
+  keep the stream deterministic.
+"""
+
+from __future__ import annotations
+
+import inspect
+import struct
+import sys
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..errors import SimulationError
+
+__all__ = ["SnapshotUnsupported", "SnapshotDecodeError", "encode", "decode"]
+
+
+class SnapshotUnsupported(SimulationError):
+    """The object graph contains state the codec refuses to serialize."""
+
+
+class SnapshotDecodeError(SimulationError):
+    """The stream is corrupt, truncated, or names unknown classes."""
+
+
+# -- tag bytes ---------------------------------------------------------------
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"
+_T_FLOAT = b"d"
+_T_STR = b"s"
+_T_BYTES = b"b"
+_T_BYTEARRAY = b"y"
+_T_LIST = b"l"
+_T_TUPLE = b"t"
+_T_DICT = b"D"
+_T_ODICT = b"O"
+_T_SET = b"S"
+_T_FROZENSET = b"Z"
+_T_REF = b"r"
+_T_OBJECT = b"o"
+_T_SINGLETON = b"G"
+
+_F64 = struct.Struct("<d")
+
+# graphs nest through dataclass attributes and RB-tree children; depth is
+# bounded (tree height ~2 log n) but comfortably exceeds the default limit
+_RECURSION_LIMIT = 50_000
+
+
+def _write_uvarint(out: List[bytes], value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise SnapshotDecodeError("truncated snapshot stream")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def uvarint(self) -> int:
+        shift = 0
+        value = 0
+        data, pos = self.data, self.pos
+        while True:
+            if pos >= len(data):
+                raise SnapshotDecodeError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return value
+            shift += 7
+            if shift > 70:
+                raise SnapshotDecodeError("varint too long")
+
+
+# -- class whitelist ---------------------------------------------------------
+
+#: modules whose classes may appear in a snapshot.  Everything the aged
+#: (fs, ctx) graph can reach must be defined in one of these; transient
+#: helper classes defined here but never reached are harmless.
+_MODULE_WHITELIST = (
+    "repro.clock",
+    "repro.params",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.pm.device",
+    "repro.pm.numa",
+    "repro.pm.zeros",
+    "repro.mmu.page_table",
+    "repro.mmu.tlb",
+    "repro.mmu.cache",
+    "repro.mmu.mmap_region",
+    "repro.core.filesystem",
+    "repro.core.layout",
+    "repro.core.allocator",
+    "repro.core.journal",
+    "repro.core.rewrite",
+    "repro.core.numa_policy",
+    "repro.structures.extents",
+    "repro.structures.sortedmap",
+    "repro.structures.rbtree",
+    "repro.structures.stats",
+    "repro.fs.common.base",
+    "repro.fs.common.inode",
+    "repro.fs.common.freespace",
+    "repro.fs.common.dirindex",
+    "repro.fs.ext4dax",
+    "repro.fs.nova",
+    "repro.fs.pmfs",
+    "repro.fs.splitfs",
+    "repro.fs.strata",
+    "repro.fs.xfsdax",
+    "repro.vfs.interface",
+    "repro.aging.profiles",
+)
+
+_whitelist: Optional[Dict[str, type]] = None
+
+
+def _class_whitelist() -> Dict[str, type]:
+    global _whitelist
+    if _whitelist is None:
+        import importlib
+
+        table: Dict[str, type] = {}
+        for modname in _MODULE_WHITELIST:
+            module = importlib.import_module(modname)
+            for _, cls in inspect.getmembers(module, inspect.isclass):
+                if cls.__module__ == modname:
+                    table[f"{modname}:{cls.__qualname__}"] = cls
+        _whitelist = table
+    return _whitelist
+
+
+def _class_tag(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _slot_names(cls: type) -> List[str]:
+    names: List[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name not in ("__dict__", "__weakref__"):
+                names.append(name)
+    return names
+
+
+def _default_get_state(obj: Any) -> List[Tuple[str, Any]]:
+    state: List[Tuple[str, Any]] = []
+    for name in _slot_names(type(obj)):
+        try:
+            state.append((name, getattr(obj, name)))
+        except AttributeError:
+            pass  # unset slot
+    if hasattr(obj, "__dict__"):
+        state.extend(obj.__dict__.items())
+    return state
+
+
+# -- per-class state filters -------------------------------------------------
+
+def _metrics_registry_state(registry: Any) -> List[Tuple[str, Any]]:
+    """Drop callback-backed gauges; they close over live objects.
+
+    The harness re-creates them after restore (``device.bind_metrics``),
+    so the decoded registry must not contain stale series for them —
+    ``_series_per_name`` is recomputed over the kept set so the re-created
+    gauges land exactly where a fresh run puts them.
+    """
+    from ..obs.metrics import Gauge
+
+    kept = {key: metric for key, metric in registry._metrics.items()
+            if not (isinstance(metric, Gauge) and metric._fn is not None)}
+    per_name: Dict[str, int] = {}
+    for name, _labels in kept:
+        per_name[name] = per_name.get(name, 0) + 1
+    return [("_metrics", kept), ("_series_per_name", per_name),
+            ("max_series_per_name", registry.max_series_per_name)]
+
+
+def _gauge_state(gauge: Any) -> List[Tuple[str, Any]]:
+    if gauge._fn is not None:
+        raise SnapshotUnsupported(
+            f"callback-backed gauge {gauge.series} reached the codec")
+    return _default_get_state(gauge)
+
+
+def _state_filters() -> Dict[type, Callable[[Any], List[Tuple[str, Any]]]]:
+    from ..obs.metrics import Gauge, MetricsRegistry
+
+    return {MetricsRegistry: _metrics_registry_state, Gauge: _gauge_state}
+
+
+def _singletons() -> List[Any]:
+    """Module-level singletons restored by identity, never by value."""
+    from ..obs.trace import NULL_TRACER
+
+    return [NULL_TRACER]
+
+
+# -- encoder -----------------------------------------------------------------
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.out: List[bytes] = []
+        self.memo: Dict[int, int] = {}
+        self.memo_next = 0
+        self.in_progress: set = set()
+        self.class_ids: Dict[type, int] = {}
+        self.whitelist = _class_whitelist()
+        self.filters = _state_filters()
+        self.singleton_ids = {id(obj): i for i, obj in enumerate(_singletons())}
+
+    def _memoize(self, obj: Any) -> None:
+        self.memo[id(obj)] = self.memo_next
+        self.memo_next += 1
+
+    def encode(self, obj: Any) -> None:
+        out = self.out
+        if obj is None:
+            out.append(_T_NONE)
+            return
+        if obj is True:
+            out.append(_T_TRUE)
+            return
+        if obj is False:
+            out.append(_T_FALSE)
+            return
+        kind = type(obj)
+        if kind is int:
+            out.append(_T_INT)
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8 or 1,
+                               "little", signed=True)
+            _write_uvarint(out, len(raw))
+            out.append(raw)
+            return
+        if kind is float:
+            out.append(_T_FLOAT)
+            out.append(_F64.pack(obj))
+            return
+        if kind is str:
+            raw = obj.encode("utf-8")
+            out.append(_T_STR)
+            _write_uvarint(out, len(raw))
+            out.append(raw)
+            return
+        if kind is bytes:
+            out.append(_T_BYTES)
+            _write_uvarint(out, len(obj))
+            out.append(obj)
+            return
+        ref = self.memo.get(id(obj))
+        if ref is not None:
+            out.append(_T_REF)
+            _write_uvarint(out, ref)
+            return
+        singleton = self.singleton_ids.get(id(obj))
+        if singleton is not None:
+            out.append(_T_SINGLETON)
+            _write_uvarint(out, singleton)
+            return
+        if kind is tuple:
+            if id(obj) in self.in_progress:
+                raise SnapshotUnsupported("reference cycle through a tuple")
+            self.in_progress.add(id(obj))
+            out.append(_T_TUPLE)
+            _write_uvarint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            self.in_progress.discard(id(obj))
+            self._memoize(obj)  # post-order: decoder memoizes after build
+            return
+        self._memoize(obj)  # pre-order: decoder registers a placeholder
+        if kind is bytearray:
+            out.append(_T_BYTEARRAY)
+            _write_uvarint(out, len(obj))
+            out.append(bytes(obj))
+            return
+        if kind is list:
+            out.append(_T_LIST)
+            _write_uvarint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            return
+        if kind is dict or kind is OrderedDict:
+            out.append(_T_DICT if kind is dict else _T_ODICT)
+            _write_uvarint(out, len(obj))
+            for key, value in obj.items():
+                self.encode(key)
+                self.encode(value)
+            return
+        if kind is set or kind is frozenset:
+            out.append(_T_SET if kind is set else _T_FROZENSET)
+            _write_uvarint(out, len(obj))
+            try:
+                items = sorted(obj)
+            except TypeError:
+                items = sorted(obj, key=repr)
+            for item in items:
+                self.encode(item)
+            return
+        self._encode_instance(obj, kind)
+
+    def _encode_instance(self, obj: Any, kind: type) -> None:
+        tag = _class_tag(kind)
+        if self.whitelist.get(tag) is not kind:
+            raise SnapshotUnsupported(
+                f"object of type {tag} is not snapshot-whitelisted")
+        out = self.out
+        out.append(_T_OBJECT)
+        class_id = self.class_ids.get(kind)
+        if class_id is None:
+            class_id = len(self.class_ids)
+            self.class_ids[kind] = class_id
+            _write_uvarint(out, class_id)
+            raw = tag.encode("utf-8")
+            _write_uvarint(out, len(raw))
+            out.append(raw)
+        else:
+            _write_uvarint(out, class_id)
+        get_state = self.filters.get(kind, _default_get_state)
+        state = get_state(obj)
+        _write_uvarint(out, len(state))
+        for name, value in state:
+            raw = name.encode("utf-8")
+            _write_uvarint(out, len(raw))
+            out.append(raw)
+            self.encode(value)
+
+
+# -- decoder -----------------------------------------------------------------
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.reader = _Reader(data)
+        self.memo: List[Any] = []
+        self.classes: List[type] = []
+        self.whitelist = _class_whitelist()
+        self.singletons = _singletons()
+
+    def decode(self) -> Any:
+        r = self.reader
+        tag = r.take(1)
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            raw = r.take(r.uvarint())
+            return int.from_bytes(raw, "little", signed=True)
+        if tag == _T_FLOAT:
+            return _F64.unpack(r.take(8))[0]
+        if tag == _T_STR:
+            return r.take(r.uvarint()).decode("utf-8")
+        if tag == _T_BYTES:
+            return r.take(r.uvarint())
+        if tag == _T_REF:
+            index = r.uvarint()
+            if index >= len(self.memo):
+                raise SnapshotDecodeError(f"dangling memo ref {index}")
+            return self.memo[index]
+        if tag == _T_SINGLETON:
+            index = r.uvarint()
+            if index >= len(self.singletons):
+                raise SnapshotDecodeError(f"unknown singleton {index}")
+            return self.singletons[index]
+        if tag == _T_TUPLE:
+            count = r.uvarint()
+            obj = tuple(self.decode() for _ in range(count))
+            self.memo.append(obj)
+            return obj
+        if tag == _T_BYTEARRAY:
+            obj = bytearray(r.take(r.uvarint()))
+            self.memo.append(obj)
+            return obj
+        if tag == _T_LIST:
+            count = r.uvarint()
+            obj: List[Any] = []
+            self.memo.append(obj)
+            for _ in range(count):
+                obj.append(self.decode())
+            return obj
+        if tag in (_T_DICT, _T_ODICT):
+            count = r.uvarint()
+            mapping: Dict[Any, Any] = {} if tag == _T_DICT else OrderedDict()
+            self.memo.append(mapping)
+            for _ in range(count):
+                key = self.decode()
+                mapping[key] = self.decode()
+            return mapping
+        if tag == _T_SET:
+            count = r.uvarint()
+            items: set = set()
+            self.memo.append(items)
+            for _ in range(count):
+                items.add(self.decode())
+            return items
+        if tag == _T_FROZENSET:
+            count = r.uvarint()
+            placeholder = len(self.memo)
+            self.memo.append(None)
+            frozen = frozenset(self.decode() for _ in range(count))
+            self.memo[placeholder] = frozen
+            return frozen
+        if tag == _T_OBJECT:
+            return self._decode_instance()
+        raise SnapshotDecodeError(f"unknown tag {tag!r}")
+
+    def _decode_instance(self) -> Any:
+        r = self.reader
+        class_id = r.uvarint()
+        if class_id == len(self.classes):
+            name = r.take(r.uvarint()).decode("utf-8")
+            cls = self.whitelist.get(name)
+            if cls is None:
+                raise SnapshotDecodeError(
+                    f"snapshot names unknown class {name!r}")
+            self.classes.append(cls)
+        elif class_id < len(self.classes):
+            cls = self.classes[class_id]
+        else:
+            raise SnapshotDecodeError(f"bad class id {class_id}")
+        obj = cls.__new__(cls)
+        self.memo.append(obj)
+        setter = object.__setattr__  # works for __slots__ and frozen classes
+        for _ in range(r.uvarint()):
+            name = r.take(r.uvarint()).decode("utf-8")
+            setter(obj, name, self.decode())
+        return obj
+
+
+def encode(root: Any) -> bytes:
+    """Serialize *root* (typically an ``{"fs": ..., "ctx": ...}`` dict)."""
+    limit = sys.getrecursionlimit()
+    if limit < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        enc = _Encoder()
+        enc.encode(root)
+        return b"".join(enc.out)
+    finally:
+        if limit < _RECURSION_LIMIT:
+            sys.setrecursionlimit(limit)
+
+
+def decode(data: bytes) -> Any:
+    """Rebuild the object graph serialized by :func:`encode`."""
+    limit = sys.getrecursionlimit()
+    if limit < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        dec = _Decoder(data)
+        root = dec.decode()
+        if dec.reader.pos != len(dec.reader.data):
+            raise SnapshotDecodeError("trailing bytes after snapshot root")
+        return root
+    finally:
+        if limit < _RECURSION_LIMIT:
+            sys.setrecursionlimit(limit)

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk store for aged-image snapshots.
+
+A snapshot is keyed by everything that determines the aged state: file
+system name, device size, CPU count, aging profile, seed, churn volume,
+target utilization, machine parameters, and the codec format version.
+Same inputs → same key → cache hit; any change re-ages.
+
+Files live under ``$REPRO_SNAPSHOT_DIR`` (default ``~/.cache/repro``) as
+``<sha256>.snap``:
+
+    magic "REPROSNP" | u16 version | u32 meta_len | meta JSON |
+    u64 payload_len | payload | u32 crc32(meta + payload)
+
+The meta JSON repeats the key parameters for inspection; integrity and
+version checks happen before any payload byte reaches the codec.  Every
+failure mode — missing file, bad magic, stale version, CRC mismatch,
+truncation, decode error — returns ``None`` so callers silently fall
+back to re-aging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+from . import codec
+
+__all__ = ["FORMAT_VERSION", "cache_key", "snapshot_dir", "snapshot_path",
+           "save", "load"]
+
+#: bump whenever the codec stream or the simulated state layout changes;
+#: old files are then ignored (and eventually overwritten), never misread
+FORMAT_VERSION = 1
+
+_MAGIC = b"REPROSNP"
+_HEAD = struct.Struct("<HI")   # version, meta_len
+_PLEN = struct.Struct("<Q")    # payload_len
+_CRC = struct.Struct("<I")
+
+
+def _canonical(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__class__": type(value).__name__, **asdict(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+def cache_key(params: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON of the aging parameters."""
+    doc = {"format_version": FORMAT_VERSION}
+    doc.update({k: _canonical(v) for k, v in params.items()})
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def snapshot_dir() -> str:
+    override = os.environ.get("REPRO_SNAPSHOT_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def snapshot_path(key: str) -> str:
+    return os.path.join(snapshot_dir(), f"{key}.snap")
+
+
+def save(key: str, root: Any, meta: Optional[Dict[str, Any]] = None) -> bool:
+    """Encode *root* and atomically write it under *key*.
+
+    Returns False (leaving no partial file behind) when the graph is not
+    serializable or the directory is not writable; snapshotting is an
+    optimization, never a correctness requirement.
+    """
+    try:
+        payload = codec.encode(root)
+    except codec.SnapshotUnsupported:
+        return False
+    meta_blob = json.dumps(_canonical(meta or {}), sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    body = (_HEAD.pack(FORMAT_VERSION, len(meta_blob)) + meta_blob
+            + _PLEN.pack(len(payload)) + payload)
+    crc = zlib.crc32(meta_blob + payload) & 0xFFFFFFFF
+    target = snapshot_path(key)
+    try:
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target),
+                                   prefix=".snap-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(body)
+                handle.write(_CRC.pack(crc))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True
+
+
+def load(key: str) -> Optional[Any]:
+    """Decode the snapshot stored under *key*; ``None`` on any failure."""
+    path = snapshot_path(key)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return None
+    try:
+        if not blob.startswith(_MAGIC):
+            return None
+        offset = len(_MAGIC)
+        if len(blob) < offset + _HEAD.size + _PLEN.size + _CRC.size:
+            return None
+        version, meta_len = _HEAD.unpack_from(blob, offset)
+        if version != FORMAT_VERSION:
+            return None
+        offset += _HEAD.size
+        meta_end = offset + meta_len
+        payload_off = meta_end + _PLEN.size
+        if payload_off > len(blob) - _CRC.size:
+            return None
+        (payload_len,) = _PLEN.unpack_from(blob, meta_end)
+        payload_end = payload_off + payload_len
+        if payload_end != len(blob) - _CRC.size:
+            return None
+        (crc,) = _CRC.unpack_from(blob, payload_end)
+        if zlib.crc32(blob[offset:meta_end]
+                      + blob[payload_off:payload_end]) & 0xFFFFFFFF != crc:
+            return None
+        return codec.decode(blob[payload_off:payload_end])
+    except (codec.SnapshotDecodeError, struct.error, ValueError):
+        return None

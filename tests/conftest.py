@@ -6,6 +6,7 @@ POSIX-semantics tests run against every file system.
 
 from __future__ import annotations
 
+import os
 import random
 import zlib
 
@@ -21,6 +22,22 @@ from repro.pm.device import PMDevice
 #: reproducible from the test id alone; tests that need their own seed
 #: sweep (property tests) derive child seeds from the fixture
 TEST_SEED = 20210101
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sandbox_snapshot_cache(tmp_path_factory):
+    """Keep the whole suite hermetic: aged-image snapshots written by any
+    test land in a session temp dir, never in the user's real
+    ``~/.cache/repro`` (tests that need their own dir still override the
+    variable per-test)."""
+    prior = os.environ.get("REPRO_SNAPSHOT_DIR")
+    os.environ["REPRO_SNAPSHOT_DIR"] = str(
+        tmp_path_factory.mktemp("snapshot-cache"))
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_SNAPSHOT_DIR", None)
+    else:
+        os.environ["REPRO_SNAPSHOT_DIR"] = prior
 
 
 @pytest.fixture

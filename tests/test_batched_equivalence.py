@@ -116,6 +116,32 @@ def _run_fs_scenario(batch: bool, seed: int, fs_name: str, *,
         MappedRegion.batch = True
 
 
+def _run_rand_read_scenario(batch: bool, seed: int, *, prefault: bool,
+                            track_data: bool = False):
+    """Byte-granular random small reads: the ``mmap_rand`` hot-loop shape."""
+    MappedRegion.batch = batch
+    try:
+        dev = PMDevice(64 * MIB)
+        length = 4 * MIB
+        region = MappedRegion(dev, DEFAULT_MACHINE,
+                              ExtentList([Extent(s, n) for s, n in MISALIGNED]),
+                              length, 4096, fault_zero_fill=True,
+                              track_data=track_data)
+        ctx = make_context(2)
+        if prefault:
+            region.prefault(ctx)
+        rng = random.Random(seed)
+        reads = []
+        for _ in range(600):
+            off = rng.randrange(0, length - 4096)
+            reads.append(region.read(off, 4096, ctx))
+        region.unmap()
+        return (ctx.clock.snapshot(), ctx.counters.as_dict(),
+                ctx.counters.registry.as_dict(), reads)
+    finally:
+        MappedRegion.batch = True
+
+
 def _assert_identical(fast, ref):
     """Clock floats must be bit-identical, counters exactly equal."""
     fast_clock, ref_clock = fast[0], ref[0]
@@ -196,3 +222,46 @@ class TestFilesystemEquivalence:
         fast = _run_fs_scenario(True, 5, "WineFS", track_data=True)
         ref = _run_fs_scenario(False, 5, "WineFS", track_data=True)
         _assert_identical(fast, ref)
+
+
+class TestRandReadFastPath:
+    """The small-read fast path (all pages base-mapped, short span) and
+    its fall-through (cold pages still faulting) must both match the
+    reference engine bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [4, 9])
+    @pytest.mark.parametrize("prefault", [False, True], ids=["cold", "warm"])
+    def test_region(self, seed, prefault):
+        fast = _run_rand_read_scenario(True, seed, prefault=prefault)
+        ref = _run_rand_read_scenario(False, seed, prefault=prefault)
+        _assert_identical(fast, ref)
+
+    def test_region_tracked(self):
+        fast = _run_rand_read_scenario(True, 6, prefault=True,
+                                       track_data=True)
+        ref = _run_rand_read_scenario(False, 6, prefault=True,
+                                      track_data=True)
+        _assert_identical(fast, ref)
+
+    @pytest.mark.parametrize("fs_name", ["PMFS", "WineFS"])
+    def test_fs_mmap_rand(self, fs_name):
+        def scenario(batch):
+            MappedRegion.batch = batch
+            try:
+                fs, ctx = fresh_fs(fs_name, size_gib=0.125, num_cpus=2)
+                f = fs.create("/rand", ctx)
+                f.append_zeros(8 * MIB, ctx)
+                region = f.mmap(ctx, length=8 * MIB)
+                rng = random.Random(17)
+                reads = []
+                for _ in range(400):
+                    off = rng.randrange(0, 8 * MIB - 4096)
+                    reads.append(region.read(off, 4096, ctx))
+                region.unmap()
+                f.close()
+                return (ctx.clock.snapshot(), ctx.counters.as_dict(),
+                        ctx.counters.registry.as_dict(), reads)
+            finally:
+                MappedRegion.batch = True
+
+        _assert_identical(scenario(True), scenario(False))

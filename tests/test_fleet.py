@@ -1,0 +1,71 @@
+"""Parallel scenario runner: jobs=N must be byte-identical to serial.
+
+Each benchmark cell builds its own simulated machine, so the only way
+parallelism could leak into results is through merge order — which the
+fleet pins to the sorted cell key, never to worker completion order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.harness.fleet import (bench_cell, bench_matrix, merge_numeric,
+                                 run_bench_matrix, run_fleet)
+
+_TINY = dict(size_gib=0.0625, num_cpus=2, file_mib=2, io_kib=4)
+
+
+class TestMergeNumeric:
+    def test_sums_numeric_keeps_first_other(self):
+        merged = merge_numeric([
+            {"n": 1, "ns": 1.5, "fs": "WineFS", "ok": True},
+            {"n": 2, "ns": 2.25, "fs": "WineFS", "ok": False},
+        ])
+        assert merged == {"n": 3, "ns": 3.75, "fs": "WineFS", "ok": True}
+
+    def test_order_is_callers_order(self):
+        # float accumulation follows iteration order; same order, same bits
+        parts = [{"v": 0.1}, {"v": 0.2}, {"v": 0.3}]
+        assert merge_numeric(parts)["v"] == ((0.1 + 0.2) + 0.3)
+
+
+class TestBenchMatrix:
+    def test_sorted_by_cell_key(self):
+        cells = bench_matrix(["PMFS", "ext4-DAX"], ["seq-read", "rand-read"],
+                             [2, 1])
+        keys = [(c["fs"], c["pattern"], c["seed"]) for c in cells]
+        assert keys == sorted(keys)
+        assert len(cells) == 8
+
+    def test_cell_is_plain_data(self):
+        (cell,) = bench_matrix(["PMFS"], ["seq-read"], [1])
+        assert json.loads(json.dumps(cell)) == cell
+
+
+class TestFleetDeterminism:
+    def test_run_fleet_input_order(self):
+        cells = bench_matrix(["PMFS"], ["rand-read"], [1, 2], **_TINY)
+        serial = run_fleet(bench_cell, cells, jobs=1)
+        fanned = run_fleet(bench_cell, cells, jobs=2)
+        assert serial == fanned
+        assert [r["seed"] for r in fanned] == [1, 2]
+
+    def test_report_byte_identical_across_jobs(self):
+        cells = bench_matrix(["PMFS", "WineFS"], ["rand-read"], [1], **_TINY)
+        blobs = {json.dumps(run_bench_matrix(cells, jobs=jobs),
+                            sort_keys=True)
+                 for jobs in (1, 2, 4)}
+        assert len(blobs) == 1
+
+    def test_cli_bench_byte_identical(self, tmp_path):
+        out = []
+        for jobs in ("1", "2"):
+            path = tmp_path / f"bench-{jobs}.json"
+            code = main(["bench", "--fs", "PMFS", "--patterns", "rand-read",
+                         "--seeds", "1,2", "--size-gib", "0.0625",
+                         "--cpus", "2", "--jobs", jobs,
+                         "--out", str(path)])
+            assert code == 0
+            out.append(path.read_bytes())
+        assert out[0] == out[1]

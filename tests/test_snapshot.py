@@ -1,0 +1,364 @@
+"""Snapshot codec, store, and aged-image cache tests.
+
+Three layers:
+
+* codec — pickle-free round trips: exact floats, shared references,
+  cycles, whitelisting (anything foreign refuses at *encode* time);
+* store — framing: CRC, version and truncation checks all fail closed
+  (``load`` returns ``None``, callers re-age);
+* ``aged_fs`` integration — a restored image is *bit-identical* to a
+  freshly aged one: replaying the same workload on both produces the
+  same per-CPU clock floats, counters, metrics and statfs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+import repro.harness.setup as setup_mod
+from repro.clock import make_context
+from repro.harness import aged_fs
+from repro.params import KIB, MIB
+from repro.snapshot import codec, store
+from repro.snapshot.codec import SnapshotDecodeError, SnapshotUnsupported
+
+
+# -- codec -------------------------------------------------------------------
+
+
+def _roundtrip(obj):
+    return codec.decode(codec.encode(obj))
+
+
+class TestCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2 ** 80, -(2 ** 80),
+        "", "héllo", b"", b"\x00\xff", bytearray(b"abc"),
+        [], [1, [2, [3]]], (), (1, (2,)), {}, {"a": 1, "b": [2]},
+        set(), {3, 1, 2}, frozenset({"x", "y"}),
+    ])
+    def test_value_roundtrip(self, value):
+        out = _roundtrip(value)
+        assert out == value
+        assert type(out) is type(value)
+
+    @pytest.mark.parametrize("value", [
+        0.0, -0.0, 0.1, 1 / 3, 5e-324, 1.7976931348623157e308,
+        float("inf"), float("-inf"),
+    ])
+    def test_float_bit_exact(self, value):
+        out = _roundtrip(value)
+        assert repr(out) == repr(value)
+
+    def test_nan_roundtrip(self):
+        out = _roundtrip(float("nan"))
+        assert out != out
+
+    def test_dict_order_preserved(self):
+        d = {"z": 1, "a": 2, "m": 3}
+        assert list(_roundtrip(d)) == ["z", "a", "m"]
+
+    def test_shared_reference_identity(self):
+        shared = [1, 2]
+        out = _roundtrip([shared, shared, {"k": shared}])
+        assert out[0] is out[1] is out[2]["k"]
+
+    def test_list_cycle(self):
+        cyc = [1]
+        cyc.append(cyc)
+        out = _roundtrip(cyc)
+        assert out[0] == 1 and out[1] is out
+
+    def test_dict_cycle(self):
+        d = {}
+        d["self"] = d
+        out = _roundtrip(d)
+        assert out["self"] is out
+
+    def test_tuple_cycle_unsupported(self):
+        lst = []
+        tup = (lst,)
+        lst.append(tup)
+        with pytest.raises(SnapshotUnsupported):
+            codec.encode(tup)
+
+    def test_callable_unsupported(self):
+        with pytest.raises(SnapshotUnsupported):
+            codec.encode({"fn": lambda: 0})
+
+    def test_foreign_class_unsupported(self):
+        class NotOurs:
+            pass
+
+        with pytest.raises(SnapshotUnsupported):
+            codec.encode(NotOurs())
+
+    def test_rng_unsupported(self):
+        with pytest.raises(SnapshotUnsupported):
+            codec.encode(random.Random(1))
+
+    def test_whitelisted_instance_roundtrip(self):
+        from repro.structures.extents import Extent, ExtentList
+
+        ext = ExtentList([Extent(3, 8), Extent(100, 512)])
+        out = _roundtrip(ext)
+        assert type(out) is ExtentList
+        assert out.total_blocks == ext.total_blocks
+        assert [(e.start, e.length) for e in out] == \
+               [(e.start, e.length) for e in ext]
+
+    def test_null_tracer_identity(self):
+        from repro.obs.trace import NULL_TRACER
+
+        out = _roundtrip({"t": NULL_TRACER})
+        assert out["t"] is NULL_TRACER
+
+    def test_truncated_stream_rejected(self):
+        blob = codec.encode({"a": [1, 2, 3]})
+        with pytest.raises(SnapshotDecodeError):
+            codec.decode(blob[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        blob = codec.encode([1])
+        with pytest.raises(SnapshotDecodeError):
+            codec.decode(blob + b"\x00")
+
+    def test_unknown_class_name_rejected(self):
+        from repro.structures.extents import Extent
+
+        blob = codec.encode(Extent(0, 1))
+        assert b"repro.structures.extents:Extent" in blob
+        bad = blob.replace(b"extents:Extent", b"extents:Extinct")
+        with pytest.raises(SnapshotDecodeError):
+            codec.decode(bad)
+
+
+# -- store -------------------------------------------------------------------
+
+
+@pytest.fixture
+def snap_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_SNAPSHOT", raising=False)
+    return tmp_path
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, snap_dir):
+        key = store.cache_key({"kind": "unit", "n": 1})
+        assert store.save(key, {"x": [1.5, "two"]}, meta={"n": 1})
+        assert os.path.exists(store.snapshot_path(key))
+        assert store.load(key) == {"x": [1.5, "two"]}
+
+    def test_missing_key(self, snap_dir):
+        assert store.load("0" * 64) is None
+
+    def test_unserializable_graph_not_saved(self, snap_dir):
+        key = store.cache_key({"kind": "unit", "n": 2})
+        assert store.save(key, {"fn": lambda: 0}) is False
+        assert not os.path.exists(store.snapshot_path(key))
+
+    def _saved(self, what):
+        key = store.cache_key({"kind": "unit", "corrupt": what})
+        assert store.save(key, {"payload": list(range(32))})
+        return key, store.snapshot_path(key)
+
+    def test_corrupt_payload_rejected(self, snap_dir):
+        key, path = self._saved("flip")
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        assert store.load(key) is None
+
+    def test_truncated_file_rejected(self, snap_dir):
+        key, path = self._saved("trunc")
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:len(blob) // 2])
+        assert store.load(key) is None
+
+    def test_bad_magic_rejected(self, snap_dir):
+        key, path = self._saved("magic")
+        blob = open(path, "rb").read()
+        open(path, "wb").write(b"NOTSNAPS" + blob[8:])
+        assert store.load(key) is None
+
+    def test_stale_version_rejected(self, snap_dir):
+        # the u16 version field sits right after the 8-byte magic and is
+        # deliberately outside the CRC: bumping FORMAT_VERSION must always
+        # invalidate, even against accidental CRC collisions
+        key, path = self._saved("version")
+        blob = bytearray(open(path, "rb").read())
+        blob[8] = store.FORMAT_VERSION + 1
+        blob[9] = 0
+        open(path, "wb").write(bytes(blob))
+        assert store.load(key) is None
+
+    def test_cache_key_sensitivity(self):
+        base = {"kind": "aged_fs", "fs": "WineFS", "seed": 7, "churn": 10.0}
+        key = store.cache_key(base)
+        assert key == store.cache_key(dict(reversed(list(base.items()))))
+        for field, changed in [("seed", 8), ("fs", "NOVA"), ("churn", 10.5)]:
+            assert key != store.cache_key({**base, field: changed})
+
+    def test_cache_key_sees_dataclasses(self):
+        from repro.aging import AGRAWAL
+        from dataclasses import replace
+
+        base = {"profile": AGRAWAL}
+        tweaked = {"profile": replace(AGRAWAL, dir_fanout=AGRAWAL.dir_fanout + 1)}
+        assert store.cache_key(base) != store.cache_key(tweaked)
+
+
+# -- aged_fs integration -----------------------------------------------------
+
+
+_AGE_KW = dict(size_gib=0.125, num_cpus=2, churn_multiple=0.5, seed=11)
+
+
+def _replay(fs, ctx):
+    """A deterministic post-restore workload touching every subsystem."""
+    f = fs.create("/snap-replay", ctx)
+    f.append_zeros(2 * MIB, ctx)
+    f.fsync(ctx)
+    region = f.mmap(ctx, length=2 * MIB)
+    rng = random.Random(23)
+    reads = []
+    for _ in range(60):
+        off = rng.randrange(0, 2 * MIB - 4 * KIB)
+        reads.append(region.read(off, 4 * KIB, ctx))
+        region.write(off, b"\x5a" * 512, ctx)
+    region.unmap()
+    f.close()
+    fs.unlink("/snap-replay", ctx)
+    return (ctx.clock.snapshot(), ctx.counters.as_dict(),
+            ctx.counters.registry.as_dict(), reads, fs.statfs())
+
+
+def _assert_bit_identical(restored, reaged):
+    for a, b in zip(restored[0], reaged[0]):
+        assert a == b and repr(a) == repr(b)
+    assert restored[1] == reaged[1]
+    assert restored[2] == reaged[2]
+    assert restored[3] == reaged[3]
+    assert restored[4] == reaged[4]
+
+
+class _CountingGeriatrix(setup_mod.Geriatrix):
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).instances += 1
+        super().__init__(*args, **kwargs)
+
+
+@pytest.fixture
+def count_aging(monkeypatch):
+    _CountingGeriatrix.instances = 0
+    monkeypatch.setattr(setup_mod, "Geriatrix", _CountingGeriatrix)
+    return _CountingGeriatrix
+
+
+class TestAgedSnapshotCache:
+    def test_warm_call_skips_aging(self, snap_dir, count_aging):
+        aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 1
+        assert len(list(snap_dir.glob("*.snap"))) == 1
+        aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 1  # restored, not re-aged
+
+    def test_snapshot_env_opt_out(self, snap_dir, count_aging, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT", "0")
+        aged_fs("WineFS", **_AGE_KW)
+        aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 2
+        assert list(snap_dir.glob("*.snap")) == []
+
+    def test_snapshot_kwarg_opt_out(self, snap_dir, count_aging):
+        aged_fs("WineFS", snapshot=False, **_AGE_KW)
+        assert list(snap_dir.glob("*.snap")) == []
+
+    @pytest.mark.parametrize("fs_name", ["WineFS", "NOVA", "ext4-DAX"])
+    def test_restore_bit_identical(self, snap_dir, fs_name):
+        fs_cold, ctx_cold = aged_fs(fs_name, **_AGE_KW)   # ages + saves
+        reaged = _replay(fs_cold, ctx_cold)
+        fs_warm, ctx_warm = aged_fs(fs_name, **_AGE_KW)   # restores
+        _assert_bit_identical(_replay(fs_warm, ctx_warm), reaged)
+
+    def test_restore_matches_uncached_aging(self, snap_dir):
+        fs_a, ctx_a = aged_fs("PMFS", **_AGE_KW)
+        fs_b, ctx_b = aged_fs("PMFS", snapshot=False, **_AGE_KW)
+        _assert_bit_identical(_replay(fs_a, ctx_a), _replay(fs_b, ctx_b))
+
+    def test_corrupt_snapshot_falls_back_to_aging(self, snap_dir,
+                                                  count_aging):
+        aged_fs("WineFS", **_AGE_KW)
+        (snap,) = snap_dir.glob("*.snap")
+        blob = bytearray(snap.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        snap.write_bytes(bytes(blob))
+        fs, ctx = aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 2  # silently re-aged
+        assert ctx.clock.elapsed == 0.0
+
+    def test_distinct_parameters_distinct_snapshots(self, snap_dir):
+        aged_fs("WineFS", **_AGE_KW)
+        aged_fs("WineFS", **{**_AGE_KW, "seed": 12})
+        assert len(list(snap_dir.glob("*.snap"))) == 2
+
+    def test_warm_restore_speedup(self, snap_dir):
+        kw = dict(size_gib=0.25, num_cpus=4, churn_multiple=2.0, seed=3)
+        t0 = time.perf_counter()
+        aged_fs("WineFS", **kw)
+        cold_s = time.perf_counter() - t0
+        warm_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            aged_fs("WineFS", **kw)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+        assert cold_s / warm_s >= 5.0, (
+            f"warm restore {warm_s:.3f}s vs cold aging {cold_s:.3f}s "
+            f"({cold_s / warm_s:.1f}x, need >= 5x)")
+
+
+class TestAgedResetState:
+    """Aging is setup, not measurement: every accumulator starts at zero."""
+
+    def test_clock_counters_zero_after_aging(self, snap_dir):
+        fs, ctx = aged_fs("WineFS", snapshot=False, **_AGE_KW)
+        assert ctx.clock.snapshot() == [0.0] * 2
+        assert all(v == 0 for v in ctx.counters.as_dict().values())
+        assert fs.device.bytes_read == 0
+        assert fs.device.bytes_written == 0
+        reg = ctx.counters.registry
+        assert reg.value("pm_device_bytes", direction="read", fs="WineFS") == 0
+        assert reg.value("lock_wait_ns") == 0
+
+    def test_restored_image_starts_zeroed(self, snap_dir):
+        aged_fs("WineFS", **_AGE_KW)
+        fs, ctx = aged_fs("WineFS", **_AGE_KW)
+        assert ctx.clock.snapshot() == [0.0] * 2
+        assert all(v == 0 for v in ctx.counters.as_dict().values())
+
+    def test_first_op_pays_no_stale_lock_wait(self, snap_dir):
+        """Regression: lock free-times are absolute; without
+        ``reset_timeline`` the first post-aging acquisition of any lock
+        held during aging pays the whole aging makespan as a wait."""
+        fs, ctx = aged_fs("WineFS", snapshot=False, **_AGE_KW)
+        fs.create("/after-aging", ctx).close()
+        assert ctx.counters.registry.value("lock_wait_ns") == 0.0
+        assert ctx.locks.contended_waits == 0
+
+    def test_lock_manager_reset_timeline(self):
+        ctx = make_context(2)
+        ctx.locks.acquire("L", 0)
+        ctx.clock.charge(0, 5_000.0)
+        ctx.locks.release("L", 0)
+        ctx.clock.reset()
+        ctx.locks.reset_timeline()
+        ctx.locks.acquire("L", 1)  # fresh timeline: no spurious wait
+        assert ctx.clock.now(1) == 0.0
+        assert ctx.locks.lock_wait_ns == 0.0
