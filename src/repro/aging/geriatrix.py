@@ -25,13 +25,13 @@ only on the allocator, never on file contents.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..clock import SimContext
 from ..errors import NoSpaceError
 from ..params import MIB
+from ..rng import make_rng
 from ..vfs.interface import FileSystem
 from .profiles import AgingProfile
 
@@ -94,7 +94,7 @@ class Geriatrix:
         self.fs = fs
         self.profile = profile
         self.target = target_utilization
-        self.rng = random.Random(seed)
+        self.rng = make_rng(seed)
         self.concurrency = concurrency
         stats = fs.statfs()
         partition = stats.total_blocks * stats.block_size

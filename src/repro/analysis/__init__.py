@@ -1,0 +1,27 @@
+"""repro.analysis — the invariant-enforcing static analysis suite.
+
+``repro lint`` parses ``src/repro`` once and runs five codebase-specific
+rules over the ASTs (see :mod:`repro.analysis.rules`): determinism,
+persistence-ordering, lock-discipline, snapshot-whitelist drift, and
+metric/span-name registry resolution.  Findings are suppressed inline
+with ``# repro: allow[rule-id] <why>``, or grandfathered in the
+committed ``baseline.json``; CI fails on anything new.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintResult` — programmatic entry point
+* :func:`update_baseline` — regenerate the committed baseline
+* :class:`FileContext`, :class:`FileRule`, :class:`ProjectRule` — for
+  writing new rules (and for the fixture tests)
+"""
+
+from .engine import (DEFAULT_BASELINE, DEFAULT_CACHE, DEFAULT_TARGET,
+                     FileContext, FileRule, LintResult, ProjectRule,
+                     default_rules, run_lint, update_baseline)
+from .findings import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE", "DEFAULT_CACHE", "DEFAULT_TARGET",
+    "FileContext", "FileRule", "Finding", "LintResult", "ProjectRule",
+    "default_rules", "run_lint", "update_baseline",
+]

@@ -1,0 +1,64 @@
+"""Committed baseline of grandfathered lint findings.
+
+The baseline maps finding fingerprints to a human-readable note so
+reviewers can see *what* was grandfathered without re-running the lint.
+``repro lint`` fails only on findings absent from the baseline;
+``repro lint --write-baseline`` regenerates the file from the current
+tree (sorted, so the diff is the set change and nothing else).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """fingerprint -> note; empty when the file does not exist."""
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version in {path}")
+    return dict(doc.get("findings", {}))
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write every finding's fingerprint; returns the entry count."""
+    entries = {
+        f.fingerprint: f"{f.rule} {f.path}:{f.qualname or '<module>'} "
+                       f"{f.detail}".rstrip()
+        for f in findings
+    }
+    doc = {"version": BASELINE_VERSION,
+           "findings": {k: entries[k] for k in sorted(entries)}}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict[str, str]) -> Tuple[List[Finding], List[str]]:
+    """Mark baselined findings; returns (findings, stale fingerprints).
+
+    Stale entries are baseline fingerprints no current finding matches —
+    informational (the debt was paid down), never an error.
+    """
+    out: List[Finding] = []
+    live = set()
+    for f in findings:
+        fp = f.fingerprint
+        if fp in baseline:
+            live.add(fp)
+            f = replace(f, baselined=True)
+        out.append(f)
+    stale = sorted(set(baseline) - live)
+    return out, stale

@@ -1,0 +1,93 @@
+"""Content-hash keyed per-file lint cache.
+
+The AST pass over ``src/repro`` is cheap but not free; CI runs it on
+every push.  The cache keys each file's findings by the sha256 of its
+*content* (never mtime — CI checkouts have fresh mtimes) salted with
+``ENGINE_VERSION``, so editing a rule invalidates everything while an
+untouched tree re-lints from the cache in milliseconds.
+
+Only per-file rule results are cached.  Project rules (snapshot
+whitelist drift, metric registry) cross file boundaries, so they cache
+their per-file *facts* the same way but always re-run the cross-file
+finalize step — it is O(files) dict work, not parsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+#: bump when any rule or the engine changes observable behaviour
+ENGINE_VERSION = 1
+
+_CACHE_SCHEMA = 1
+
+
+def content_key(source: bytes) -> str:
+    h = hashlib.sha256()
+    h.update(f"repro-lint-v{ENGINE_VERSION}|".encode())
+    h.update(source)
+    return h.hexdigest()
+
+
+class LintCache:
+    """findings + project-rule facts per (relpath, content sha256)."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if path and os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                if doc.get("schema") == _CACHE_SCHEMA and \
+                        doc.get("engine") == ENGINE_VERSION:
+                    self._entries = doc.get("files", {})
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, relpath: str, key: str) -> Optional[Dict]:
+        entry = self._entries.get(relpath)
+        if entry and entry.get("key") == key:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, relpath: str, key: str, findings: List[Finding],
+            facts: Dict[str, object]) -> None:
+        self._entries[relpath] = {
+            "key": key,
+            "findings": [f.as_dict() for f in findings],
+            "facts": facts,
+        }
+
+    @staticmethod
+    def decode_findings(entry: Dict) -> List[Finding]:
+        out = []
+        for d in entry.get("findings", []):
+            out.append(Finding(
+                rule=d["rule"], path=d["path"], line=d["line"],
+                col=d["col"], message=d["message"], hint=d.get("hint", ""),
+                qualname=d.get("qualname", ""), detail=d.get("detail", ""),
+            ))
+        return out
+
+    def save(self) -> None:
+        if not self.path:
+            return
+        doc = {"schema": _CACHE_SCHEMA, "engine": ENGINE_VERSION,
+               "files": self._entries}
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # cache is best-effort; never fail the lint over it

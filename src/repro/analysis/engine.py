@@ -1,0 +1,272 @@
+"""The lint engine: file walking, suppression, caching, reporting.
+
+One parse per file; every rule sees the same :class:`FileContext`.
+Rules come in two shapes:
+
+* :class:`FileRule` — looks at one file in isolation and returns
+  findings directly (determinism, persistence-ordering, lock-discipline).
+* :class:`ProjectRule` — records JSON-serializable *facts* per file,
+  then ``finalize()`` crosses file boundaries once every file has been
+  seen (snapshot-whitelist drift, metric-name registry resolution).
+
+Findings are suppressed by ``# repro: allow[rule-id] <why>`` on the
+flagged line or the line directly above, baselined via the committed
+``baseline.json``, and reported in a deterministic order so ``--json``
+output is byte-stable for a given tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import LintCache, content_key
+from .findings import Finding, number_occurrences
+
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]")
+
+#: default lint root and baseline location, relative to the repo root
+DEFAULT_TARGET = os.path.join("src", "repro")
+DEFAULT_BASELINE = os.path.join("src", "repro", "analysis", "baseline.json")
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+
+class FileContext:
+    """Everything a rule may want to know about one source file."""
+
+    def __init__(self, path: str, relpath: str, source: str,
+                 module: Optional[str] = None):
+        self.path = path
+        self.relpath = relpath.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.module = module if module is not None else derive_module(path)
+        self.suppressions = scan_suppressions(self.lines)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return _suppressed(self.lines, self.suppressions, rule_id, line)
+
+
+def derive_module(path: str) -> str:
+    """Dotted module name, walking up through ``__init__.py`` package dirs."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    d = os.path.dirname(path)
+    while os.path.exists(os.path.join(d, "__init__.py")):
+        parts.append(os.path.basename(d))
+        parent = os.path.dirname(d)
+        if parent == d:
+            break
+        d = parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def scan_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """1-based line -> rule ids allowed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        ids = set(SUPPRESS_RE.findall(text))
+        if ids:
+            out[i] = ids
+    return out
+
+
+def _suppressed(lines: Sequence[str], sup: Dict[int, Set[str]],
+                rule_id: str, line: int) -> bool:
+    """Allowed on the flagged line, or by a comment-only line above.
+
+    A *trailing* allow comment applies only to its own line, so one
+    justified site never silently blesses the statement below it.
+    """
+    if rule_id in sup.get(line, ()):
+        return True
+    above = line - 1
+    if rule_id in sup.get(above, ()) and 0 < above <= len(lines) and \
+            lines[above - 1].lstrip().startswith("#"):
+        return True
+    return False
+
+
+class FileRule:
+    id = "file-rule"
+    def run(self, ctx: FileContext) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProjectRule:
+    id = "project-rule"
+    def collect(self, ctx: FileContext) -> Dict[str, object]:  # pragma: no cover
+        raise NotImplementedError
+    def finalize(self, facts: Dict[str, Dict[str, object]]) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def default_rules() -> Tuple[List[FileRule], List[ProjectRule]]:
+    from .rules.determinism import DeterminismRule
+    from .rules.locks import LockDisciplineRule
+    from .rules.metric_names import MetricNamesRule
+    from .rules.persistence import PersistenceOrderingRule
+    from .rules.snapshot import SnapshotWhitelistRule
+    return ([DeterminismRule(), PersistenceOrderingRule(),
+             LockDisciplineRule()],
+            [SnapshotWhitelistRule(), MetricNamesRule()])
+
+
+def iter_python_files(targets: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for target in targets:
+        if os.path.isfile(target):
+            out.append(target)
+            continue
+        for root, dirs, files in os.walk(target):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in ("__pycache__", ".git"))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return sorted(set(out))
+
+
+class LintResult:
+    def __init__(self, findings: List[Finding], stale: List[str],
+                 files: int, cache_hits: int, errors: List[str]):
+        self.findings = findings
+        self.stale = stale
+        self.files = files
+        self.cache_hits = cache_hits
+        self.errors = errors
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.new_findings or self.errors) else 0
+
+    def render_text(self, verbose: bool = False) -> str:
+        lines = [f.render() for f in self.findings
+                 if verbose or not f.baselined]
+        lines.extend(f"lint error: {e}" for e in self.errors)
+        n = len(self.new_findings)
+        b = len(self.findings) - n
+        tail = (f"{self.files} files checked: {n} finding(s)"
+                + (f", {b} baselined" if b else ""))
+        if self.stale:
+            tail += f", {len(self.stale)} stale baseline entrie(s)"
+        lines.append(tail)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        doc = {
+            "files": self.files,
+            "findings": [f.as_dict() for f in self.findings],
+            "new": len(self.new_findings),
+            "baselined": len(self.findings) - len(self.new_findings),
+            "stale_baseline": self.stale,
+            "errors": self.errors,
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def run_lint(targets: Sequence[str],
+             baseline_path: Optional[str] = None,
+             cache_path: Optional[str] = None,
+             root: Optional[str] = None,
+             rules: Optional[Tuple[List[FileRule], List[ProjectRule]]] = None,
+             ) -> LintResult:
+    """Lint *targets* (files or directories) and return the result.
+
+    *root* anchors the relative paths used in findings and fingerprints
+    (default: the common prefix's CWD), so output is location-independent.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    file_rules, project_rules = rules if rules is not None else default_rules()
+    cache = LintCache(cache_path)
+    per_file: List[Finding] = []
+    facts: Dict[str, Dict[str, Dict[str, object]]] = {
+        r.id: {} for r in project_rules}
+    contexts: Dict[str, FileContext] = {}
+    errors: List[str] = []
+    paths = iter_python_files(targets)
+
+    for path in paths:
+        relpath = os.path.relpath(os.path.abspath(path), root)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+            key = content_key(raw)
+            cached = cache.get(relpath.replace(os.sep, "/"), key)
+            if cached is not None:
+                per_file.extend(LintCache.decode_findings(cached))
+                for rid, rf in (cached.get("facts") or {}).items():
+                    if rid in facts:
+                        facts[rid][relpath.replace(os.sep, "/")] = rf
+                continue
+            ctx = FileContext(path, relpath, raw.decode("utf-8"))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{relpath}: {exc}")
+            continue
+        contexts[ctx.relpath] = ctx
+        file_findings: List[Finding] = []
+        for rule in file_rules:
+            for f in rule.run(ctx):
+                if not ctx.is_suppressed(rule.id, f.line):
+                    file_findings.append(f)
+        file_facts: Dict[str, Dict[str, object]] = {}
+        for rule in project_rules:
+            rf = rule.collect(ctx)
+            file_facts[rule.id] = rf
+            facts[rule.id][ctx.relpath] = rf
+        per_file.extend(file_findings)
+        cache.put(ctx.relpath, key, file_findings, file_facts)
+
+    project_findings: List[Finding] = []
+    for rule in project_rules:
+        for f in rule.finalize(facts[rule.id]):
+            ctx = contexts.get(f.path)
+            if ctx is not None and ctx.is_suppressed(rule.id, f.line):
+                continue
+            if ctx is None and _suppressed_on_disk(root, f, rule.id):
+                continue
+            project_findings.append(f)
+
+    cache.save()
+    findings = per_file + project_findings
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.detail))
+    findings = number_occurrences(findings)
+
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    findings, stale = apply_baseline(findings, baseline)
+    return LintResult(findings, stale, files=len(paths),
+                      cache_hits=cache.hits, errors=errors)
+
+
+def _suppressed_on_disk(root: str, f: Finding, rule_id: str) -> bool:
+    """Suppression check for findings in cache-hit files (no live ctx)."""
+    path = os.path.join(root, f.path)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return False
+    return _suppressed(lines, scan_suppressions(lines), rule_id, f.line)
+
+
+def update_baseline(targets: Sequence[str], baseline_path: str,
+                    root: Optional[str] = None,
+                    cache_path: Optional[str] = None) -> int:
+    """Regenerate the baseline from the current findings; returns count."""
+    result = run_lint(targets, baseline_path=None, cache_path=cache_path,
+                      root=root)
+    return write_baseline(baseline_path, result.findings)

@@ -1,0 +1,68 @@
+"""Finding records and fingerprints for the lint engine.
+
+A finding pins a rule violation to ``path:line:col`` for the human, and
+to a *line-independent* fingerprint for the baseline: the fingerprint
+hashes (rule, path, enclosing qualname, detail slug, occurrence index)
+so grandfathered findings survive unrelated edits that only shift line
+numbers, while a second identical violation in the same function is a
+new finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str            # rule id, e.g. "determinism"
+    path: str            # file path as linted (posix separators)
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    qualname: str = ""   # enclosing Class.method / function, "" = module
+    detail: str = ""     # stable slug (API name, receiver, field, ...)
+    occurrence: int = 0  # disambiguates identical (qualname, detail) hits
+    baselined: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        raw = "|".join([self.rule, self.path.replace("\\", "/"),
+                        self.qualname, self.detail, str(self.occurrence)])
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        out = (f"{self.path}:{self.line}:{self.col}: "
+               f"[{self.rule}] {self.message}")
+        if self.hint:
+            out += f"  (hint: {self.hint})"
+        if self.baselined:
+            out += "  [baselined]"
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message, "hint": self.hint,
+            "qualname": self.qualname, "detail": self.detail,
+            "fingerprint": self.fingerprint, "baselined": self.baselined,
+        }
+
+
+def number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Assign occurrence indexes to otherwise-identical findings.
+
+    Input order (source order within a file) determines the index, so the
+    numbering is deterministic for a given tree state.
+    """
+    seen: Dict[str, int] = {}
+    out: List[Finding] = []
+    for f in findings:
+        key = "|".join([f.rule, f.path, f.qualname, f.detail])
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        out.append(replace(f, occurrence=n) if n else f)
+    return out

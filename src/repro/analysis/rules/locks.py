@@ -1,0 +1,137 @@
+"""Rule ``lock-discipline`` — inode/dirindex mutation outside a lock.
+
+The per-inode mutex protocol in ``repro.fs`` / ``repro.vfs`` is
+``ctx.locks.acquire(inode.lock_name, ctx.cpu)`` ... ``finally:
+ctx.locks.release(...)``; concurrent CPUs serialise on simulated time
+through it.  A write to a shared inode field outside any acquisition is
+a lost-update bug waiting for a workload interleaving to expose it.
+
+The check is an approximation of acquire-dominance: inside a function,
+a mutation is considered protected if *some* lock acquisition (an
+``*.locks.acquire(...)`` call, or a ``with``-statement whose context
+expression mentions a lock) occurs at an earlier line.  Functions that
+run strictly single-threaded (``mkfs``/``mount``/``unmount``/
+``recover*``/constructors) are exempt, as is everything outside the
+two target packages.
+
+Deliberately unlocked sites (e.g. fault handlers that piggyback on the
+VFS-level lock of the caller) take ``# repro: allow[lock-discipline]``
+with a justification rather than a new lock: adding an acquisition
+changes LockManager wait accounting and perturbs bit-identical
+simulated timings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..engine import FileContext, FileRule
+from ..findings import Finding
+from . import dotted, walk_functions
+
+_SCOPES = ("repro.fs", "repro.vfs")
+
+#: shared inode fields whose writes must be serialised
+_PROTECTED_FIELDS = {
+    "size", "nlink", "written_hwm", "parent_ino", "aligned_hint",
+    "owner_cpu", "xattrs", "gen",
+}
+
+#: functions that run before/after any concurrency exists
+_EXEMPT = {"mkfs", "mount", "unmount", "umount", "__init__",
+           "__post_init__", "__repr__"}
+
+
+def _walk_own(fn: ast.AST):
+    """Walk a function's body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_inode_recv(recv: str) -> bool:
+    return any("inode" in seg.lower() for seg in recv.split("."))
+
+
+def _is_lock_stmt(node: ast.AST) -> bool:
+    """A statement that acquires a lock (call or with-block)."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            text = dotted(item.context_expr) or \
+                (dotted(item.context_expr.func)
+                 if isinstance(item.context_expr, ast.Call) else None)
+            if text and "lock" in text.lower():
+                return True
+        return False
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "acquire":
+        recv = dotted(node.func.value) or ""
+        return "lock" in recv.lower()
+    return False
+
+
+class LockDisciplineRule(FileRule):
+    id = "lock-discipline"
+
+    def run(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.module.startswith(_SCOPES):
+            return []
+        findings: List[Finding] = []
+        for qual, fn in walk_functions(ctx.tree):
+            name = qual.rsplit(".", 1)[-1]
+            if name in _EXEMPT or name.startswith(("recover", "_recover",
+                                                   "mkfs", "_mkfs")):
+                continue
+            findings.extend(self._check_function(ctx, qual, fn))
+        return findings
+
+    def _check_function(self, ctx: FileContext, qual: str,
+                        fn: ast.AST) -> List[Finding]:
+        first_acquire = None
+        for node in _walk_own(fn):
+            if _is_lock_stmt(node):
+                if first_acquire is None or node.lineno < first_acquire:
+                    first_acquire = node.lineno
+
+        findings: List[Finding] = []
+        seen: Set[int] = set()
+
+        def flag(node: ast.AST, recv: str, field: str) -> None:
+            if node.lineno in seen:
+                return
+            seen.add(node.lineno)
+            findings.append(Finding(
+                rule=self.id, path=ctx.relpath, line=node.lineno,
+                col=node.col_offset,
+                message=(f"mutation of {recv}.{field} outside any lock "
+                         "acquisition"),
+                hint="acquire the inode lock first, or allow-comment with "
+                     "the reason this site is single-threaded",
+                qualname=qual, detail=f"{recv}.{field}"))
+
+        for node in _walk_own(fn):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = target
+                if isinstance(attr, ast.Subscript):   # inode.xattrs[k] = v
+                    attr = attr.value
+                if not isinstance(attr, ast.Attribute) or \
+                        attr.attr not in _PROTECTED_FIELDS:
+                    continue
+                recv = dotted(attr.value)
+                if recv is None or not _is_inode_recv(recv):
+                    continue
+                protected = first_acquire is not None and \
+                    node.lineno >= first_acquire
+                if not protected:
+                    flag(node, recv, attr.attr)
+        return findings

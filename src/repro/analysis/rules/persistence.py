@@ -1,0 +1,183 @@
+"""Rule ``persistence-ordering`` — store without clwb+sfence.
+
+On real PM hardware a ``store`` reaches the persistence domain only
+after an explicit flush (``clwb``) and ordering fence (``sfence``); the
+simulator models that, and the crash explorer will happily drop any
+store left unflushed at a crash point.  This rule runs an
+intra-procedural abstract interpretation over every function in
+``repro.core`` / ``repro.fs``: each PM-device receiver carries a state
+in {clean, stored, clwbed}, and any path that can leave the function
+with a non-clean device yields a finding at the offending ``store``.
+
+Semantics (mirroring :class:`repro.pm.device.PMDevice`):
+
+* ``recv.store(...)``       -> stored (dirty in the cache hierarchy)
+* ``recv.clwb(...)``        -> stored becomes clwbed (flush issued)
+* ``recv.sfence()``         -> every clwbed receiver becomes clean
+  (the fence is global; un-flushed stores stay dirty)
+* ``recv.persist(...)``/``recv.write_zeros(...)`` -> atomic
+  store+clwb+sfence helpers: fence effect, never leave debt
+* ``recv.drain()``          -> flush+fence everything: all clean
+* ``raise``                 -> crash/error path, exempt (the journal
+  recovers; flushing on the error path is not required)
+
+Branches join with the *worst* state per receiver; loop bodies execute
+once and join with the loop-skip state.  The check is intentionally
+intra-procedural: helpers that intentionally return with pending
+stores (batched writers) take a ``# repro: allow[persistence-ordering]``
+with a pointer to where the fence happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import FileContext, FileRule
+from ..findings import Finding
+from . import dotted, walk_functions
+
+_SCOPES = ("repro.core", "repro.fs")
+
+#: receiver name heuristic: last dotted segment identifies a PM device
+_DEVICE_SEGMENTS = ("device", "dev", "pm", "pmem")
+
+_CLEAN, _CLWBED, _STORED = 0, 1, 2
+
+# receiver -> (severity, store_line, store_col)
+_State = Dict[str, Tuple[int, int, int]]
+
+
+def _is_device(recv: str) -> bool:
+    seg = recv.split(".")[-1].lower()
+    return "device" in seg or seg in _DEVICE_SEGMENTS
+
+
+class PersistenceOrderingRule(FileRule):
+    id = "persistence-ordering"
+
+    def run(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.module.startswith(_SCOPES):
+            return []
+        findings: List[Finding] = []
+        for qual, fn in walk_functions(ctx.tree):
+            findings.extend(self._check_function(ctx, qual, fn))
+        return findings
+
+    def _check_function(self, ctx: FileContext, qual: str,
+                        fn: ast.AST) -> List[Finding]:
+        reported: Set[Tuple[str, int]] = set()
+        findings: List[Finding] = []
+
+        def flag(recv: str, line: int, col: int) -> None:
+            if (recv, line) in reported:
+                return
+            reported.add((recv, line))
+            findings.append(Finding(
+                rule=self.id, path=ctx.relpath, line=line, col=col,
+                message=(f"{recv}.store() may reach a return without "
+                         "clwb+sfence"),
+                hint="flush with clwb+sfence (or use persist()) on every "
+                     "non-raising path",
+                qualname=qual, detail=recv))
+
+        def check_exit(state: _State) -> None:
+            for recv, (sev, line, col) in state.items():
+                if sev != _CLEAN:
+                    flag(recv, line, col)
+
+        def apply_calls(node: ast.AST, state: _State) -> None:
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call) or \
+                        not isinstance(call.func, ast.Attribute):
+                    continue
+                recv = dotted(call.func.value)
+                if recv is None or not _is_device(recv):
+                    continue
+                method = call.func.attr
+                if method == "store":
+                    state[recv] = (_STORED, call.lineno, call.col_offset)
+                elif method == "clwb":
+                    cur = state.get(recv)
+                    if cur and cur[0] == _STORED:
+                        state[recv] = (_CLWBED, cur[1], cur[2])
+                elif method in ("sfence", "persist", "write_zeros"):
+                    for r, cur in list(state.items()):
+                        if cur[0] == _CLWBED:
+                            del state[r]
+                elif method == "drain":
+                    state.clear()
+
+        def merge(states: List[Optional[_State]]) -> Optional[_State]:
+            live = [s for s in states if s is not None]
+            if not live:
+                return None
+            out: _State = {}
+            for s in live:
+                for recv, cur in s.items():
+                    if recv not in out or cur[0] > out[recv][0]:
+                        out[recv] = cur
+            return out
+
+        def exec_block(stmts, state: _State) -> Optional[_State]:
+            for stmt in stmts:
+                nxt = exec_stmt(stmt, state)
+                if nxt is None:
+                    return None
+                state = nxt
+            return state
+
+        def exec_stmt(stmt: ast.stmt, state: _State) -> Optional[_State]:
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    apply_calls(stmt.value, state)
+                check_exit(state)
+                return None
+            if isinstance(stmt, ast.Raise):
+                return None    # crash/error path: recovery owns durability
+            if isinstance(stmt, ast.If):
+                apply_calls(stmt.test, state)
+                return merge([exec_block(stmt.body, dict(state)),
+                              exec_block(stmt.orelse, dict(state))])
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                apply_calls(stmt.iter, state)
+                once = exec_block(stmt.body, dict(state))
+                state2 = merge([state, once])
+                if state2 is None:
+                    return None
+                return exec_block(stmt.orelse, state2) if stmt.orelse \
+                    else state2
+            if isinstance(stmt, ast.While):
+                apply_calls(stmt.test, state)
+                once = exec_block(stmt.body, dict(state))
+                state2 = merge([state, once])
+                if state2 is None:
+                    return None
+                return exec_block(stmt.orelse, state2) if stmt.orelse \
+                    else state2
+            if isinstance(stmt, ast.Try):
+                after = exec_block(stmt.body, dict(state))
+                branches: List[Optional[_State]] = [after]
+                entry = merge([dict(state), after]) or dict(state)
+                for handler in stmt.handlers:
+                    branches.append(exec_block(handler.body, dict(entry)))
+                merged = merge(branches)
+                if stmt.finalbody:
+                    return exec_block(stmt.finalbody,
+                                      merged if merged is not None
+                                      else dict(state))
+                return merged
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    apply_calls(item.context_expr, state)
+                return exec_block(stmt.body, state)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                return state   # nested defs are analysed on their own
+            apply_calls(stmt, state)
+            return state
+
+        final = exec_block(fn.body, {})
+        if final is not None:
+            check_exit(final)
+        return findings

@@ -1,0 +1,123 @@
+"""Rule ``snapshot-whitelist`` — persisted-graph drift vs the codec.
+
+The aged-image snapshot codec (:mod:`repro.snapshot.codec`) only
+revives objects whose classes live in its ``_MODULE_WHITELIST``; a new
+module that becomes reachable from the persisted ``{fs, ctx}`` object
+graph but is missing from the whitelist turns into a load-time
+``SnapshotFormatError`` for anyone with a cached aged image.
+
+Static approximation of "reachable": a module under ``repro.fs`` /
+``repro.core`` / ``repro.structures`` that defines classes and is
+imported by an already-whitelisted module is one hop from the persisted
+graph, so it must either be whitelisted too or carry an allow comment
+on the import (for modules that are provably never stored in persisted
+object attributes — pure-function helpers, exceptions, etc.).
+
+Facts per file: module name, whether it defines top-level classes, its
+resolved intra-``repro`` imports, and (for the codec itself) the
+whitelist literal.  ``finalize`` crosses them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from ..engine import FileContext, ProjectRule
+from ..findings import Finding
+
+_SCOPES = ("repro.fs", "repro.core", "repro.structures")
+_CODEC_SUFFIX = "snapshot.codec"
+_WHITELIST_NAME = "_MODULE_WHITELIST"
+
+
+def _resolve_from(module: str, node: ast.ImportFrom) -> str:
+    """Absolute dotted base module of a (possibly relative) from-import."""
+    if node.level == 0:
+        return node.module or ""
+    # level=1 strips the leaf module name, each extra level one package
+    parts = module.split(".")[:-node.level]
+    if node.module:
+        parts.append(node.module)
+    return ".".join(parts)
+
+
+class SnapshotWhitelistRule(ProjectRule):
+    id = "snapshot-whitelist"
+
+    def collect(self, ctx: FileContext) -> Dict[str, object]:
+        defines_classes = any(isinstance(n, ast.ClassDef)
+                              for n in ctx.tree.body)
+        imports: List[List[object]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports.append([alias.name, node.lineno])
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_from(ctx.module, node)
+                if base:
+                    imports.append([base, node.lineno])
+                    for alias in node.names:
+                        if alias.name != "*":
+                            imports.append([f"{base}.{alias.name}",
+                                            node.lineno])
+        facts: Dict[str, object] = {
+            "module": ctx.module,
+            "defines_classes": defines_classes,
+            "imports": imports,
+        }
+        if ctx.module.endswith(_CODEC_SUFFIX):
+            wl = self._parse_whitelist(ctx.tree)
+            if wl is not None:
+                facts["whitelist"] = wl
+        return facts
+
+    @staticmethod
+    def _parse_whitelist(tree: ast.Module):
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == _WHITELIST_NAME
+                    for t in node.targets):
+                value = node.value
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    return [elt.value for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)]
+        return None
+
+    def finalize(self, facts: Dict[str, Dict[str, object]]
+                 ) -> List[Finding]:
+        whitelist: List[str] = []
+        for per_file in facts.values():
+            if "whitelist" in per_file:
+                whitelist = list(per_file["whitelist"])
+        if not whitelist:
+            return []   # codec not in the linted set: nothing to check
+        wl = set(whitelist)
+        by_module = {per_file["module"]: (relpath, per_file)
+                     for relpath, per_file in facts.items()}
+        findings: List[Finding] = []
+        flagged = set()
+        for w in sorted(wl):
+            if w not in by_module:
+                continue
+            relpath, per_file = by_module[w]
+            for imp, line in per_file.get("imports", []):
+                if imp in flagged or imp in wl or imp == w:
+                    continue
+                target = by_module.get(imp)
+                if target is None or not imp.startswith(_SCOPES):
+                    continue
+                if not target[1].get("defines_classes"):
+                    continue
+                flagged.add(imp)
+                findings.append(Finding(
+                    rule=self.id, path=relpath, line=int(line), col=0,
+                    message=(f"module {imp} is reachable from whitelisted "
+                             f"module {w} but absent from "
+                             f"{_WHITELIST_NAME}"),
+                    hint="add it to repro/snapshot/codec.py "
+                         f"{_WHITELIST_NAME}, or allow-comment the import "
+                         "if its classes are never persisted",
+                    qualname="", detail=imp))
+        return findings

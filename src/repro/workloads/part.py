@@ -14,7 +14,6 @@ the shared TLB + LLC models, recording per-lookup latency.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List
 
@@ -22,6 +21,7 @@ from ..clock import SimContext
 from ..mmu.cache import CacheModel
 from ..mmu.tlb import TLB
 from ..params import MIB
+from ..rng import make_rng
 from ..structures.stats import LatencyRecorder, Summary
 from ..vfs.interface import FileSystem
 
@@ -54,7 +54,7 @@ class PARTModel:
         self.pool_bytes = pool_bytes
         self.hot_keys = hot_keys
         self.key_stride = key_stride
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         # hot keys spread over the whole pool (radix-tree nodes are not
         # contiguous), so base-page TLB reach is exceeded
         span = pool_bytes - key_stride

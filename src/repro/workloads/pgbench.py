@@ -11,11 +11,11 @@ What shapes PostgreSQL's I/O on a PM file system:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..clock import SimContext
 from ..params import KIB, MIB
+from ..rng import make_rng
 from ..structures.stats import ops_per_sec
 from ..vfs.interface import FileSystem
 
@@ -40,7 +40,7 @@ def run_pgbench(fs: FileSystem, ctx: SimContext, *,
                 group_commit: int = 8,
                 seed: int = 0) -> PgbenchResult:
     """TPC-B-ish: each transaction updates 3 random pages + 1 WAL record."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     if not fs.exists("/pgdata"):
         fs.mkdir("/pgdata", ctx)
     # build the table heap (not timed)

@@ -17,7 +17,6 @@ compaction heuristics beyond size-triggered flush and leveled rewrite.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

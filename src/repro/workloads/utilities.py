@@ -15,12 +15,12 @@ system barely matters.  These models reproduce the access patterns:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..clock import SimContext
 from ..errors import ReproError
 from ..params import KIB, MIB
+from ..rng import make_rng
 from ..structures.stats import ops_per_sec
 from ..vfs.interface import FileSystem
 
@@ -45,7 +45,7 @@ class UtilityResult:
 
 def _build_tree(fs: FileSystem, ctx: SimContext, root: str, nfiles: int,
                 mean_size: int, seed: int) -> list:
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     if not fs.exists(root):
         fs.mkdir(root, ctx)
     paths = []

@@ -16,11 +16,11 @@ different file systems").
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..clock import SimContext
 from ..params import KIB, MIB
+from ..rng import make_rng
 from ..structures.stats import ops_per_sec
 from ..vfs.interface import FileSystem
 
@@ -44,7 +44,7 @@ def run_wiredtiger(fs: FileSystem, ctx: SimContext, *,
                    seed: int = 0) -> WiredTigerResult:
     if workload not in ("fillrandom", "readrandom"):
         raise ValueError(f"unknown workload {workload!r}")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     if not fs.exists("/wt"):
         fs.mkdir("/wt", ctx)
     tables = []

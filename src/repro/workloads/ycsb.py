@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from ..clock import SimContext
 from ..errors import NotFoundError
+from ..rng import make_rng
 from ..structures.stats import ops_per_sec
 from ..vfs.interface import FileSystem
 from .rocksdb import RocksDBModel
@@ -90,7 +91,7 @@ def run_ycsb(db: RocksDBModel, workload: YCSBWorkload, ctx: SimContext, *,
              record_count: int, op_count: int, seed: int = 0,
              preloaded: bool = True) -> YCSBResult:
     """Run one YCSB workload against a (pre-)loaded RocksDB model."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     zipf = _ZipfGenerator(record_count, rng)
     next_key = record_count
     faults0 = ctx.counters.page_faults

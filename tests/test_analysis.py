@@ -1,0 +1,548 @@
+"""Tests for the repro.analysis static-analysis suite.
+
+Each rule gets good/bad fixture snippets; the engine gets suppression,
+baseline, cache, and --json stability coverage; and the tier-1 gate at
+the bottom self-lints ``src/repro`` (the same check CI runs), including
+the two acceptance mutations: weakening a ``persist`` to a bare
+``store`` in ``repro.core.journal`` and deleting an ``sfence`` in
+``repro.core.filesystem`` must both trip ``persistence-ordering``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (DEFAULT_TARGET, FileContext, run_lint,
+                            update_baseline)
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import derive_module, scan_suppressions
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.metric_names import MetricNamesRule
+from repro.analysis.rules.persistence import PersistenceOrderingRule
+from repro.analysis.rules.snapshot import SnapshotWhitelistRule
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def ctx_for(source: str, module: str = "repro.fixture",
+            path: str = "fixture.py") -> FileContext:
+    return FileContext(path, path, textwrap.dedent(source), module=module)
+
+
+def rule_hits(rule, source: str, module: str = "repro.fixture"):
+    ctx = ctx_for(source, module=module)
+    return rule.run(ctx)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+
+BAD_DETERMINISM = """
+    import time
+    import random
+    import os
+
+    def run(results):
+        t = time.time()
+        x = random.random()
+        k = os.urandom(4)
+        ordered = sorted(results, key=id)
+        for item in set(ordered):
+            results.append(item)
+        return t, x, k
+"""
+
+GOOD_DETERMINISM = """
+    from repro.rng import make_rng
+
+    def run(ctx, results):
+        rng = make_rng(7)
+        t = ctx.now()
+        ordered = sorted(results, key=lambda r: r.key)
+        for item in sorted(set(ordered), key=str):
+            results.append(rng.random())
+        return t
+"""
+
+
+def test_determinism_flags_every_source():
+    hits = rule_hits(DeterminismRule(), BAD_DETERMINISM)
+    details = {h.detail for h in hits}
+    assert "time.time" in details
+    assert "random.random" in details
+    assert "os.urandom" in details
+    assert "sorted:key=id" in details
+    assert "set-iteration" in details
+    assert len(hits) == 5
+
+
+def test_determinism_clean_on_seeded_code():
+    assert rule_hits(DeterminismRule(), GOOD_DETERMINISM) == []
+
+
+def test_determinism_sees_through_from_imports():
+    hits = rule_hits(DeterminismRule(), """
+        from time import perf_counter as pc
+        from random import randint
+
+        def run():
+            return pc() + randint(0, 9)
+    """)
+    assert {h.detail for h in hits} == {"time.perf_counter",
+                                        "random.randint"}
+
+
+def test_determinism_flags_set_comprehension_iteration():
+    hits = rule_hits(DeterminismRule(), """
+        def run(xs):
+            return [x for x in set(xs)]
+    """)
+    assert [h.detail for h in hits] == ["set-iteration"]
+
+
+# ---------------------------------------------------------------------------
+# persistence-ordering
+
+
+def test_persistence_flags_store_without_flush():
+    hits = rule_hits(PersistenceOrderingRule(), """
+        def write(self, addr, data, ctx):
+            self.device.store(addr, data, ctx)
+            return len(data)
+    """, module="repro.core.fixture")
+    assert len(hits) == 1
+    assert hits[0].detail == "self.device"
+
+
+def test_persistence_flags_clwb_without_sfence():
+    hits = rule_hits(PersistenceOrderingRule(), """
+        def write(self, addr, data, ctx):
+            self.device.store(addr, data, ctx)
+            self.device.clwb(addr, len(data), ctx)
+    """, module="repro.fs.fixture")
+    assert len(hits) == 1
+
+
+def test_persistence_accepts_full_sequence_and_persist():
+    source = """
+        def write(self, addr, data, ctx):
+            self.device.store(addr, data, ctx)
+            self.device.clwb(addr, len(data), ctx)
+            self.device.sfence(ctx)
+
+        def write2(self, addr, data, ctx):
+            self.device.persist(addr, data, ctx)
+
+        def batched(self, addrs, data, ctx):
+            for addr in addrs:
+                self.device.store(addr, data, ctx)
+                self.device.clwb(addr, len(data), ctx)
+            self.device.sfence(ctx)
+    """
+    assert rule_hits(PersistenceOrderingRule(), source,
+                     module="repro.core.fixture") == []
+
+
+def test_persistence_flags_unflushed_branch():
+    hits = rule_hits(PersistenceOrderingRule(), """
+        def write(self, addr, data, ctx, flush):
+            self.device.store(addr, data, ctx)
+            if flush:
+                self.device.clwb(addr, len(data), ctx)
+                self.device.sfence(ctx)
+    """, module="repro.core.fixture")
+    assert len(hits) == 1
+
+
+def test_persistence_ignores_raise_paths_and_other_modules():
+    crash = """
+        def write(self, addr, data, ctx):
+            self.device.store(addr, data, ctx)
+            raise IOError("torn")
+    """
+    assert rule_hits(PersistenceOrderingRule(), crash,
+                     module="repro.core.fixture") == []
+    unflushed = """
+        def write(self, addr, data, ctx):
+            self.device.store(addr, data, ctx)
+    """
+    assert rule_hits(PersistenceOrderingRule(), unflushed,
+                     module="repro.mmu.fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+
+
+def test_lock_discipline_flags_unlocked_inode_mutation():
+    hits = rule_hits(LockDisciplineRule(), """
+        def truncate(self, inode, size, ctx):
+            inode.size = size
+    """, module="repro.fs.fixture")
+    assert len(hits) == 1
+    assert hits[0].detail == "inode.size"
+
+
+def test_lock_discipline_accepts_locked_mutation():
+    source = """
+        def truncate(self, inode, size, ctx):
+            ctx.locks.acquire(inode.lock_name, ctx.cpu)
+            try:
+                inode.size = size
+                inode.nlink += 1
+                inode.xattrs["user.k"] = b"v"
+            finally:
+                ctx.locks.release(inode.lock_name, ctx.cpu)
+    """
+    assert rule_hits(LockDisciplineRule(), source,
+                     module="repro.vfs.fixture") == []
+
+
+def test_lock_discipline_exempts_single_threaded_functions():
+    source = """
+        def mkfs(self, ctx):
+            self.root_inode.size = 0
+
+        def recover_log(self, inode):
+            inode.nlink = 1
+
+        def __init__(self, inode):
+            inode.owner_cpu = 0
+    """
+    assert rule_hits(LockDisciplineRule(), source,
+                     module="repro.fs.fixture") == []
+
+
+def test_lock_discipline_scoped_to_fs_and_vfs():
+    source = """
+        def poke(inode):
+            inode.size = 1
+    """
+    assert rule_hits(LockDisciplineRule(), source,
+                     module="repro.core.fixture") == []
+    assert len(rule_hits(LockDisciplineRule(), source,
+                         module="repro.vfs.fixture")) == 1
+
+
+# ---------------------------------------------------------------------------
+# snapshot-whitelist (project rule)
+
+
+CODEC_SRC = """
+    _MODULE_WHITELIST = (
+        "repro.fs.common.base",
+    )
+"""
+
+
+def project_findings(rule, files):
+    facts = {}
+    for relpath, (module, source) in files.items():
+        ctx = FileContext(relpath, relpath, textwrap.dedent(source),
+                          module=module)
+        facts[relpath] = rule.collect(ctx)
+    return rule.finalize(facts)
+
+
+def test_snapshot_whitelist_flags_unlisted_import():
+    findings = project_findings(SnapshotWhitelistRule(), {
+        "snapshot/codec.py": ("repro.snapshot.codec", CODEC_SRC),
+        "fs/common/base.py": ("repro.fs.common.base", """
+            from ...structures.shiny import ShinyTree
+
+            class FSBase:
+                pass
+        """),
+        "structures/shiny.py": ("repro.structures.shiny", """
+            class ShinyTree:
+                pass
+        """),
+    })
+    assert len(findings) == 1
+    assert findings[0].detail == "repro.structures.shiny"
+    assert findings[0].path == "fs/common/base.py"
+
+
+def test_snapshot_whitelist_clean_when_listed_or_classless():
+    findings = project_findings(SnapshotWhitelistRule(), {
+        "snapshot/codec.py": ("repro.snapshot.codec", """
+            _MODULE_WHITELIST = (
+                "repro.fs.common.base",
+                "repro.structures.shiny",
+            )
+        """),
+        "fs/common/base.py": ("repro.fs.common.base", """
+            from ...structures.shiny import ShinyTree
+            from ...core import helpers
+
+            class FSBase:
+                pass
+        """),
+        "structures/shiny.py": ("repro.structures.shiny", """
+            class ShinyTree:
+                pass
+        """),
+        "core/helpers.py": ("repro.core.helpers", """
+            def pure_function():
+                return 1
+        """),
+    })
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# metric-names (project rule)
+
+
+NAMES_SRC = """
+    METRIC_NAMES = frozenset({
+        "page_faults",
+    })
+    SPAN_NAMES = frozenset({
+        "vfs.read",
+    })
+    SPAN_PREFIXES = frozenset({
+        "fault.",
+    })
+"""
+
+
+def test_metric_names_flags_unregistered_names():
+    findings = project_findings(MetricNamesRule(), {
+        "obs/names.py": ("repro.obs.names", NAMES_SRC),
+        "core/x.py": ("repro.core.x", """
+            def run(ctx, registry):
+                registry.counter("page_fautls").inc()
+                with ctx.trace.span(ctx, "vfs.raed"):
+                    pass
+                ctx.trace.record(f"oops.{1}", 0, 0, 0)
+        """),
+    })
+    assert sorted(f.detail for f in findings) == \
+        ["fstring:oops.", "page_fautls", "vfs.raed"]
+
+
+def test_metric_names_accepts_registered_and_prefixed():
+    findings = project_findings(MetricNamesRule(), {
+        "obs/names.py": ("repro.obs.names", NAMES_SRC),
+        "core/x.py": ("repro.core.x", """
+            def run(ctx, registry, kind):
+                registry.counter("page_faults").inc()
+                with ctx.trace.span(ctx, "vfs.read"):
+                    pass
+                ctx.trace.record(f"fault.{kind}", 0, 0, 0)
+                ctx.trace.record("fault.alloc", 0, 0, 0)
+        """),
+    })
+    assert findings == []
+
+
+def test_counter_layout_names_are_registered():
+    """The one non-literal registry call site, checked at runtime."""
+    from repro.clock import _COUNTER_LAYOUT
+    from repro.obs.names import METRIC_NAMES
+    layout_names = {series for _, series, _ in _COUNTER_LAYOUT}
+    assert layout_names <= METRIC_NAMES
+
+
+def test_registered_spans_match_live_tracer_usage():
+    from repro.obs.names import SPAN_NAMES, SPAN_PREFIXES
+    assert "vfs.write" in SPAN_NAMES
+    assert any(p == "fault." for p in SPAN_PREFIXES)
+
+
+# ---------------------------------------------------------------------------
+# engine: suppression, baseline, cache, json
+
+
+def test_suppression_on_line_and_line_above(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent("""
+        import time
+
+        def run():
+            # repro: allow[determinism] wall time feeds a log label only
+            a = time.time()
+            b = time.time()   # repro: allow[determinism] ditto
+            c = time.time()
+            return a, b, c
+    """))
+    result = run_lint([str(target)], root=str(tmp_path))
+    assert [f.line for f in result.findings] == [8]
+    assert result.exit_code == 1
+
+
+def test_scan_suppressions_parses_ids():
+    sup = scan_suppressions([
+        "x = 1  # repro: allow[determinism] why",
+        "y = 2",
+        "# repro: allow[lock-discipline]",
+    ])
+    assert sup == {1: {"determinism"}, 3: {"lock-discipline"}}
+
+
+def test_baseline_grandfathers_and_reports_stale(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nT = time.time()\n")
+    baseline_path = str(tmp_path / "baseline.json")
+
+    dirty = run_lint([str(target)], root=str(tmp_path))
+    assert dirty.exit_code == 1
+    write_baseline(baseline_path, dirty.findings)
+
+    grandfathered = run_lint([str(target)], baseline_path=baseline_path,
+                             root=str(tmp_path))
+    assert grandfathered.exit_code == 0
+    assert [f.baselined for f in grandfathered.findings] == [True]
+
+    target.write_text("T = 0\n")
+    fixed = run_lint([str(target)], baseline_path=baseline_path,
+                     root=str(tmp_path))
+    assert fixed.exit_code == 0
+    assert len(fixed.stale) == 1
+
+
+def test_update_baseline_roundtrip(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\nK = os.urandom(2)\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    count = update_baseline([str(target)], baseline_path,
+                            root=str(tmp_path))
+    assert count == 1
+    assert len(load_baseline(baseline_path)) == 1
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\ndef f():\n    return time.time()\n")
+    first = run_lint([str(target)], root=str(tmp_path))
+    target.write_text("import time\n\n\n# pushed down\ndef f():\n"
+                      "    return time.time()\n")
+    second = run_lint([str(target)], root=str(tmp_path))
+    assert [f.fingerprint for f in first.findings] == \
+        [f.fingerprint for f in second.findings]
+    assert first.findings[0].line != second.findings[0].line
+
+
+def test_cache_roundtrip_preserves_findings(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nT = time.time()\n")
+    cache_path = str(tmp_path / "cache.json")
+    cold = run_lint([str(target)], cache_path=cache_path,
+                    root=str(tmp_path))
+    warm = run_lint([str(target)], cache_path=cache_path,
+                    root=str(tmp_path))
+    assert warm.cache_hits == 1
+    assert [f.as_dict() for f in warm.findings] == \
+        [f.as_dict() for f in cold.findings]
+
+    target.write_text("import time\nT = time.time()  "
+                      "# repro: allow[determinism] now justified\n")
+    edited = run_lint([str(target)], cache_path=cache_path,
+                      root=str(tmp_path))
+    assert edited.findings == []
+
+
+def test_json_output_is_stable(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nT = time.time()\n")
+    a = run_lint([str(target)], root=str(tmp_path)).render_json()
+    b = run_lint([str(target)], root=str(tmp_path)).render_json()
+    assert a == b
+    doc = json.loads(a)
+    assert doc["exit_code"] == 1
+    assert doc["findings"][0]["rule"] == "determinism"
+
+
+def test_derive_module_walks_packages(tmp_path):
+    pkg = tmp_path / "repro" / "fs"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "thing.py").write_text("")
+    assert derive_module(str(pkg / "thing.py")) == "repro.fs.thing"
+    assert derive_module(str(pkg / "__init__.py")) == "repro.fs"
+
+
+def test_cli_lint_json(tmp_path, capsys):
+    from repro.cli import main
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nT = time.time()\n")
+    rc = main(["lint", "--json", "--no-cache", "--baseline", "",
+               str(target)])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["new"] == 1
+
+
+# ---------------------------------------------------------------------------
+# tier-1 gate: src/repro self-lints clean, and stays sensitive
+
+
+def run_src_lint(extra_file=None, replace=None):
+    """Lint src/repro, optionally with one file's content overridden."""
+    baseline = os.path.join(SRC_REPRO, "analysis", "baseline.json")
+    targets = [SRC_REPRO]
+    if extra_file is not None:
+        targets = [extra_file]
+    result = run_lint(targets, baseline_path=baseline, root=REPO_ROOT)
+    return result
+
+
+def test_src_repro_lints_clean():
+    result = run_src_lint()
+    assert result.errors == []
+    rendered = "\n".join(f.render() for f in result.new_findings)
+    assert result.new_findings == [], f"new lint findings:\n{rendered}"
+
+
+def test_acceptance_weakened_persist_in_journal_fails_lint(tmp_path):
+    src = open(os.path.join(SRC_REPRO, "core", "journal.py")).read()
+    weak = "self.device.store(addr, entry.pack(), ctx)"
+    assert "self.device.persist(addr, entry.pack(), ctx)" in src
+    mutated = src.replace("self.device.persist(addr, entry.pack(), ctx)",
+                          weak)
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "journal.py").write_text(mutated)
+    result = run_lint([str(pkg / "journal.py")], root=str(tmp_path))
+    assert any(f.rule == "persistence-ordering"
+               for f in result.findings), \
+        "weakening persist() to store() must trip the lint"
+    assert result.exit_code == 1
+
+
+def test_acceptance_dropped_sfence_in_filesystem_fails_lint(tmp_path):
+    path = os.path.join(SRC_REPRO, "core", "filesystem.py")
+    lines = open(path).read().splitlines(keepends=True)
+    # drop the sfence that seals the extent-data write loop (the one
+    # directly before an early return, so the unflushed path is live)
+    victims = [i for i, ln in enumerate(lines)
+               if ln.strip() == "self.device.sfence()"
+               and i + 1 < len(lines) and lines[i + 1].strip() == "return"]
+    assert victims, "expected a sfence-then-return pair in filesystem.py"
+    mutated = "".join(ln for i, ln in enumerate(lines) if i != victims[0])
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "filesystem.py").write_text(mutated)
+    result = run_lint([str(pkg / "filesystem.py")], root=str(tmp_path))
+    assert any(f.rule == "persistence-ordering" for f in result.findings)
+
+
+def test_lint_runtime_budget():
+    import time as _time   # repro: allow[determinism] measuring the linter
+    start = _time.perf_counter()   # repro: allow[determinism] ditto
+    run_src_lint()
+    elapsed = _time.perf_counter() - start  # repro: allow[determinism]
+    assert elapsed < 30.0, f"cold lint took {elapsed:.1f}s (budget 30s)"

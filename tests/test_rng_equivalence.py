@@ -1,0 +1,103 @@
+"""Seeded-output equivalence for the make_rng refactor.
+
+Every workload/aging/fault RNG now flows through
+:func:`repro.rng.make_rng`.  These goldens were captured on the tree
+*before* that refactor (bare ``random.Random(seed)`` call sites), so
+they prove the sanctioned constructor is stream-identical and the
+conversion changed no simulated quantity: same seed, same simulated
+nanoseconds, to the last bit.
+
+All cells: WineFS, size_gib=0.25, num_cpus=2, seed=BENCH_SEED (1337).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.harness import fresh_fs
+from repro.params import GIB, MIB
+from repro.rng import BENCH_SEED, make_rng
+
+
+def test_bench_seed_is_shared_with_benchmarks():
+    assert BENCH_SEED == 1337
+
+
+def test_make_rng_matches_random_stream():
+    a = make_rng(BENCH_SEED)
+    b = random.Random(BENCH_SEED)
+    assert [a.random() for _ in range(64)] == \
+        [b.random() for _ in range(64)]
+    assert a.getrandbits(257) == b.getrandbits(257)
+    assert a.sample(range(1000), 17) == b.sample(range(1000), 17)
+
+
+def test_make_rng_salt_derives_disjoint_streams():
+    base = make_rng(BENCH_SEED)
+    salted = make_rng(BENCH_SEED, salt=1)
+    assert [base.random() for _ in range(8)] != \
+        [salted.random() for _ in range(8)]
+    again = make_rng(BENCH_SEED, salt=1)
+    assert [make_rng(BENCH_SEED, salt=1).random()] == [again.random()]
+
+
+def _fs_ctx():
+    return fresh_fs("WineFS", size_gib=0.25, num_cpus=2)
+
+
+def test_varmail_golden():
+    from repro.workloads.filebench import varmail
+    fs, ctx = _fs_ctx()
+    varmail(fs, ctx, ops=300, nfiles=40, seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 753614.388617266
+
+
+def test_mmap_rand_read_golden():
+    from repro.workloads.microbench import mmap_rw_benchmark
+    fs, ctx = _fs_ctx()
+    mmap_rw_benchmark(fs, ctx, file_size=8 * MIB, io_size=4096,
+                      pattern="rand-read", seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 878807.0937209314
+
+
+def test_geriatrix_aging_golden():
+    from repro.aging import AGRAWAL, Geriatrix
+    fs, ctx = _fs_ctx()
+    result = Geriatrix(fs, AGRAWAL, target_utilization=0.5,
+                       seed=BENCH_SEED).age(ctx,
+                                            write_volume=int(0.05 * GIB))
+    assert ctx.clock.elapsed == 22813912.77878637
+    assert result.files_created == 808
+    assert result.files_deleted == 403
+    assert result.bytes_written == 273483729
+
+
+def test_pgbench_golden():
+    from repro.workloads.pgbench import run_pgbench
+    fs, ctx = _fs_ctx()
+    run_pgbench(fs, ctx, seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 15903934.721774336
+
+
+def test_wiredtiger_golden():
+    from repro.workloads.wiredtiger import run_wiredtiger
+    fs, ctx = _fs_ctx()
+    run_wiredtiger(fs, ctx, seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 7075766.015561348
+
+
+def test_kernel_compile_golden():
+    from repro.workloads.utilities import run_kernel_compile
+    fs, ctx = _fs_ctx()
+    run_kernel_compile(fs, ctx, seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 12328010.593058184
+
+
+def test_part_lookup_golden():
+    from repro.workloads.part import run_part_lookups
+    fs, ctx = _fs_ctx()
+    run_part_lookups(fs, ctx, lookups=2000, pool_bytes=32 * 1024 * 1024,
+                     hot_keys=5000, seed=BENCH_SEED)
+    assert ctx.clock.elapsed == 2495548.3626574
