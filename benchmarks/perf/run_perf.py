@@ -25,6 +25,9 @@ Benches:
 * ``fleet_scaling``    — a fixed (fs, pattern, seed) matrix at
                          ``--jobs 1`` vs ``--jobs 4`` through the fleet
                          runner (reports are verified identical).
+* ``slo_campaign``     — the ``repro slo`` fault campaign with telemetry
+                         attached (sketches, ledger, timeline), serial vs
+                         ``--jobs 2`` (reports verified identical).
 
 ``--jobs N`` shards the (bench, repetition) cells themselves across
 worker processes; wall time is measured inside each worker, so the
@@ -226,6 +229,35 @@ def bench_fleet_scaling(scale: float) -> dict:
     }
 
 
+def bench_slo_campaign(scale: float) -> dict:
+    """The ``repro slo`` fault campaign: telemetry-attached op mix,
+    crash + degraded phase + heal, sketch merge and report evaluation.
+
+    Measures the observability tax end-to-end (wrapped VFS entry
+    points, per-op sketch records, ledger updates) and verifies the
+    jobs-2 report is byte-identical to serial, like ``fleet_scaling``.
+    """
+    from repro.harness.fleet import run_slo_campaign, slo_matrix
+
+    seeds = list(range(1, max(2, int(4 * scale)) + 1))
+    ops = max(80, int(400 * scale))
+    cells = slo_matrix(["WineFS", "ext4-DAX"], seeds,
+                       size_gib=0.25, num_cpus=2, ops=ops)
+    t0 = time.perf_counter()
+    serial_report = run_slo_campaign(cells, jobs=1)
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel_report = run_slo_campaign(cells, jobs=2)
+    parallel = time.perf_counter() - t0
+    return {
+        "wall_s": serial,
+        "work": {"cells": len(cells), "ops_per_cell": ops,
+                 "parallel_s": parallel,
+                 "host_cpus": os.cpu_count(),
+                 "reports_identical": serial_report == parallel_report},
+    }
+
+
 BENCHES = {
     "aging_churn": bench_aging_churn,
     "fig4_cdf": bench_fig4_cdf,
@@ -234,6 +266,7 @@ BENCHES = {
     "journal_storm": bench_journal_storm,
     "snapshot_restore": bench_snapshot_restore,
     "fleet_scaling": bench_fleet_scaling,
+    "slo_campaign": bench_slo_campaign,
 }
 
 

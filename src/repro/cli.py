@@ -8,6 +8,7 @@ Quick access to the library without writing a script:
 * ``repro mmap-bench --fs WineFS --aged`` — the Fig 1-style probe;
 * ``repro crash-test`` — run the CrashMonkey/ACE catalogue on WineFS;
 * ``repro lint`` — the repro.analysis static-analysis suite (CI gate);
+* ``repro slo --jobs 2`` — seeded fault campaign with SLO telemetry;
 * ``repro scalability --fs WineFS --threads 1,4,16`` — a Fig 10 slice.
 """
 
@@ -219,6 +220,50 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_slo(args) -> int:
+    """Run a seeded fault campaign with telemetry on and report SLOs.
+
+    The JSON report (``--out``) contains only simulated quantities,
+    merged in sorted-cell-key order, so it is byte-identical for any
+    ``--jobs`` value — that is what the CI ``slo-smoke`` step diffs.
+    """
+    import json
+
+    from .harness.fleet import run_slo_campaign, slo_matrix
+    from .harness.report import availability_table, slo_table
+
+    fs_names = sorted(args.slo_fs.split(","))
+    for name in fs_names:
+        if name not in SPECS_BY_NAME:
+            raise SystemExit(f"unknown file system {name!r}")
+    seeds = sorted(int(s) for s in args.seeds.split(","))
+    cells = slo_matrix(fs_names, seeds, size_gib=args.size_gib,
+                       num_cpus=args.cpus, ops=args.ops)
+    report = run_slo_campaign(cells, jobs=args.jobs)
+    if args.out:
+        blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+        if args.out == "-":
+            sys.stdout.write(blob)
+        else:
+            with open(args.out, "w") as handle:
+                handle.write(blob)
+            print(f"wrote {args.out} ({len(report['cells'])} cells, "
+                  f"jobs={args.jobs})")
+    if args.openmetrics:
+        from .obs import write_openmetrics
+        write_openmetrics(args.openmetrics, report["frame"])
+        if args.openmetrics != "-":
+            print(f"wrote {args.openmetrics} (OpenMetrics)")
+    if args.out != "-" and args.openmetrics != "-":
+        title = (f"SLO report ({len(report['cells'])} cells, "
+                 f"seeds={','.join(str(s) for s in seeds)})")
+        print(slo_table(report["results"], title=title).render())
+        if report["availability"]:
+            print()
+            print(availability_table(report["availability"]).render())
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the repro.analysis static-analysis suite (see DESIGN.md)."""
     import json
@@ -395,6 +440,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default="-",
                    help="report path ('-' for stdout)")
 
+    p = sub.add_parser("slo", help="run a seeded fault campaign with "
+                                   "telemetry on and report per-FS SLOs "
+                                   "(latency quantiles, error budgets, "
+                                   "degraded-mode time)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (the report is byte-identical "
+                        "for any value)")
+    p.add_argument("--fs", dest="slo_fs", default="WineFS,ext4-DAX",
+                   help="comma-separated file systems")
+    p.add_argument("--seeds", default="1,2",
+                   help="comma-separated campaign seeds")
+    p.add_argument("--ops", type=_positive_int, default=160,
+                   help="operations per campaign phase")
+    p.add_argument("--size-gib", type=float, default=0.25)
+    p.add_argument("--cpus", type=int, default=2)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON SLO report ('-' for stdout)")
+    p.add_argument("--openmetrics", metavar="PATH", default=None,
+                   help="write the merged frame as OpenMetrics text "
+                        "('-' for stdout)")
+
     p = sub.add_parser("lint", help="run the repro.analysis static-"
                                     "analysis suite over src/repro")
     p.add_argument("paths", nargs="*",
@@ -443,6 +509,7 @@ COMMANDS = {
     "mmap-bench": cmd_mmap_bench,
     "crash-test": cmd_crash_test,
     "faults": cmd_faults,
+    "slo": cmd_slo,
     "lint": cmd_lint,
     "scalability": cmd_scalability,
     "trace": cmd_trace,

@@ -167,8 +167,8 @@ class WineFS(BaseFS):
 
     def mkfs(self, ctx: SimContext) -> None:
         # a fresh format clears any degradation from a previous mount
-        self.read_only = False
-        self.degraded_reason = None
+        # (and closes the degraded interval on an attached timeline)
+        self.clear_degraded(ctx)
         self._itable = _PerCPUInodeTables(self.layout)
         self._dirs = {}
         self._indirect_chains = {}
@@ -235,11 +235,11 @@ class WineFS(BaseFS):
         """Remount read-only and make the event observable."""
         if self.read_only:
             return
-        self.remount_read_only(reason)
+        self.remount_read_only(reason, ctx)
         if ctx is not None:
             ctx.counters.registry.counter("fs_degraded", fs=self.name).inc()
             if ctx.trace.enabled:
-                now = ctx.now()
+                now = ctx.now
                 ctx.trace.record("fs.degraded", ctx.cpu, now, now,
                                  fs=self.name, reason=reason)
 
@@ -721,6 +721,8 @@ class WineFS(BaseFS):
         assert self.allocator is not None
         logical = self._logical_of_phys(inode, bad)
         new_ext = self.allocator.relocate_block(bad, ctx)
+        self._telemetry_event("relocation", ctx, block=bad,
+                              dest=new_ext.start)
         ctx.charge(self.machine.pm_read_ns(self.block_size)
                    + self.machine.persist_ns(self.block_size))
         ctx.counters.pm_bytes_written += self.block_size
@@ -840,6 +842,7 @@ class WineFS(BaseFS):
             if bad is None:
                 return extents
             self.allocator.quarantine(bad)
+            self._telemetry_event("quarantine", ctx, block=bad)
             self.allocator.free_all(extents, ctx)
             if attempt == MAX_WRITE_RETRIES:
                 plan.note("write_error", "surfaced", ctx, block=bad)

@@ -1,0 +1,71 @@
+"""Seeded fault campaigns for SLO reporting.
+
+A *campaign* is the fault schedule behind ``repro slo``: a deterministic
+mix of runtime faults (latency spikes, an allocator blip, a failing
+block write) plus, for file systems that support degraded mounts, a
+post-crash media scar that forces tolerant recovery to skip journal
+records and remount read-only.  Everything derives from one integer
+seed via :func:`repro.rng.make_rng`, so the same seed always produces
+the same plan and therefore the same SLO report.
+
+Two builders, matching the two phases of a campaign cell
+(:func:`repro.harness.fleet.slo_cell`):
+
+* :func:`campaign_plan` — runtime faults active while the workload runs;
+* :func:`crash_plan` — the damage applied between a simulated crash and
+  the remount (a poisoned journal head), which is what drives the
+  degraded-mode timeline.
+"""
+
+from __future__ import annotations
+
+from ..rng import make_rng
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["campaign_plan", "crash_plan"]
+
+#: poisoned bytes at the journal head for :func:`crash_plan` (one
+#: cacheline — enough to break the first record's checksum)
+CRASH_SCAR_BYTES = 64
+
+
+def campaign_plan(seed: int) -> FaultPlan:
+    """Runtime fault mix for one campaign cell.
+
+    The mix exercises every masked/surfaced path that feeds the error
+    ledger without depending on the workload's exact op count:
+
+    * two transient device latency windows (hit every file system);
+    * one allocator ``enospc`` blip (surfaced as ENOSPC; inert on
+      baselines, which never consult the allocator hook);
+    * one failing block write (masked by WineFS's retry-with-relocation;
+      inert on baselines).
+
+    Placement and magnitude come from the campaign seed, so distinct
+    seeds stress distinct op windows.
+    """
+    rng = make_rng(seed)
+    specs = [
+        FaultSpec("latency", at_op=50 + rng.randrange(0, 400),
+                  count=150 + rng.randrange(0, 100),
+                  latency_mult=float(2 + rng.randrange(0, 3))),
+        FaultSpec("latency", at_op=1500 + rng.randrange(0, 1000),
+                  count=250, latency_mult=4.0),
+        FaultSpec("enospc", at_op=10 + rng.randrange(0, 30), count=1),
+        FaultSpec("write_error", blocks=(), count=1),
+    ]
+    return FaultPlan(seed=seed, specs=specs)
+
+
+def crash_plan(seed: int, journal_base: int,
+               length: int = CRASH_SCAR_BYTES) -> FaultPlan:
+    """Post-crash media damage for the remount phase.
+
+    Poisons *length* bytes at *journal_base* (the head of CPU 0's
+    journal, read from the pre-crash instance) so the tolerant journal
+    scan on the next mount skips at least one record and the file
+    system degrades to read-only — the deterministic trigger for a
+    degraded-mode interval on the timeline.
+    """
+    return FaultPlan(seed=seed, specs=[
+        FaultSpec("poison", addr=journal_base, length=length)])

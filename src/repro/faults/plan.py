@@ -147,7 +147,7 @@ class FaultPlan:
             ctx.counters.registry.counter(
                 "fault_events", kind=kind, outcome=outcome).inc()
             if ctx.trace.enabled:
-                now = ctx.now()
+                now = ctx.now
                 ctx.trace.record(f"fault.{kind}", ctx.cpu, now, now,
                                  outcome=outcome, **attrs)
 

@@ -16,14 +16,16 @@ from .setup import (FSSpec, ALL_SPECS, SPECS_BY_NAME,
                     METADATA_GROUP, DATA_GROUP,
                     make_fs, aged_fs, fresh_fs)
 from .fleet import (run_fleet, merge_numeric, bench_cell, bench_matrix,
-                    run_bench_matrix)
+                    run_bench_matrix, slo_cell, slo_matrix,
+                    run_slo_campaign)
 from .report import (Table, format_series, format_cdf,
-                     phase_breakdown_table)
+                     phase_breakdown_table, slo_table, availability_table)
 
 __all__ = ["FSSpec", "ALL_SPECS", "SPECS_BY_NAME",
            "METADATA_GROUP", "DATA_GROUP",
            "make_fs", "aged_fs", "fresh_fs",
            "run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
            "run_bench_matrix",
+           "slo_cell", "slo_matrix", "run_slo_campaign",
            "Table", "format_series", "format_cdf",
-           "phase_breakdown_table"]
+           "phase_breakdown_table", "slo_table", "availability_table"]

@@ -24,10 +24,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..params import KIB, MIB
-from .setup import ALL_SPECS, aged_fs, fresh_fs
+from .setup import ALL_SPECS, SPECS_BY_NAME, aged_fs, fresh_fs
 
 __all__ = ["run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
-           "run_bench_matrix", "DEFAULT_BENCH_PATTERNS"]
+           "run_bench_matrix", "DEFAULT_BENCH_PATTERNS",
+           "slo_cell", "slo_matrix", "run_slo_campaign",
+           "SLO_REPORT_SCHEMA"]
 
 
 def run_fleet(fn: Callable[[Any], Any], cells: Sequence[Any],
@@ -126,3 +128,187 @@ def run_bench_matrix(cells: Sequence[Dict[str, Any]],
          "page_faults": r["page_faults_4k"] + r["page_faults_2m"]}
         for r in results)
     return {"schema": "repro.bench/1", "cells": results, "totals": totals}
+
+
+# -- the `repro slo` fault campaign ------------------------------------------
+
+SLO_REPORT_SCHEMA = "repro.slo-report/1"
+
+
+def slo_matrix(fs_names: Sequence[str], seeds: Sequence[int], *,
+               size_gib: float = 0.25, num_cpus: int = 2,
+               ops: int = 160) -> List[Dict[str, Any]]:
+    """The sorted (fs, seed) campaign cell list — the canonical merge
+    order, exactly like :func:`bench_matrix`."""
+    cells = [{"fs": fs, "seed": seed, "size_gib": size_gib,
+              "num_cpus": num_cpus, "ops": ops}
+             for fs in fs_names for seed in seeds]
+    cells.sort(key=lambda c: (c["fs"], c["seed"]))
+    return cells
+
+
+def _drive_op_mix(fs, ctx, rng, count: int, prefix: str) -> None:
+    """A seeded VFS op mix (creates/reads/overwrites/renames/unlinks/
+    dirs).  Every op goes through the instrumented entry points; surfaced
+    errors are swallowed here — the telemetry wrappers already recorded
+    them — so an injected fault never aborts the campaign."""
+    from ..errors import FSError
+
+    files: List[str] = []
+    for i in range(count):
+        roll = rng.randrange(100)
+        try:
+            if roll < 30 or not files:
+                path = f"{prefix}/f{i}"
+                f = fs.create(path, ctx)
+                f.pwrite(0, b"w" * (512 + 512 * rng.randrange(8)), ctx)
+                f.fsync(ctx)
+                f.close()
+                files.append(path)
+            elif roll < 55:
+                fs.read_file(files[rng.randrange(len(files))], ctx)
+            elif roll < 70:
+                f = fs.open(files[rng.randrange(len(files))], ctx)
+                f.pwrite(0, b"u" * 1024, ctx)
+                f.fsync(ctx)
+                f.close()
+            elif roll < 78:
+                fs.readdir("/", ctx)
+            elif roll < 86:
+                old = files.pop(rng.randrange(len(files)))
+                new = f"{prefix}/r{i}"
+                fs.rename(old, new, ctx)
+                files.append(new)
+            elif roll < 94:
+                fs.unlink(files.pop(rng.randrange(len(files))), ctx)
+            else:
+                path = f"{prefix}/d{i}"
+                fs.mkdir(path, ctx)
+                fs.readdir(path, ctx)
+        except FSError:
+            pass
+
+
+def _drive_degraded_mix(fs, ctx, rng, count: int) -> None:
+    """Post-remount op mix: reads/readdirs that keep working on a
+    degraded mount, plus writes that surface EROFS there (and succeed on
+    a healthy one)."""
+    from ..errors import FSError
+
+    readable = []
+    try:
+        for name in fs.readdir("/", ctx):
+            path = "/" + name
+            if not fs.getattr(path).is_dir:
+                readable.append(path)
+    except FSError:
+        pass
+    for i in range(count):
+        roll = rng.randrange(100)
+        try:
+            if roll < 50 and readable:
+                fs.read_file(readable[rng.randrange(len(readable))], ctx)
+            elif roll < 75:
+                fs.readdir("/", ctx)
+            else:
+                f = fs.write_file(f"/post{i}", b"p" * 512, ctx)
+                f.close()
+        except FSError:
+            pass
+
+
+def slo_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one fault-campaign cell; returns a telemetry frame payload.
+
+    Three phases, all in simulated time on the cell's own machine:
+
+    1. a seeded op mix under the runtime fault plan
+       (:func:`repro.faults.campaign_plan`);
+    2. a crash (no unmount) plus post-crash media damage
+       (:func:`repro.faults.crash_plan` — a poisoned journal head), then
+       a remount whose tolerant recovery degrades the mount to
+       read-only, followed by a degraded-mode op mix.  File systems
+       without WineFS's fault surface instead do a clean
+       unmount/remount on the same instance;
+    3. (degradable FSes only) a re-format that heals the mount — the
+       recovery edge that turns the degraded interval into an MTTR
+       sample — and a short post-repair mix.
+
+    Everything is deterministic in the cell key, so the frame is too.
+    """
+    from ..clock import make_context
+    from ..faults import campaign_plan, crash_plan
+    from ..obs import Telemetry
+    from ..rng import make_rng
+
+    name = cell["fs"]
+    seed = cell["seed"]
+    ops = cell["ops"]
+    telemetry = Telemetry(tag=f"{name}/s{seed}")
+    fs, ctx = fresh_fs(name, size_gib=cell["size_gib"],
+                       num_cpus=cell["num_cpus"])
+    plan = campaign_plan(seed)
+    degradable = hasattr(fs, "attach_fault_plan")
+    if degradable:
+        fs.attach_fault_plan(plan)
+    else:
+        fs.device.set_fault_plan(plan)
+    fs.attach_telemetry(telemetry)
+    # salt the workload stream apart from the plan's own RNG
+    rng = make_rng(seed, salt=11)
+    _drive_op_mix(fs, ctx, rng, ops, prefix="")
+    if degradable:
+        # crash: skip the clean unmount, scar the journal head, and
+        # remount a fresh instance from the PM image alone
+        damage = crash_plan(seed, fs.journal.journals[0].base)
+        spec = SPECS_BY_NAME[name]
+        fs2 = spec.build(fs.device, cell["num_cpus"])
+        fs2.attach_fault_plan(damage)
+        fs2.attach_telemetry(telemetry)
+        fs2.mount(ctx)
+        _drive_degraded_mix(fs2, ctx, rng, ops // 2)
+        # repair: a fresh format heals the mount (closes the interval)
+        fs2.mkfs(ctx)
+        _drive_op_mix(fs2, ctx, rng, ops // 4, prefix="")
+        telemetry.absorb_fault_plan(fs2.name, damage)
+        fs = fs2
+    else:
+        fs.unmount(ctx)
+        fs.mount(ctx)
+        _drive_degraded_mix(fs, ctx, rng, ops // 2)
+    telemetry.absorb_fault_plan(fs.name, plan)
+    telemetry.finalize(ctx.clock.elapsed)
+    return telemetry.as_payload()
+
+
+def run_slo_campaign(cells: Sequence[Dict[str, Any]],
+                     jobs: int = 1) -> Dict[str, Any]:
+    """Run the campaign and evaluate SLOs over the merged frame.
+
+    Frames come back in input (sorted-cell-key) order and merge in that
+    order, so the report is byte-identical for any *jobs* value.
+    """
+    from ..obs import evaluate_frame, frame_of, merge_frames
+
+    frames = run_fleet(slo_cell, cells, jobs=jobs)
+    merged = merge_frames(frames)
+    results = evaluate_frame(merged)
+    _bank, _ledger, timeline = frame_of(merged)
+    availability = {
+        fs: {"degradations": timeline.degradations(fs),
+             "degraded_ns": timeline.degraded_ns(fs),
+             "mttr_ns": timeline.mttr_ns(fs)}
+        for fs in timeline.fs_names()}
+    return {
+        "schema": SLO_REPORT_SCHEMA,
+        "cells": [{"fs": c["fs"], "seed": c["seed"]} for c in cells],
+        "frame": merged,
+        "results": [
+            {"fs": r.fs, "slo": r.spec.name, "ops": r.ops,
+             "surfaced": r.surfaced, "p50_ns": r.p50_ns,
+             "p99_ns": r.p99_ns, "p999_ns": r.p999_ns,
+             "budget_burn": r.budget_burn,
+             "objectives": list(r.objective_lines), "ok": r.ok}
+            for r in results],
+        "availability": availability,
+    }

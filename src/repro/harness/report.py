@@ -24,18 +24,28 @@ class Table:
         self.rows.append([_fmt(v) for v in values])
 
     def render(self) -> str:
+        # cells may span multiple lines (e.g. SLO objective lists): the
+        # column width is the widest *line*, not the raw cell length,
+        # and a row renders as many text lines as its tallest cell
+        grid = [[cell.splitlines() or [""] for cell in row]
+                for row in self.rows]
         widths = [len(c) for c in self.columns]
-        for row in self.rows:
-            for i, cell in enumerate(row):
-                widths[i] = max(widths[i], len(cell))
+        for row in grid:
+            for i, cell_lines in enumerate(row):
+                for line in cell_lines:
+                    widths[i] = max(widths[i], len(line))
         lines = [self.title]
         header = "  ".join(c.ljust(widths[i])
                            for i, c in enumerate(self.columns))
         lines.append(header)
         lines.append("-" * len(header))
-        for row in self.rows:
-            lines.append("  ".join(cell.ljust(widths[i])
-                                   for i, cell in enumerate(row)))
+        for row in grid:
+            height = max(len(cell_lines) for cell_lines in row)
+            for k in range(height):
+                lines.append("  ".join(
+                    (cell_lines[k] if k < len(cell_lines) else "")
+                    .ljust(widths[i])
+                    for i, cell_lines in enumerate(row)))
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -89,6 +99,43 @@ def speedup(results: Dict[str, float], over: str) -> Dict[str, float]:
     base = results[over]
     return {k: (v / base if base else float("inf"))
             for k, v in results.items()}
+
+
+def slo_table(rows: Sequence[Dict], title: str = "SLO report") -> Table:
+    """Per-(fs, SLO class) table from a campaign report's ``results``
+    rows (:func:`repro.harness.fleet.run_slo_campaign`).
+
+    The objectives column is multi-line — one "bound: OK|VIOLATED" line
+    per set objective — which is exactly what :meth:`Table.render`'s
+    multi-line cell support exists for.
+    """
+    table = Table(title, ["fs", "slo", "ops", "errors", "p50(ns)",
+                          "p99(ns)", "p999(ns)", "burn", "objectives",
+                          "status"])
+    for row in rows:
+        table.add_row(row["fs"], row["slo"], row["ops"], row["surfaced"],
+                      row["p50_ns"], row["p99_ns"], row["p999_ns"],
+                      row["budget_burn"],
+                      "\n".join(row["objectives"]) or "-",
+                      "OK" if row["ok"] else "VIOLATED")
+    return table
+
+
+def availability_table(availability: Dict[str, Dict],
+                       title: str = "Degraded-mode availability"
+                       ) -> Table:
+    """Per-FS degraded-time summary from a campaign report's
+    ``availability`` map (simulated milliseconds; MTTR is ``-`` when no
+    degraded mount recovered)."""
+    table = Table(title, ["fs", "degradations", "degraded(ms)",
+                          "mttr(ms)"])
+    for fs in sorted(availability):
+        entry = availability[fs]
+        mttr = entry.get("mttr_ns")
+        table.add_row(fs, entry["degradations"],
+                      entry["degraded_ns"] / 1e6,
+                      "-" if mttr is None else _fmt(mttr / 1e6))
+    return table
 
 
 #: phase label -> display column, in paper-breakdown order (Figs 1/2/6)

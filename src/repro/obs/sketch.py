@@ -1,0 +1,239 @@
+"""Mergeable latency sketches over simulated nanoseconds.
+
+A :class:`LatencySketch` is a fixed-boundary log-bucketed histogram: every
+sketch in the tree shares the same boundary ladder, so merging two sketches
+is exact elementwise addition — no rank error is introduced by the merge
+itself, only by the bucket resolution, which is identical for a serial run
+and a fleet run.  That is what lets a ``--jobs N`` fault campaign produce
+an SLO report byte-identical to ``--jobs 1``: each cell's sketch is
+deterministic, and the merge is a sum in sorted-cell-key order.
+
+The ladder is four sub-buckets per octave with mantissas (1, 1.25, 1.5,
+1.75) — all exactly representable in binary floating point, so the
+boundaries (and therefore every bucket assignment) are bit-identical on
+any IEEE-754 host.  Resolution is <= 25% relative error on any reported
+quantile, spanning 1 ns to ~2^40 ns (~18 simulated minutes) with under/
+overflow buckets at the ends.
+
+Serialization (:meth:`LatencySketch.to_payload`) is a plain-JSON dict with
+sparse bucket counts keyed by stringified index; identical observation
+streams produce identical payloads, and ``json.dumps(..., sort_keys=True)``
+of a payload is byte-stable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+
+__all__ = ["BOUNDARIES", "LatencySketch", "SketchBank"]
+
+#: exact-in-binary sub-bucket mantissas (x/4 for x in 4..7)
+_SUBS = (1.0, 1.25, 1.5, 1.75)
+_MIN_EXP = 0     # first octave starts at 2^0 = 1 ns
+_MAX_EXP = 40    # last finite boundary 1.75 * 2^39; overflow above
+
+#: the shared boundary ladder: bucket ``i`` holds values ``v`` with
+#: ``BOUNDARIES[i-1] < v <= BOUNDARIES[i]`` (bucket 0: ``v <= 1.0``);
+#: one extra overflow bucket sits past the final boundary
+BOUNDARIES: Tuple[float, ...] = tuple(
+    m * float(2 ** e) for e in range(_MIN_EXP, _MAX_EXP) for m in _SUBS)
+
+_NUM_BUCKETS = len(BOUNDARIES) + 1   # + overflow
+
+#: payload schema tag; bump on any incompatible layout change
+_SCHEMA = "repro.sketch/1"
+
+
+class LatencySketch:
+    """One fixed-boundary latency distribution (simulated ns).
+
+    Exact counts per bucket, exact ``count``/``sum``/``min``/``max``.
+    Quantiles come from the cumulative bucket counts and report the
+    bucket's inclusive upper boundary — a deterministic, mergeable answer
+    (never an interpolation over raw samples, which would not survive a
+    merge).
+    """
+
+    __slots__ = ("counts", "count", "sum", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    # -- recording ----------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ObservabilityError(f"negative latency {value}")
+        idx = bisect_left(BOUNDARIES, value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    # -- queries ------------------------------------------------------------
+
+    def quantile(self, pct: float) -> float:
+        """Inclusive upper boundary of the bucket holding the pct-th
+        percentile observation (0 when the sketch is empty).
+
+        Overflow observations report the exact tracked maximum."""
+        if not 0.0 <= pct <= 100.0:
+            raise ObservabilityError(f"percentile {pct} out of range")
+        if not self.count:
+            return 0.0
+        # smallest rank r with cumulative(r) >= ceil(pct/100 * count),
+        # computed in integers so no float rank ever straddles a bucket
+        target = -(-int(pct * self.count) // 100)  # ceil without floats
+        target = max(target, 1)
+        cum = 0
+        for idx in sorted(self.counts):
+            cum += self.counts[idx]
+            if cum >= target:
+                if idx >= len(BOUNDARIES):
+                    return float(self.maximum)
+                return BOUNDARIES[idx]
+        return float(self.maximum)   # pragma: no cover - cum always reaches
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(99.9)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper boundary, cumulative count) pairs for every bucket up to
+        the last occupied one — the OpenMetrics ``le`` series."""
+        if not self.counts:
+            return []
+        last = max(self.counts)
+        out: List[Tuple[float, int]] = []
+        cum = 0
+        for idx in range(min(last + 1, len(BOUNDARIES))):
+            cum += self.counts.get(idx, 0)
+            out.append((BOUNDARIES[idx], cum))
+        return out
+
+    # -- merge / serialization ----------------------------------------------
+
+    def merge(self, other: "LatencySketch") -> "LatencySketch":
+        """Fold *other* into self (exact; both share the ladder)."""
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+        return self
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "schema": _SCHEMA,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.minimum,
+            "max": self.maximum,
+            "counts": {str(idx): self.counts[idx]
+                       for idx in sorted(self.counts)},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LatencySketch":
+        if payload.get("schema") != _SCHEMA:
+            raise ObservabilityError(
+                f"unknown sketch schema {payload.get('schema')!r}")
+        sketch = cls()
+        sketch.count = int(payload["count"])
+        sketch.sum = float(payload["sum"])
+        sketch.minimum = None if payload["min"] is None \
+            else float(payload["min"])
+        sketch.maximum = None if payload["max"] is None \
+            else float(payload["max"])
+        for key, n in dict(payload["counts"]).items():
+            idx = int(key)
+            if not 0 <= idx < _NUM_BUCKETS:
+                raise ObservabilityError(f"bucket index {idx} out of range")
+            sketch.counts[idx] = int(n)
+        return sketch
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"LatencySketch(n={self.count}, p50={self.p50:.0f}, "
+                f"p99={self.p99:.0f})")
+
+
+class SketchBank:
+    """Latency sketches keyed by (fs, op) — one per VFS entry point.
+
+    Key order in payloads is sorted, so two banks built from the same
+    observations serialize identically regardless of insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._sketches: Dict[Tuple[str, str], LatencySketch] = {}
+
+    def observe(self, fs: str, op: str, latency_ns: float) -> None:
+        key = (fs, op)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = self._sketches[key] = LatencySketch()
+        sketch.observe(latency_ns)
+
+    def get(self, fs: str, op: str) -> Optional[LatencySketch]:
+        return self._sketches.get((fs, op))
+
+    def keys(self) -> List[Tuple[str, str]]:
+        return sorted(self._sketches)
+
+    def items(self) -> Iterable[Tuple[Tuple[str, str], LatencySketch]]:
+        for key in sorted(self._sketches):
+            yield key, self._sketches[key]
+
+    def merge(self, other: "SketchBank") -> "SketchBank":
+        for key in sorted(other._sketches):
+            mine = self._sketches.get(key)
+            if mine is None:
+                mine = self._sketches[key] = LatencySketch()
+            mine.merge(other._sketches[key])
+        return self
+
+    def to_payload(self) -> Dict[str, object]:
+        return {f"{fs}\x1f{op}": sketch.to_payload()
+                for (fs, op), sketch in self.items()}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SketchBank":
+        bank = cls()
+        for key in sorted(payload):
+            fs, _, op = key.partition("\x1f")
+            bank._sketches[(fs, op)] = LatencySketch.from_payload(
+                payload[key])
+        return bank
+
+    def __len__(self) -> int:
+        return len(self._sketches)

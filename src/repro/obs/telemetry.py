@@ -1,0 +1,129 @@
+"""The SLO telemetry frame: sketches + error ledger + degraded timeline.
+
+One :class:`Telemetry` object is attached to one or more simulated file
+systems (``FileSystem.attach_telemetry``); the VFS entry-point wrappers
+feed it operation latencies and surfaced errors, the degradation hooks
+feed the timeline, and a fault campaign folds the
+:class:`~repro.faults.FaultPlan` ledger in at harvest time.
+
+Telemetry is **default-off and bit-identical-off**: an un-attached file
+system executes exactly the code it does on main (the wrappers are
+installed per instance, never on the class), and an attached one records
+from clock *readings* only — nothing here ever charges simulated time,
+so every simulated result is identical with telemetry on or off.
+
+The wire form (:meth:`Telemetry.as_payload`) is a plain-JSON "frame";
+frames from fleet workers merge deterministically in the caller's
+sorted-cell-key order (:func:`merge_frames`), which is what keeps a
+``--jobs N`` campaign report byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+from .sketch import SketchBank
+from .slo import DEFAULT_SLOS, ErrorLedger, SLOResult, SLOSpec, evaluate
+from .timeline import DegradedTimeline
+
+__all__ = ["Telemetry", "merge_frames", "evaluate_frame", "frame_of"]
+
+FRAME_SCHEMA = "repro.slo/1"
+
+
+class Telemetry:
+    """Mutable per-run telemetry; harvest with :meth:`as_payload`.
+
+    ``tag`` labels the run (fleet cells use their cell key) so merged
+    timelines keep per-mount attribution.
+    """
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+        self.sketches = SketchBank()
+        self.ledger = ErrorLedger()
+        self.timeline = DegradedTimeline(tag=tag)
+
+    # -- recording (called from the VFS wrappers) ---------------------------
+
+    def record_op(self, fs: str, op: str, latency_ns: float) -> None:
+        self.sketches.observe(fs, op, latency_ns)
+        self.ledger.note_op(fs, op)
+
+    def record_error(self, fs: str, op: str, errno_name: str,
+                     latency_ns: Optional[float] = None) -> None:
+        """A call that surfaced an FSError.  Failed calls count toward
+        ``ops`` (they consumed a request) but never enter the latency
+        sketch — an EROFS rejection is fast, and letting it pull p99 down
+        would reward degradation."""
+        self.ledger.note_op(fs, op)
+        self.ledger.note_surfaced(fs, op, errno_name)
+
+    def absorb_fault_plan(self, fs: str, plan) -> None:
+        """Fold *plan*'s (kind, outcome) counts into the ledger."""
+        self.ledger.absorb_fault_counts(fs, plan.counts)
+
+    def finalize(self, end_ns: float) -> None:
+        self.timeline.finalize(end_ns)
+
+    # -- harvest ------------------------------------------------------------
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "schema": FRAME_SCHEMA,
+            "tag": self.tag,
+            "sketches": self.sketches.to_payload(),
+            "errors": self.ledger.to_payload(),
+            "timeline": self.timeline.to_payload(),
+        }
+
+    def evaluate(self, slos: Tuple[SLOSpec, ...] = DEFAULT_SLOS
+                 ) -> List[SLOResult]:
+        return evaluate(self.sketches, self.ledger, self.timeline,
+                        slos=slos)
+
+
+def frame_of(payload: Mapping[str, object]
+             ) -> Tuple[SketchBank, ErrorLedger, DegradedTimeline]:
+    """Rehydrate one frame payload into its three live parts."""
+    if payload.get("schema") != FRAME_SCHEMA:
+        raise ObservabilityError(
+            f"unknown telemetry frame schema {payload.get('schema')!r}")
+    return (SketchBank.from_payload(payload["sketches"]),
+            ErrorLedger.from_payload(payload["errors"]),
+            DegradedTimeline.from_payload(payload["timeline"]))
+
+
+def merge_frames(frames: Sequence[Mapping[str, object]],
+                 tag: str = "merged") -> Dict[str, object]:
+    """Merge frame payloads in the given order into one frame payload.
+
+    The caller passes frames in sorted-cell-key order (what the fleet
+    returns); the merge itself is order-preserving sums and
+    concatenations, so the output is byte-stable for a fixed input
+    order no matter how many workers produced the frames.
+    """
+    sketches = SketchBank()
+    ledger = ErrorLedger()
+    timeline = DegradedTimeline(tag=tag)
+    for payload in frames:
+        bank, errors, cell_timeline = frame_of(payload)
+        sketches.merge(bank)
+        ledger.merge(errors)
+        timeline.merge(cell_timeline)
+    return {
+        "schema": FRAME_SCHEMA,
+        "tag": tag,
+        "sketches": sketches.to_payload(),
+        "errors": ledger.to_payload(),
+        "timeline": timeline.to_payload(),
+    }
+
+
+def evaluate_frame(payload: Mapping[str, object],
+                   slos: Tuple[SLOSpec, ...] = DEFAULT_SLOS
+                   ) -> List[SLOResult]:
+    """Evaluate SLOs over a (possibly merged) frame payload."""
+    sketches, ledger, timeline = frame_of(payload)
+    return evaluate(sketches, ledger, timeline, slos=slos)

@@ -1,0 +1,170 @@
+"""Degraded-mode timelines over simulated time.
+
+Tracks *when* each simulated mount was degraded (remounted read-only),
+when (if ever) it recovered, and the quarantine/relocation events that
+preceded degradation.  Driven by the hooks in
+:mod:`repro.vfs.interface` — ``remount_read_only`` opens an interval,
+an explicit recovery closes it, and :meth:`DegradedTimeline.finalize`
+closes whatever is still open at campaign end (degraded-to-end-of-
+observation, the availability view).
+
+All timestamps are simulated nanoseconds from the recording context;
+nothing here reads wall time or charges the clock.  Timelines from fleet
+cells merge by concatenation in the caller's (sorted-cell-key) order, so
+merged payloads are byte-stable for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ObservabilityError
+
+__all__ = ["DegradedTimeline"]
+
+_SCHEMA = "repro.timeline/1"
+
+
+class DegradedTimeline:
+    """Per-mount degraded intervals plus a flat degradation event log.
+
+    ``tag`` distinguishes mounts that share an FS name (fleet cells each
+    label their timeline with the cell key); per-FS aggregates simply sum
+    over tags.
+    """
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+        #: closed + open intervals, in event order:
+        #: {"fs", "tag", "start", "end" (None while open), "reason",
+        #:  "recovered" (bool: closed by recovery, not by finalize)}
+        self.intervals: List[Dict[str, object]] = []
+        #: flat event log: {"t", "fs", "tag", "kind", ...attrs}
+        self.events: List[Dict[str, object]] = []
+        self.end_ns: Optional[float] = None
+
+    # -- hooks --------------------------------------------------------------
+
+    def _open_interval(self, fs: str) -> Optional[Dict[str, object]]:
+        for interval in reversed(self.intervals):
+            if interval["fs"] == fs and interval["tag"] == self.tag \
+                    and interval["end"] is None:
+                return interval
+        return None
+
+    def mark_degraded(self, fs: str, reason: str, now_ns: float) -> None:
+        """Open a degraded interval for *fs* (idempotent while open).
+
+        A second degradation reason on an already-degraded mount is
+        dropped: the first detection wins, matching
+        ``FileSystem.remount_read_only``, and no duplicate interval or
+        event is emitted.
+        """
+        if self._open_interval(fs) is not None:
+            return
+        self.intervals.append({"fs": fs, "tag": self.tag,
+                               "start": now_ns, "end": None,
+                               "reason": reason, "recovered": False})
+        self.note_event(fs, "degraded", now_ns, reason=reason)
+
+    def mark_recovered(self, fs: str, now_ns: float) -> None:
+        """Close the open interval (a clean mkfs/mount cycle healed it)."""
+        interval = self._open_interval(fs)
+        if interval is None:
+            return
+        if now_ns < float(interval["start"]):  # type: ignore[arg-type]
+            raise ObservabilityError("recovery precedes degradation")
+        interval["end"] = now_ns
+        interval["recovered"] = True
+        self.note_event(fs, "recovered", now_ns)
+
+    def note_event(self, fs: str, kind: str, now_ns: float,
+                   **attrs: object) -> None:
+        """Log one zero-width degradation-related event (quarantine,
+        relocation, ...)."""
+        entry: Dict[str, object] = {"t": now_ns, "fs": fs,
+                                    "tag": self.tag, "kind": kind}
+        for key in sorted(attrs):
+            entry[key] = attrs[key]
+        self.events.append(entry)
+
+    def finalize(self, end_ns: float) -> None:
+        """Close every still-open interval at the end of observation."""
+        self.end_ns = end_ns
+        for interval in self.intervals:
+            if interval["end"] is None:
+                interval["end"] = end_ns
+
+    # -- aggregates ---------------------------------------------------------
+
+    def degraded_ns(self, fs: Optional[str] = None) -> float:
+        """Total degraded simulated time (optionally for one FS).
+
+        Open intervals (no finalize yet) contribute nothing until closed.
+        """
+        total = 0.0
+        for interval in self.intervals:
+            if fs is not None and interval["fs"] != fs:
+                continue
+            if interval["end"] is None:
+                continue
+            total += float(interval["end"]) - float(interval["start"])  # type: ignore[arg-type]
+        return total
+
+    def mttr_ns(self, fs: Optional[str] = None) -> Optional[float]:
+        """Mean time-to-recover over *recovered* intervals only.
+
+        ``None`` when nothing recovered — a mount degraded to the end of
+        observation has no repair time, and reporting the observation
+        cutoff as one would understate real MTTR.
+        """
+        durations = [float(i["end"]) - float(i["start"])  # type: ignore[arg-type]
+                     for i in self.intervals
+                     if i["recovered"] and i["end"] is not None
+                     and (fs is None or i["fs"] == fs)]
+        if not durations:
+            return None
+        return sum(durations) / len(durations)
+
+    def degradations(self, fs: Optional[str] = None) -> int:
+        return sum(1 for i in self.intervals
+                   if fs is None or i["fs"] == fs)
+
+    def event_count(self, kind: str, fs: Optional[str] = None) -> int:
+        return sum(1 for e in self.events if e["kind"] == kind
+                   and (fs is None or e["fs"] == fs))
+
+    def fs_names(self) -> List[str]:
+        return sorted({str(i["fs"]) for i in self.intervals}
+                      | {str(e["fs"]) for e in self.events})
+
+    # -- merge / serialization ----------------------------------------------
+
+    def merge(self, other: "DegradedTimeline") -> "DegradedTimeline":
+        """Concatenate *other*'s record (caller fixes the merge order)."""
+        self.intervals.extend(dict(i) for i in other.intervals)
+        self.events.extend(dict(e) for e in other.events)
+        if other.end_ns is not None:
+            self.end_ns = other.end_ns if self.end_ns is None \
+                else max(self.end_ns, other.end_ns)
+        return self
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "schema": _SCHEMA,
+            "tag": self.tag,
+            "end_ns": self.end_ns,
+            "intervals": [dict(i) for i in self.intervals],
+            "events": [dict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "DegradedTimeline":
+        if payload.get("schema") != _SCHEMA:
+            raise ObservabilityError(
+                f"unknown timeline schema {payload.get('schema')!r}")
+        timeline = cls(tag=str(payload.get("tag", "")))
+        timeline.end_ns = payload.get("end_ns")  # type: ignore[assignment]
+        timeline.intervals = [dict(i) for i in payload["intervals"]]
+        timeline.events = [dict(e) for e in payload["events"]]
+        return timeline

@@ -42,10 +42,14 @@ class Summary:
     p99: float
     minimum: float
     maximum: float
+    #: tail percentile the SLO reports grade against; defaulted so older
+    #: positional constructions keep working
+    p999: float = 0.0
 
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.1f} p50={self.median:.1f} "
                 f"p90={self.p90:.1f} p99={self.p99:.1f} "
+                f"p999={self.p999:.1f} "
                 f"min={self.minimum:.1f} max={self.maximum:.1f}")
 
     @classmethod
@@ -66,6 +70,7 @@ class Summary:
             p99=percentile_sorted(data, 99),
             minimum=data[0],
             maximum=data[-1],
+            p999=percentile_sorted(data, 99.9),
         )
 
 

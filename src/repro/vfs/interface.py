@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..clock import SimContext
-from ..errors import (BadFileError, InvalidArgumentError, NotMountedError,
-                      ReadOnlyError)
+from ..errors import (BadFileError, FSError, InvalidArgumentError,
+                      NotMountedError, ReadOnlyError)
 from ..mmu.cache import CacheModel
 from ..mmu.mmap_region import MappedRegion
 from ..mmu.tlb import TLB
@@ -128,6 +128,19 @@ class OpenFile:
         self.closed = True
 
 
+#: VFS entry points instrumented by :meth:`FileSystem.attach_telemetry`,
+#: mapped to the positional index of the ``ctx`` argument in a call on
+#: the *bound* method (``fs.create(path, ctx)`` -> index 1).  These are
+#: exactly the operations whose latency an SLO covers; ``getattr`` is
+#: excluded (its ctx is optional and it backs ``exists`` probes).
+TELEMETRY_OPS = {
+    "create": 1, "open": 1, "unlink": 1, "mkdir": 1, "rmdir": 1,
+    "readdir": 1, "rename": 2, "fsync": 1, "mmap": 1,
+    "truncate": 2, "read": 3, "write": 3, "write_zeros": 3,
+    "fallocate": 3,
+}
+
+
 class FileSystem(ABC):
     """Abstract simulated PM file system.
 
@@ -151,6 +164,9 @@ class FileSystem(ABC):
         # refuses mutations — data that is still readable stays readable
         self.read_only = False
         self.degraded_reason: Optional[str] = None
+        # SLO telemetry handle; None (the default) means the entry
+        # points are the plain unwrapped methods — bit-identical-off
+        self.telemetry = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -170,18 +186,99 @@ class FileSystem(ABC):
         if not self.mounted:
             raise NotMountedError(f"{self.name} is not mounted")
 
-    def remount_read_only(self, reason: str) -> None:
+    def remount_read_only(self, reason: str,
+                          ctx: Optional[SimContext] = None) -> None:
         """Degrade to read-only after detected corruption.
 
         Mirrors the kernel's ``errors=remount-ro`` behaviour: the first
         detection wins (the original reason is kept), reads keep working,
         and every mutating syscall fails with ``EROFS`` until a clean
-        ``mkfs``/``mount`` cycle.
+        ``mkfs``/``mount`` cycle.  With telemetry attached the event
+        opens a degraded interval on the timeline at *ctx*'s simulated
+        time (0 when no context is available); re-entry on an
+        already-degraded mount is a no-op — no overwritten reason, no
+        duplicate interval.
         """
         if self.read_only:
             return
         self.read_only = True
         self.degraded_reason = reason
+        if self.telemetry is not None:
+            self.telemetry.timeline.mark_degraded(
+                self.name, reason, 0.0 if ctx is None else ctx.now)
+
+    def clear_degraded(self, ctx: Optional[SimContext] = None) -> None:
+        """A clean repair (``mkfs``) heals degradation.
+
+        Closes the open degraded interval on an attached timeline, which
+        is what turns a degraded-to-repair window into an MTTR sample.
+        """
+        was_degraded = self.read_only
+        self.read_only = False
+        self.degraded_reason = None
+        if was_degraded and self.telemetry is not None:
+            self.telemetry.timeline.mark_recovered(
+                self.name, 0.0 if ctx is None else ctx.now)
+
+    # -- SLO telemetry ------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Record per-operation latency sketches and surfaced errors.
+
+        Wraps every :data:`TELEMETRY_OPS` entry point *on this instance*
+        with a closure that reads the context's simulated clock before
+        and after the call and feeds the delta to *telemetry* — the
+        class methods are untouched, so an un-attached file system runs
+        exactly the unwrapped code.  Recording never charges the clock:
+        simulated results are identical with telemetry on or off.
+
+        Attaching replaces any previous attachment (wrappers always
+        close over the original class implementation, never stack).
+        """
+        self.detach_telemetry()
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        for op, ctx_index in TELEMETRY_OPS.items():
+            self._instrument_op(op, ctx_index, telemetry)
+
+    def detach_telemetry(self) -> None:
+        """Restore the plain class entry points."""
+        for op in TELEMETRY_OPS:
+            self.__dict__.pop(op, None)
+        self.telemetry = None
+
+    def _instrument_op(self, op: str, ctx_index: int, telemetry) -> None:
+        inner = getattr(type(self), op).__get__(self)
+        fs_label = self.name
+
+        def wrapper(*args, **kwargs):
+            ctx = args[ctx_index] if len(args) > ctx_index \
+                else kwargs.get("ctx")
+            if ctx is None:
+                return inner(*args, **kwargs)
+            clock, cpu = ctx.clock, ctx.cpu
+            start = clock.now(cpu)
+            try:
+                result = inner(*args, **kwargs)
+            except FSError as exc:
+                telemetry.record_error(fs_label, op, exc.errno_name,
+                                       clock.now(cpu) - start)
+                raise
+            telemetry.record_op(fs_label, op, clock.now(cpu) - start)
+            return result
+
+        wrapper.__wrapped__ = inner   # type: ignore[attr-defined]
+        wrapper.__name__ = op         # type: ignore[attr-defined]
+        self.__dict__[op] = wrapper
+
+    def _telemetry_event(self, kind: str, ctx: Optional[SimContext],
+                         **attrs) -> None:
+        """Log one degradation-related event (quarantine, relocation)
+        on the attached timeline; no-op without telemetry."""
+        if self.telemetry is not None:
+            self.telemetry.timeline.note_event(
+                self.name, kind, 0.0 if ctx is None else ctx.now, **attrs)
 
     def _check_writable(self) -> None:
         if self.read_only:

@@ -67,6 +67,26 @@ class TestReport:
         with pytest.raises(ValueError):
             t.add_row(1, 2)
 
+    def test_table_multiline_cells(self):
+        # column widths must come from the widest *line* of a cell, not
+        # its raw length, and rows grow to their tallest cell
+        t = Table("T", ["fs", "objectives", "status"])
+        t.add_row("WineFS", "p99<=1000ns: OK\nerrors<=0.001: VIOLATED",
+                  "VIOLATED")
+        t.add_row("ext4-DAX", "p99<=1000ns: OK", "OK")
+        lines = t.render().splitlines()
+        # title + header + rule + (2 lines for row 1) + (1 line for row 2)
+        assert len(lines) == 6
+        # widest objective line, not the joined cell, sets the width
+        header = lines[1]
+        assert len(header) < len("p99<=1000ns: OK"
+                                 "errors<=0.001: VIOLATED") + 20
+        assert "errors<=0.001: VIOLATED" in lines[4]
+        # continuation lines leave the other columns blank
+        assert lines[4].startswith(" ")
+        # every rendered row line is padded to the same grid
+        assert {len(l) for l in lines[3:]} == {len(lines[3])}
+
     def test_format_series(self):
         out = format_series("S", {"fs": [(1.0, 2.0), (3.0, 4.0)]},
                             x_label="x", y_label="y")

@@ -51,6 +51,24 @@ class TestSummaryFromSamples:
         assert s.median == percentile(data, 50)
         assert s.p90 == percentile(data, 90)
         assert s.p99 == percentile(data, 99)
+        assert s.p999 == percentile(data, 99.9)
+
+    def test_p999_exact_interpolation(self):
+        # 1001 samples 0..1000: the 99.9th percentile rank lands on
+        # sample 999 (up to float rounding in 99.9/100)
+        data = list(map(float, range(1001)))
+        s = Summary.from_samples(data)
+        assert s.p999 == pytest.approx(999.0)
+        assert "p999" in str(s)
+        # two samples: rank 0.999 interpolates between them linearly
+        s2 = Summary.from_samples([0.0, 1000.0])
+        assert s2.p999 == pytest.approx(999.0)
+        assert s2.p99 == pytest.approx(990.0)
+
+    def test_p999_between_p99_and_max(self):
+        data = [1.0] * 998 + [500.0, 1000.0]
+        s = Summary.from_samples(data)
+        assert s.p99 <= s.p999 <= s.maximum
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
