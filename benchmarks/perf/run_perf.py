@@ -217,14 +217,18 @@ def bench_fleet_scaling(scale: float) -> dict:
     t0 = time.perf_counter()
     parallel_report = run_bench_matrix(cells, jobs=4)
     parallel = time.perf_counter() - t0
+    host_cpus = os.cpu_count() or 1
     return {
         "wall_s": parallel,
         "work": {"cells": len(cells), "jobs": 4, "serial_s": serial,
                  "scaling_x": round(serial / parallel, 2) if parallel
                  else 0.0,
                  # scaling_x can only exceed 1 with host_cpus > 1; the
-                 # correctness claim is reports_identical, always
-                 "host_cpus": os.cpu_count(),
+                 # correctness claim is reports_identical, always.  The
+                 # floor gate (check_floors.py) skips this bench when
+                 # scaling_meaningful is False.
+                 "host_cpus": host_cpus,
+                 "scaling_meaningful": host_cpus >= 2,
                  "reports_identical": serial_report == parallel_report},
     }
 

@@ -113,7 +113,7 @@ class Geriatrix:
     # -- helpers ---------------------------------------------------------------
 
     def _utilization(self) -> float:
-        return self.fs.statfs().utilization
+        return self.fs.utilization()
 
     def _next_dir(self, ctx: SimContext) -> str:
         if self._cur_dir is None or \

@@ -111,13 +111,14 @@ class ProjectRule:
 
 
 def default_rules() -> Tuple[List[FileRule], List[ProjectRule]]:
+    from .rules.array_state import ArrayStateRule
     from .rules.determinism import DeterminismRule
     from .rules.locks import LockDisciplineRule
     from .rules.metric_names import MetricNamesRule
     from .rules.persistence import PersistenceOrderingRule
     from .rules.snapshot import SnapshotWhitelistRule
     return ([DeterminismRule(), PersistenceOrderingRule(),
-             LockDisciplineRule()],
+             LockDisciplineRule(), ArrayStateRule()],
             [SnapshotWhitelistRule(), MetricNamesRule()])
 
 

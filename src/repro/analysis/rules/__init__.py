@@ -1,4 +1,4 @@
-"""The five codebase-specific lint rules.
+"""The six codebase-specific lint rules.
 
 Shared AST helpers live here; each rule is one module.  Rule ids are
 the stable public names used by ``# repro: allow[<id>]`` suppressions
@@ -13,6 +13,9 @@ and the committed baseline:
 ``snapshot-whitelist``  persisted-graph module missing from the snapshot
                        codec whitelist
 ``metric-names``       counter/gauge/span names absent from repro.obs.names
+``array-kernel``       array-backed hot state (clock array, run store,
+                       device store-log columns) mutated outside its
+                       sanctioned kernel modules
 =====================  =====================================================
 """
 

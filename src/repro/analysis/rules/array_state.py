@@ -1,0 +1,135 @@
+"""Rule ``array-kernel`` — array-backed state mutated outside its kernel.
+
+The hot simulator state lives in structure-of-arrays kernels: the
+per-CPU clock array (``SimClock._cpu_ns``), the allocator run store
+(``FreePool._rs`` / :class:`~repro.structures.runstore.RunStore`), and
+the PM device's store-log columns (``_log_seqs`` / ``_log_addrs`` /
+``_log_data`` / ``_log_flushed``).  Their invariants — parallel columns
+stay aligned, derived indexes track the extent set, clock adds replay
+the reference float sequence — hold only because every mutation goes
+through an audited kernel function.
+
+A ``+=``/``[...] =``/``.append(...)`` against one of these attributes
+from an unsanctioned module bypasses those kernels: it may keep tests
+green (the columns still *read* fine) while silently breaking
+bit-identity with the reference engine or corrupting a derived index
+that only an aged workload consults.  This rule flags any mutation of a
+watched attribute outside the modules sanctioned to own it.
+
+Reading the arrays is fine anywhere (``ctx.clock._cpu_ns[cpu]`` as a
+timestamp, benchmarks summing clocks); only mutation is gated.  New
+fused-kernel call sites are added by extending ``_SANCTIONED`` in the
+same change that audits their add-sequence, or — for a one-off — with
+``# repro: allow[array-kernel]`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from ..engine import FileContext, FileRule
+from ..findings import Finding
+from . import dotted, enclosing_qualnames
+
+#: watched attribute -> modules sanctioned to mutate it.  The module
+#: that defines the structure always is; the others are the audited
+#: fused-charge kernels that write the clock array directly.
+_SANCTIONED: Dict[str, Tuple[str, ...]] = {
+    "_cpu_ns": ("repro.clock", "repro.vfs.interface",
+                "repro.core.allocator", "repro.core.filesystem",
+                "repro.core.journal", "repro.fs.common.dirindex",
+                "repro.mmu.mmap_region"),
+    "_rs": ("repro.structures.runstore", "repro.fs.common.freespace"),
+    "_log_seqs": ("repro.pm.device",),
+    "_log_addrs": ("repro.pm.device",),
+    "_log_data": ("repro.pm.device",),
+    "_log_flushed": ("repro.pm.device",),
+}
+
+#: method calls that mutate a list / bytearray / dict column in place
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse", "update", "setdefault", "popitem", "frombytes",
+})
+
+
+def _watched_segment(chain: str) -> str:
+    """The watched attribute a dotted receiver chain touches, or ''."""
+    for seg in chain.split("."):
+        if seg in _SANCTIONED:
+            return seg
+    return ""
+
+
+class ArrayStateRule(FileRule):
+    id = "array-kernel"
+
+    def run(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.module.startswith("repro."):
+            return []
+        quals = None
+        findings: List[Finding] = []
+        occurrences: Dict[Tuple[str, str], int] = {}
+
+        def flag(node: ast.AST, attr: str, how: str) -> None:
+            nonlocal quals
+            if ctx.is_suppressed(self.id, node.lineno):
+                return
+            if quals is None:
+                quals = enclosing_qualnames(ctx.tree)
+            qual = quals.get(id(node), "")
+            key = (qual, attr)
+            occ = occurrences.get(key, 0)
+            occurrences[key] = occ + 1
+            owners = ", ".join(_SANCTIONED[attr])
+            findings.append(Finding(
+                rule=self.id, path=ctx.relpath, line=node.lineno,
+                col=node.col_offset,
+                message=f"{how} of array-backed state '{attr}' outside "
+                        f"its kernel modules",
+                hint=f"mutate '{attr}' only via its kernel API (owners: "
+                     f"{owners}), or extend _SANCTIONED alongside an "
+                     f"audited kernel",
+                qualname=qual, detail=attr, occurrence=occ))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    attr = self._target_attr(target)
+                    if attr and ctx.module not in _SANCTIONED[attr]:
+                        flag(node, attr, "direct write")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = self._target_attr(target)
+                    if attr and ctx.module not in _SANCTIONED[attr]:
+                        flag(node, attr, "element delete")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATORS:
+                chain = dotted(node.func.value) or ""
+                attr = _watched_segment(chain)
+                if attr and ctx.module not in _SANCTIONED[attr]:
+                    flag(node, attr, f"mutating call .{node.func.attr}()")
+        return findings
+
+    @staticmethod
+    def _target_attr(target: ast.AST) -> str:
+        """Watched attribute a store target mutates, or ''.
+
+        ``x._cpu_ns[i] = v`` and ``x._rs.starts[i] = v`` are subscript
+        stores whose value chain names the attribute; a bare attribute
+        store only counts when the chain *passes through* a watched
+        name (``pool._rs.free_blocks = 0``) — rebinding the attribute
+        itself (``self._rs = RunStore()``) is construction, which the
+        engine toggle must stay free to do.
+        """
+        if isinstance(target, ast.Subscript):
+            chain = dotted(target.value) or ""
+            return _watched_segment(chain)
+        if isinstance(target, ast.Attribute):
+            chain = dotted(target.value) or ""
+            return _watched_segment(chain)
+        return ""

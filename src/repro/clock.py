@@ -31,6 +31,10 @@ class SimClock:
         if num_cpus < 1:
             raise SimulationError("SimClock needs at least one CPU")
         self.num_cpus = num_cpus
+        # one flat slot vector, indexed by CPU id; every charge path
+        # (including the fused kernels that write _cpu_ns[cpu] directly)
+        # shares this single store.  A list beats array('d') here: the
+        # hot += would pay an unbox/rebox per touch on a typed array
         self._cpu_ns = [0.0] * num_cpus
 
     def charge(self, cpu: int, ns: float) -> None:
@@ -142,9 +146,11 @@ class LockManager:
             self.trace.record("lock.wait", cpu, now, until, lock=name)
 
     def acquire(self, name: str, cpu: int) -> None:
-        clock = self._require_clock()
+        clock = self._clock
+        if clock is None:
+            clock = self._require_clock()
         free_at = self._free_at.get(name, 0.0)
-        now = clock.now(cpu)
+        now = clock._cpu_ns[cpu]
         if free_at > now:
             self._charge_wait(name, cpu, now, free_at)
             clock.advance_to(cpu, free_at)
@@ -154,7 +160,10 @@ class LockManager:
     def release(self, name: str, cpu: int) -> None:
         self._holder[name] = None
         # the lock becomes free at the releasing CPU's current time
-        self._free_at[name] = self._require_clock().now(cpu)
+        clock = self._clock
+        if clock is None:
+            clock = self._require_clock()
+        self._free_at[name] = clock._cpu_ns[cpu]
 
     def holding(self, name: str) -> Optional[int]:
         return self._holder.get(name)

@@ -157,6 +157,12 @@ class WineFS(BaseFS):
         self._indirect_chains: Dict[int, List[int]] = {}
         self._serialized_extents: Dict[int, tuple] = {}
         self._packer = InodePacker()
+        # ino -> PM slot address; a pure function of the (fixed) layout,
+        # so never invalidated.  A plain dict probe beats the lru_cache
+        # wrapper on layout.inode_addr, which re-hashes the frozen
+        # dataclass on every call — measurable at one persist per
+        # metadata update
+        self._inode_addrs: Dict[int, int] = {}
 
     # ------------------------------------------------------------- lifecycle
 
@@ -372,8 +378,10 @@ class WineFS(BaseFS):
         Returns (txn, stack, lock_name): txn is None for a nested join,
         lock_name is None unless the shared-journal lock was taken.
         """
-        stack = self._txn_stack.setdefault(ctx.cpu, [])
-        if stack:
+        stack = self._txn_stack.get(ctx.cpu)
+        if stack is None:
+            stack = self._txn_stack[ctx.cpu] = []
+        elif stack:
             # nested operation joins the enclosing transaction
             return None, stack, None
         # journals are per-logical-CPU; when the workload runs more CPUs
@@ -421,7 +429,8 @@ class WineFS(BaseFS):
         self._itable.free(inode.ino)
 
     def _persist_inode(self, inode: Inode, ctx: SimContext) -> None:
-        self._persist_inode_record(inode, ctx, self._active_txn(ctx))
+        stack = self._txn_stack.get(ctx.cpu)
+        self._persist_inode_record(inode, ctx, stack[-1] if stack else None)
 
     def _persist_inode_record(self, inode: Inode, ctx: SimContext,
                               txn=None) -> None:
@@ -432,23 +441,30 @@ class WineFS(BaseFS):
         chain blocks are rewritten — a real extent tree also touches only
         the modified leaves.
         """
-        assert self.allocator is not None
         new_tuple = inode.extents.as_tuple()
-        extents = new_tuple
         nnew = len(new_tuple)
         ino = inode.ino
-        addr = self.layout.inode_addr(ino)
         prev = self._serialized_extents.get(ino)
         old_chain = self._indirect_chains.get(ino)
         if prev is new_tuple and nnew <= INLINE_EXTENTS and not old_chain:
             # size-only update of an inline-extent inode: no chain work,
             # same undo image and slot rewrite as the general path below
+            if old_chain is None:
+                self._indirect_chains[ino] = []
+            addr = self._inode_addrs.get(ino)
+            if addr is None:
+                addr = self._inode_addrs[ino] = self.layout.inode_addr(ino)
+            packed = self._packer.pack(inode, new_tuple, 0)
             if txn is not None:
-                txn.log_undo_range(addr, INODE_BYTES, ctx)
-            self._indirect_chains[ino] = []
-            self.device.persist(addr, self._packer.pack(inode, new_tuple, 0),
-                                ctx)
+                txn.log_undo_range_persist(addr, INODE_BYTES, packed, ctx)
+            else:
+                self.device.persist(addr, packed, ctx)
             return
+        assert self.allocator is not None
+        extents = new_tuple
+        addr = self._inode_addrs.get(ino)
+        if addr is None:
+            addr = self._inode_addrs[ino] = self.layout.inode_addr(ino)
         prev_len = len(prev) if prev is not None else 0
         lcp = 0
         if prev is new_tuple:
@@ -464,17 +480,19 @@ class WineFS(BaseFS):
                        and nnew >= prev_len
                        and lcp >= prev_len - 1)
         self._serialized_extents[ino] = new_tuple
-        if old_chain is None:
-            old_chain = []
         if append_only and nnew <= INLINE_EXTENTS and not old_chain:
             # hot aging path (inline-extent append): the general
             # append-only branch below reduces to exactly this
+            if old_chain is None:
+                self._indirect_chains[ino] = []
+            packed = self._packer.pack(inode, new_tuple, 0)
             if txn is not None:
-                txn.log_undo_range(addr, INODE_BYTES, ctx)
-            self._indirect_chains[ino] = []
-            self.device.persist(addr, self._packer.pack(inode, new_tuple, 0),
-                                ctx)
+                txn.log_undo_range_persist(addr, INODE_BYTES, packed, ctx)
+            else:
+                self.device.persist(addr, packed, ctx)
             return
+        if old_chain is None:
+            old_chain = []
         overflow = extents[INLINE_EXTENTS:]
         n_old = len(old_chain)
         needed = (len(overflow) + EXTENTS_PER_INDIRECT - 1) \

@@ -276,6 +276,79 @@ class _Transaction:
             self._append(TYPE_DATA, addr + pos, old[pos:pos + take], ctx)
             pos += take
 
+    def log_undo_range_persist(self, addr: int, length: int, data,
+                               ctx: SimContext) -> None:
+        """:meth:`log_undo_range` + ``device.persist(addr, data)`` folded
+        into one charge kernel.
+
+        The inode-slot rewrite does both on every metadata update; on a
+        fast (untracked, unfaulted) device all their charges land on the
+        same clock cell back-to-back, so the fold makes the identical
+        float adds in the identical order on one local — bit-identical
+        ``sim_ns``, one call instead of five.  Tracked or faulted devices
+        take the reference two-call path (undo images / fault hooks need
+        the real store pipeline).
+        """
+        journal = self.journal
+        device = journal.device
+        if device.track_stores or device._faults_active or ctx is None:
+            self.log_undo_range(addr, length, ctx)
+            device.persist(addr, data, ctx)
+            return
+        n = 0
+        if addr not in self._logged:
+            self._logged.add(addr)
+            if self.committed:
+                raise FSError("transaction already committed")
+            n = (length + UNDO_BYTES - 1) // UNDO_BYTES
+            self.entries_used += n
+            head = journal.head
+            cap = journal.capacity
+            for _ in range(n):
+                if head % cap == 0 and head > 0:
+                    journal.wraparound += 1
+                head += 1
+            journal.head = head
+        dlen = len(data)
+        if dlen < 0 or addr < 0 or addr + dlen > device.size:
+            device._check(addr, dlen)    # raises with the full message
+        if dlen:
+            if type(data) is Zeros:
+                device._store.write_zeros(addr, dlen)
+            else:
+                device._store.write(addr, data)
+            device.bytes_written += dlen
+        # charges: n blank journal entries, then store+clwb+sfence — the
+        # same adds in the same order as append_run + persist would make,
+        # accumulated on a local
+        machine = device.machine
+        counters = ctx.counters
+        cpu = ctx.cpu
+        cell = ctx.clock._cpu_ns
+        v = cell[cpu]
+        if n:
+            pns = journal._entry_persist_ns
+            for _ in range(n):
+                v += pns
+            counters._pm_bytes_written.value += ENTRY_BYTES * n
+            jcell = counters._journal_ns
+            jv = jcell.value
+            for _ in range(n):
+                jv += pns
+            jcell.value = jv
+        if dlen:
+            # inlined machine.pm_write_ns (identical float ops)
+            ns = dlen / machine.pm_write_bw * 1e9
+            if device.topology is not None \
+                    and device.topology.is_remote(cpu, addr):
+                ns *= machine.remote_numa_write_mult
+            v += ns
+            counters._pm_bytes_written.value += dlen
+            v += ((addr + dlen - 1) // CACHELINE
+                  - addr // CACHELINE + 1) * machine.clwb_ns
+        v += machine.sfence_ns
+        cell[cpu] = v
+
     def _append_blank(self, n: int, ctx: SimContext) -> None:
         if n <= 0:
             return
@@ -303,13 +376,23 @@ class _Transaction:
         self._commit_impl(ctx)
 
     def _commit_impl(self, ctx: SimContext) -> None:
-        if self.journal.device.track_stores:
-            self.journal.append(
+        journal = self.journal
+        if journal.device.track_stores:
+            journal.append(
                 JournalEntry(TYPE_COMMIT, 0, self.txn_id, 0, b""), ctx)
         else:
-            self.journal.append_blank(ctx)
+            # inlined journal.append_blank (identical charges)
+            if (journal.head % journal.capacity) == 0 and journal.head > 0:
+                journal.wraparound += 1
+            pns = journal._entry_persist_ns
+            ctx.clock._cpu_ns[ctx.cpu] += pns
+            counters = ctx.counters
+            counters._pm_bytes_written.value += ENTRY_BYTES
+            counters._journal_ns.value += pns
+            journal.head += 1
         self.committed = True
-        self.journal.reclaim_committed()
+        # inlined reclaim_committed: synchronous ops reclaim immediately
+        journal.tail = journal.head
 
 
 class JournalManager:
@@ -343,7 +426,15 @@ class JournalManager:
         if self.device.track_stores:
             journal.append(JournalEntry(TYPE_START, 0, txn_id, 0, b""), ctx)
         else:
-            journal.append_blank(ctx)
+            # inlined journal.append_blank (identical charges)
+            if (journal.head % journal.capacity) == 0 and journal.head > 0:
+                journal.wraparound += 1
+            pns = journal._entry_persist_ns
+            ctx.clock._cpu_ns[ctx.cpu] += pns
+            counters = ctx.counters
+            counters._pm_bytes_written.value += ENTRY_BYTES
+            counters._journal_ns.value += pns
+            journal.head += 1
         return _Transaction(self, journal, txn_id)
 
     # -- recovery ------------------------------------------------------------------

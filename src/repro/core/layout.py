@@ -49,6 +49,10 @@ _EXT = struct.Struct("<II")               # start, length
 #: one Struct per inline-extent count, so n extents pack in a single call
 _INLINE_PACKERS = [struct.Struct("<" + "II" * n)
                    for n in range(INLINE_EXTENTS + 1)]
+# pre-bound pack_into methods for the per-update serialize path: skips
+# one attribute dispatch per call on the hottest aging function
+_HEAD_PACK_INTO = _INODE_HEAD.pack_into
+_INLINE_PACK_INTO = tuple(s.pack_into for s in _INLINE_PACKERS)
 
 FLAG_DIR = 0x1
 FLAG_ALIGNED_HINT = 0x2
@@ -192,56 +196,73 @@ def pack_inode(rec: InodeRecord, indirect_block: int = 0) -> bytes:
 
 class InodePacker:
     """:func:`pack_inode` specialized for the serialize-on-every-update
-    path: memoizes each inode's encoded name and inline-extent bytes.
+    path: keeps one preallocated slot buffer per inode and rewrites only
+    the regions that changed since the last pack.
 
-    Names almost never change, and the extent snapshot is an identity-
-    cached tuple (:meth:`ExtentList.as_tuple`), so both memos hit on the
-    dominant size-only/append updates.  Output is byte-identical to
-    :func:`pack_inode` of the equivalent record.  Entries must be dropped
-    when an inode is freed (ino numbers are reused).
+    The head is re-packed in place every call (size/nlink change often);
+    the inline-extent region is rewritten only when the identity-cached
+    extent tuple (:meth:`ExtentList.as_tuple`) changes, the name field
+    only when the name string changes.  No per-call allocation, no
+    concatenation, no trailing-pad copy — the returned buffer is always
+    the full slot.  Output is byte-identical to :func:`pack_inode` of
+    the equivalent record.
+
+    The returned ``bytearray`` is reused by the next ``pack`` of the
+    same inode: callers must consume it immediately (the device's sparse
+    store copies it on write).  Entries must be dropped when an inode is
+    freed (ino numbers are reused).
     """
 
-    __slots__ = ("_names", "_inlines")
+    __slots__ = ("_slots",)
+
+    _INLINE_OFF = _INODE_HEAD.size
+    _NAME_OFF = _INODE_HEAD.size + INLINE_EXTENTS * _EXT.size
 
     def __init__(self) -> None:
-        self._names: dict = {}    # ino -> (name str, packed name field)
-        self._inlines: dict = {}  # ino -> (extents tuple, inline bytes)
+        # ino -> [slot bytearray, extents tuple, n_inline_bytes,
+        #         name str, name_end]
+        self._slots: dict = {}
 
     def drop(self, ino: int) -> None:
-        self._names.pop(ino, None)
-        self._inlines.pop(ino, None)
+        self._slots.pop(ino, None)
 
-    def pack(self, inode, extents: tuple, indirect_block: int) -> bytes:
-        ino = inode.ino
-        name = inode.name
-        cached = self._names.get(ino)
-        if cached is not None and cached[0] is name:
-            name_field = cached[1]
-        else:
-            name_bytes = name.encode()
-            if len(name_bytes) > MAX_NAME:
-                raise FSError(f"name too long for inode slot: {name!r}")
-            name_field = bytes([len(name_bytes)]) + name_bytes
-            self._names[ino] = (name, name_field)
-        cached = self._inlines.get(ino)
-        if cached is not None and cached[0] is extents:
-            inline = cached[1]
-        else:
+    def pack(self, inode, extents: tuple, indirect_block: int) -> bytearray:
+        entry = self._slots.get(inode.ino)
+        if entry is None:
+            entry = [bytearray(INODE_SLOT_BYTES), None, 0, None, 0]
+            self._slots[inode.ino] = entry
+        buf = entry[0]
+        flags = (FLAG_DIR if inode.is_dir else 0) | \
+                (FLAG_ALIGNED_HINT if inode.aligned_hint else 0)
+        _HEAD_PACK_INTO(buf, 0, 1, flags, inode.nlink, len(extents),
+                        inode.size, inode.parent_ino, indirect_block)
+        if entry[1] is not extents:
             flat = []
             for e in extents[:INLINE_EXTENTS]:
                 flat.append(e.start)
                 flat.append(e.length)
-            inline = _INLINE_PACKERS[len(flat) // 2].pack(*flat) \
-                .ljust(INLINE_EXTENTS * _EXT.size, b"\x00")
-            self._inlines[ino] = (extents, inline)
-        flags = (FLAG_DIR if inode.is_dir else 0) | \
-                (FLAG_ALIGNED_HINT if inode.aligned_hint else 0)
-        head = _INODE_HEAD.pack(1, flags, inode.nlink, len(extents),
-                                inode.size, inode.parent_ino, indirect_block)
-        body = head + inline + name_field
-        if len(body) > INODE_SLOT_BYTES:
-            raise FSError("inode slot overflow")
-        return body.ljust(INODE_SLOT_BYTES, b"\x00")
+            off = self._INLINE_OFF
+            _INLINE_PACK_INTO[len(flat) // 2](buf, off, *flat)
+            used = len(flat) * 4
+            if used < entry[2]:
+                # fewer inline extents than last time: zero the stale tail
+                buf[off + used:off + entry[2]] = bytes(entry[2] - used)
+            entry[1] = extents
+            entry[2] = used
+        name = inode.name
+        if entry[3] is not name:
+            name_bytes = name.encode()
+            if len(name_bytes) > MAX_NAME:
+                raise FSError(f"name too long for inode slot: {name!r}")
+            off = self._NAME_OFF
+            buf[off] = len(name_bytes)
+            end = off + 1 + len(name_bytes)
+            buf[off + 1:end] = name_bytes
+            if end < entry[4]:
+                buf[end:entry[4]] = bytes(entry[4] - end)
+            entry[3] = name
+            entry[4] = end
+        return buf
 
 
 def unpack_inode(ino: int, raw: bytes,

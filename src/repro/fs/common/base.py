@@ -33,7 +33,7 @@ from ...errors import (
 )
 from ...mmu.cache import CacheModel
 from ...mmu.mmap_region import MappedRegion, _next_region_id
-from ...mmu.page_table import PageTable
+from ...mmu.page_table import make_page_table
 from ...mmu.tlb import TLB
 from ...params import BASE_PAGE, BLOCK_SIZE, BLOCKS_PER_HUGEPAGE, HUGE_PAGE
 from ...pm.device import PMDevice
@@ -621,6 +621,21 @@ class BaseFS(FileSystem):
         """
         return None
 
+    def utilization(self) -> float:
+        """``statfs().utilization`` without building the stats record.
+
+        Host-side only (no simulated charges either way); the aging loop
+        polls this every step.  Same int sum and float divide as the
+        statfs property, so decisions branching on it are unchanged.
+        """
+        pools = self._free_pools()
+        if pools is None:
+            return self.statfs().utilization
+        free = 0
+        for p in pools:
+            free += p.free_blocks
+        return 1.0 - free / (self.total_blocks - self.meta_blocks)
+
     def statfs(self) -> FSStats:
         pools = self._free_pools()
         if pools is not None:
@@ -679,7 +694,7 @@ class _FSMappedRegion(MappedRegion):
         self.extents = extents
         self.length = super_len
         self.block_size = block_size
-        self.page_table = PageTable()
+        self.page_table = make_page_table()
         tlb = kwargs.pop("tlb")
         cache = kwargs.pop("cache")
         self.tlb = tlb if tlb is not None else TLB(machine.tlb_4k_entries,

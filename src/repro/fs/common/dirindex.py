@@ -92,12 +92,23 @@ class RBDirIndex(DirIndex):
     def _charge_lookup(self, ctx: Optional[SimContext]) -> None:
         if ctx is None:
             return
-        n = len(self._tree)
+        n = self._tree._size    # len() without the __len__ dispatch
         if n != self._depth_for_size:
             self._depth_for_size = n
             self._depth = max(1, int(math.log2(n + 1)) + 1)
         # inlined ctx.charge (depth * _TREE_NODE_NS >= 0, single add)
         ctx.clock._cpu_ns[ctx.cpu] += self._depth * _TREE_NODE_NS
+
+    def lookup(self, name: str, ctx: Optional[SimContext] = None) -> Optional[int]:
+        # _charge_lookup + dict probe flattened into one frame (path
+        # resolution calls this once per component)
+        if ctx is not None:
+            n = self._tree._size
+            if n != self._depth_for_size:
+                self._depth_for_size = n
+                self._depth = max(1, int(math.log2(n + 1)) + 1)
+            ctx.clock._cpu_ns[ctx.cpu] += self._depth * _TREE_NODE_NS
+        return self._entries.get(name)
 
     def insert(self, name: str, ino: int, ctx: Optional[SimContext] = None) -> None:
         super().insert(name, ino, ctx)

@@ -25,7 +25,7 @@ from ..pm.device import PMDevice
 from ..pm.zeros import Zeros, zero_bytes
 from ..structures.extents import ExtentList, Extent
 from .cache import CacheModel
-from .page_table import Mapping, PageTable
+from .page_table import Mapping, PageTable, make_page_table
 from .tlb import TLB
 
 _PAGES_PER_HUGE = HUGE_PAGE // BASE_PAGE
@@ -78,7 +78,7 @@ class MappedRegion:
         self.extents = extents
         self.length = length
         self.block_size = block_size
-        self.page_table = PageTable()
+        self.page_table = make_page_table()
         self.tlb = tlb if tlb is not None else TLB(machine.tlb_4k_entries,
                                                    machine.tlb_2m_entries)
         self.cache = cache
@@ -189,7 +189,10 @@ class MappedRegion:
             counters._fault_ns.value += ns
             return True
         phys = self._phys_of_virt_page(virt_page)
-        self._last_fault = self.page_table.install_base(virt_page, phys)
+        # no-Mapping install: _resolve_page re-looks the entry up via its
+        # None fallback on the paths that need the object
+        self.page_table.install_base_fast(virt_page, phys)
+        self._last_fault = None
         if self.fault_zero_fill and self._page_unwritten(virt_page):
             ns = self._fault_base_zero_ns
         else:
@@ -399,7 +402,14 @@ class MappedRegion:
             counters._tlb_hits.value += hits
         if misses:
             counters._tlb_misses.value += misses
-            ctx.charge_repeat(machine.page_walk_ns, misses)
+            # inlined charge_repeat: same one-at-a-time adds on a local
+            cpu_ns = ctx.clock._cpu_ns
+            cpu = ctx.cpu
+            v = cpu_ns[cpu]
+            walk_ns = machine.page_walk_ns
+            for _ in range(misses):
+                v += walk_ns
+            cpu_ns[cpu] = v
             if self.cache is not None:
                 self.cache.pollute_batch(misses)
 
@@ -427,11 +437,48 @@ class MappedRegion:
                 else:
                     page += 1
             return
-        for start, n, m in self.translate_range(offset, size, ctx):
-            if m.huge:
-                self._charge_tlb_huge(m.virt_page, ctx)
+        # inlined translate_range: the same runs in the same order, but
+        # mapped pages are resolved by raw-table membership probes
+        # (value-opaque, so both page-table engines branch identically)
+        # without materializing a Mapping per run.  Faults still go
+        # through fault() at the position the page occupies.
+        pt = self.page_table
+        huge_tbl = pt._huge
+        base_tbl = pt._base
+        page = offset // BASE_PAGE
+        last = (offset + size - 1) // BASE_PAGE
+        while page <= last:
+            if pt.generation == self._memo_gen and \
+                    self._memo_lo <= page <= self._memo_hi:
+                run_end = self._memo_hi if self._memo_hi < last else last
+                self._charge_base_run(page, run_end - page + 1, ctx)
+                page = run_end + 1
+                continue
+            idx = page // _PAGES_PER_HUGE
+            if idx in huge_tbl:
+                self._charge_tlb_huge(idx * _PAGES_PER_HUGE, ctx)
+                page = (idx + 1) * _PAGES_PER_HUGE
+                continue
+            if page in base_tbl:
+                n = pt.base_run_length(page, last - page + 1)
+                self._memo_note(page, page + n - 1, pt.generation)
+                self._charge_base_run(page, n, ctx)
+                page += n
+                continue
+            # both table probes missed, so lookup() would return None:
+            # fault directly instead of via _resolve_page and derive the
+            # huge-case key page arithmetically (install_huge pins the
+            # mapping to the 2MB-aligned base) rather than from the
+            # materialized Mapping
+            if self.fault(page, ctx):
+                hb = page - page % _PAGES_PER_HUGE
+                self._charge_tlb_huge(hb, ctx)
+                page = hb + _PAGES_PER_HUGE
             else:
-                self._charge_base_run(start, n, ctx)
+                n = pt.base_run_length(page, last - page + 1)
+                self._memo_note(page, page + n - 1, pt.generation)
+                self._charge_base_run(page, n, ctx)
+                page += n
 
     # -- data access -----------------------------------------------------------------
 
@@ -488,9 +535,13 @@ class MappedRegion:
                 return self._copy_out(offset, size, ctx)
         self._walk_pages(offset, size, ctx)
         ns = machine.pm_read_ns(size)
-        ctx.charge(ns)
-        ctx.counters.copy_ns += ns
-        ctx.counters.pm_bytes_read += size
+        # inlined ctx.charge + counter properties: the same single adds
+        # on the same cells, minus the dispatch frames (this tail runs on
+        # every fault-path read, the mmap_rand common case)
+        ctx.clock._cpu_ns[ctx.cpu] += ns
+        counters = ctx.counters
+        counters._copy_ns.value += ns
+        counters._pm_bytes_read.value += size
         if not self.track_data:
             return zero_bytes(size)
         return self._copy_out(offset, size, ctx)
@@ -502,9 +553,11 @@ class MappedRegion:
             return
         self._walk_pages(offset, len(data), ctx)
         ns = self.machine.pm_write_ns(len(data)) + self.machine.sfence_ns
-        ctx.charge(ns)
-        ctx.counters.copy_ns += ns
-        ctx.counters.pm_bytes_written += len(data)
+        # inlined ctx.charge + counter properties (see read())
+        ctx.clock._cpu_ns[ctx.cpu] += ns
+        counters = ctx.counters
+        counters._copy_ns.value += ns
+        counters._pm_bytes_written.value += len(data)
         if self.track_data:
             self._copy_in(offset, data)
 
@@ -527,13 +580,16 @@ class MappedRegion:
             self._check_range(offset, 1)
         page = offset // BASE_PAGE
         pt = self.page_table
-        m = pt._huge.get(page // _PAGES_PER_HUGE)
-        huge = m is not None
-        if not huge:
-            m = pt._base.get(page)
-            if m is None:
-                # fault path: take the reference walk
-                return self._read_element_ref(offset, ctx)
+        # raw-table probes treat values as opaque: key presence alone
+        # decides, so both page-table engines take the same branch
+        huge = page // _PAGES_PER_HUGE in pt._huge
+        if huge:
+            key_page = page - page % _PAGES_PER_HUGE
+        elif page in pt._base:
+            key_page = page
+        else:
+            # fault path: take the reference walk
+            return self._read_element_ref(offset, ctx)
         # inlined _touch_translation + charges: same events, same float
         # adds, minus the call/property dispatch.  The clock writes are
         # deferred onto a local, which keeps the add sequence identical.
@@ -542,8 +598,7 @@ class MappedRegion:
         cpu_ns = ctx.clock._cpu_ns
         cpu = ctx.cpu
         before = v = cpu_ns[cpu]
-        if self.tlb.access(self.region_id, m.virt_page if huge else page,
-                           huge):
+        if self.tlb.access(self.region_id, key_page, huge):
             counters._tlb_hits.value += 1
             v += machine.tlb_hit_ns
         else:

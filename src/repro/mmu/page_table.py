@@ -6,6 +6,22 @@ physical PM addresses.  Mappings are installed by page faults (see
 only when the backing extent is physically hugepage-aligned and contiguous,
 per paper §2.2 ("Even a single byte offset from alignment forces the
 operating system to fall back to base pages").
+
+Two storage engines share the API:
+
+- :class:`PageTable` (default) keeps flat ``int -> int`` tables — virtual
+  page number to physical byte address — and materializes a
+  :class:`Mapping` record only at the :meth:`~PageTable.lookup` /
+  ``install_*`` boundary.  The mmap walk fast paths probe the raw int
+  tables directly, so the hot loop never boxes a translation.
+- :class:`ReferencePageTable` stores one :class:`Mapping` object per
+  entry, the per-object layout the flat engine replaced.
+
+Both engines expose identical facts (huge?, physical address, coverage),
+so every simulated cost derived from them is bit-identical; the
+equivalence suite constructs file systems under
+:func:`repro.engine.reference_state_scope` to prove it.
+:func:`make_page_table` picks the engine for new regions.
 """
 
 from __future__ import annotations
@@ -13,8 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import engine as _engine
 from ..errors import SimulationError
 from ..params import BASE_PAGE, HUGE_PAGE
+
+_PAGES_PER_HUGE = HUGE_PAGE // BASE_PAGE
 
 
 @dataclass(frozen=True)
@@ -31,16 +50,21 @@ class Mapping:
 
 
 class PageTable:
-    """Per-region page table.
+    """Per-region page table (flat-int engine).
 
     Keyed by 4KB virtual page number.  A huge mapping occupies a single PMD
-    entry; we index it by its first 4KB page and keep a secondary map so any
-    of its 512 covered pages resolves to it.
+    entry; we index it by its 2MB-range index and keep a secondary count map
+    so any of its 512 covered pages resolves to it.
     """
 
+    __slots__ = ("_base", "_huge", "_base_in_huge",
+                 "installed_4k", "installed_2m", "generation")
+
     def __init__(self) -> None:
-        self._base: Dict[int, Mapping] = {}
-        self._huge: Dict[int, Mapping] = {}   # keyed by huge-page index
+        #: virt page number -> physical byte address
+        self._base: Dict[int, int] = {}
+        #: huge-page index -> physical byte address
+        self._huge: Dict[int, int] = {}
         self._base_in_huge: Dict[int, int] = {}  # base pages per huge index
         self.installed_4k = 0
         self.installed_2m = 0
@@ -51,52 +75,71 @@ class PageTable:
 
     @staticmethod
     def _huge_index(virt_page: int) -> int:
-        return virt_page // (HUGE_PAGE // BASE_PAGE)
+        return virt_page // _PAGES_PER_HUGE
 
     def lookup(self, virt_page: int) -> Optional[Mapping]:
-        m = self._huge.get(self._huge_index(virt_page))
-        if m is not None:
-            return m
-        return self._base.get(virt_page)
+        idx = virt_page // _PAGES_PER_HUGE
+        phys = self._huge.get(idx)
+        if phys is not None:
+            return Mapping(idx * _PAGES_PER_HUGE, phys, huge=True)
+        phys = self._base.get(virt_page)
+        if phys is None:
+            return None
+        return Mapping(virt_page, phys, huge=False)
 
     def is_mapped(self, virt_page: int) -> bool:
-        return self.lookup(virt_page) is not None
+        return (virt_page // _PAGES_PER_HUGE in self._huge
+                or virt_page in self._base)
 
-    def install_base(self, virt_page: int, phys_addr: int) -> Mapping:
-        if self._huge_index(virt_page) in self._huge:
+    def _check_base(self, virt_page: int, phys_addr: int) -> None:
+        if virt_page // _PAGES_PER_HUGE in self._huge:
             raise SimulationError(f"page {virt_page} already covered by a "
                                   "huge mapping")
         if virt_page in self._base:
             raise SimulationError(f"page {virt_page} already mapped")
         if phys_addr % BASE_PAGE:
             raise SimulationError("physical address not page-aligned")
-        m = Mapping(virt_page, phys_addr, huge=False)
-        self._base[virt_page] = m
-        idx = self._huge_index(virt_page)
+
+    def install_base(self, virt_page: int, phys_addr: int) -> Mapping:
+        self._check_base(virt_page, phys_addr)
+        self._base[virt_page] = phys_addr
+        idx = virt_page // _PAGES_PER_HUGE
         self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + 1
         self.installed_4k += 1
-        return m
+        return Mapping(virt_page, phys_addr, huge=False)
 
-    def install_huge(self, virt_page: int, phys_addr: int) -> Mapping:
-        pages_per_huge = HUGE_PAGE // BASE_PAGE
-        if virt_page % pages_per_huge:
+    def install_base_fast(self, virt_page: int, phys_addr: int) -> None:
+        """:meth:`install_base` without materializing the ``Mapping``
+        return (the hot fault path; callers that need the object re-look
+        it up)."""
+        self._check_base(virt_page, phys_addr)
+        self._base[virt_page] = phys_addr
+        idx = virt_page // _PAGES_PER_HUGE
+        self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + 1
+        self.installed_4k += 1
+
+    def _check_huge(self, virt_page: int, phys_addr: int) -> int:
+        if virt_page % _PAGES_PER_HUGE:
             raise SimulationError("huge mapping must start on a 2MB virtual "
                                   "boundary")
         if phys_addr % HUGE_PAGE:
             raise SimulationError("huge mapping needs a 2MB-aligned physical "
                                   "address")
-        idx = self._huge_index(virt_page)
+        idx = virt_page // _PAGES_PER_HUGE
         if idx in self._huge:
             raise SimulationError(f"huge page {idx} already mapped")
         if self._base_in_huge.get(idx):
-            for vp in range(virt_page, virt_page + pages_per_huge):
+            for vp in range(virt_page, virt_page + _PAGES_PER_HUGE):
                 if vp in self._base:
                     raise SimulationError(f"base page {vp} already mapped "
                                           "inside prospective huge range")
-        m = Mapping(virt_page, phys_addr, huge=True)
-        self._huge[idx] = m
+        return idx
+
+    def install_huge(self, virt_page: int, phys_addr: int) -> Mapping:
+        idx = self._check_huge(virt_page, phys_addr)
+        self._huge[idx] = phys_addr
         self.installed_2m += 1
-        return m
+        return Mapping(virt_page, phys_addr, huge=True)
 
     def base_unmapped_run(self, virt_page: int, max_pages: int) -> int:
         """Consecutive pages from *virt_page* with no base mapping.
@@ -119,16 +162,15 @@ class PageTable:
         if phys0 % BASE_PAGE:
             raise SimulationError("physical address not page-aligned")
         base = self._base
-        m = None
         phys = phys0
         for vp in range(first, first + count):
-            base[vp] = m = Mapping(vp, phys, huge=False)
+            base[vp] = phys
             phys += BASE_PAGE
-        idx = self._huge_index(first)
+        idx = first // _PAGES_PER_HUGE
         self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + count
         self.installed_4k += count
-        assert m is not None
-        return m
+        assert count > 0
+        return Mapping(first + count - 1, phys - BASE_PAGE, huge=False)
 
     def unmap_all(self) -> None:
         self._base.clear()
@@ -139,7 +181,7 @@ class PageTable:
     def covered(self, huge_base_page: int) -> bool:
         """Any mapping inside the huge-page range starting at
         *huge_base_page* (equivalent to probing all 512 pages)."""
-        idx = self._huge_index(huge_base_page)
+        idx = huge_base_page // _PAGES_PER_HUGE
         return idx in self._huge or bool(self._base_in_huge.get(idx))
 
     def base_run_length(self, virt_page: int, max_pages: int) -> int:
@@ -154,13 +196,14 @@ class PageTable:
     def translate(self, virt_addr: int) -> int:
         """Virtual byte offset within the region -> physical PM address."""
         virt_page = virt_addr // BASE_PAGE
-        m = self.lookup(virt_page)
-        if m is None:
+        idx = virt_page // _PAGES_PER_HUGE
+        phys = self._huge.get(idx)
+        if phys is not None:
+            return phys + (virt_addr - idx * HUGE_PAGE)
+        phys = self._base.get(virt_page)
+        if phys is None:
             raise SimulationError(f"address {virt_addr:#x} not mapped")
-        if m.huge:
-            base_virt = m.virt_page * BASE_PAGE
-            return m.phys_addr + (virt_addr - base_virt)
-        return m.phys_addr + (virt_addr % BASE_PAGE)
+        return phys + (virt_addr % BASE_PAGE)
 
     def bind_metrics(self, registry, **labels) -> None:
         """Expose mapping counts through callback gauges on *registry*."""
@@ -187,3 +230,74 @@ class PageTable:
             raise SimulationError("total_pages must be positive")
         covered = len(self._huge) * (HUGE_PAGE // BASE_PAGE)
         return covered / total_pages
+
+
+class ReferencePageTable(PageTable):
+    """Per-object engine: one boxed :class:`Mapping` per installed entry.
+
+    The membership helpers (``covered``, run probes, counts) are inherited
+    — they only test key presence, which both layouts share.  Fast paths
+    that probe the raw tables must treat values as opaque (None-check
+    only); :class:`~repro.mmu.mmap_region.MappedRegion` does.
+    """
+
+    __slots__ = ()
+
+    def lookup(self, virt_page: int) -> Optional[Mapping]:
+        m = self._huge.get(virt_page // _PAGES_PER_HUGE)
+        if m is not None:
+            return m
+        return self._base.get(virt_page)
+
+    def install_base(self, virt_page: int, phys_addr: int) -> Mapping:
+        self._check_base(virt_page, phys_addr)
+        m = Mapping(virt_page, phys_addr, huge=False)
+        self._base[virt_page] = m
+        idx = virt_page // _PAGES_PER_HUGE
+        self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + 1
+        self.installed_4k += 1
+        return m
+
+    def install_base_fast(self, virt_page: int, phys_addr: int) -> None:
+        # the reference layout stores the Mapping either way
+        self.install_base(virt_page, phys_addr)
+
+    def install_huge(self, virt_page: int, phys_addr: int) -> Mapping:
+        idx = self._check_huge(virt_page, phys_addr)
+        m = Mapping(virt_page, phys_addr, huge=True)
+        self._huge[idx] = m
+        self.installed_2m += 1
+        return m
+
+    def install_base_run(self, first: int, count: int,
+                         phys0: int) -> Mapping:
+        if phys0 % BASE_PAGE:
+            raise SimulationError("physical address not page-aligned")
+        base = self._base
+        m = None
+        phys = phys0
+        for vp in range(first, first + count):
+            base[vp] = m = Mapping(vp, phys, huge=False)
+            phys += BASE_PAGE
+        idx = first // _PAGES_PER_HUGE
+        self._base_in_huge[idx] = self._base_in_huge.get(idx, 0) + count
+        self.installed_4k += count
+        assert m is not None
+        return m
+
+    def translate(self, virt_addr: int) -> int:
+        virt_page = virt_addr // BASE_PAGE
+        m = self.lookup(virt_page)
+        if m is None:
+            raise SimulationError(f"address {virt_addr:#x} not mapped")
+        if m.huge:
+            base_virt = m.virt_page * BASE_PAGE
+            return m.phys_addr + (virt_addr - base_virt)
+        return m.phys_addr + (virt_addr % BASE_PAGE)
+
+
+def make_page_table() -> PageTable:
+    """Engine-selected page table for a new mapping."""
+    if _engine.reference_state():
+        return ReferencePageTable()
+    return PageTable()

@@ -47,6 +47,10 @@ class _SparsePages:
     def __init__(self, size: int) -> None:
         self._size = size
         self._pages: Dict[int, bytearray] = {}
+        # last page touched by a single-page write (inode slots and dir
+        # entries hammer the same page): skips the dict probe on a hit
+        self._last_no = -1
+        self._last_page: Optional[bytearray] = None
 
     def read(self, addr: int, length: int) -> bytes:
         pages = self._pages
@@ -75,10 +79,15 @@ class _SparsePages:
         if off + length <= BASE_PAGE:
             # common case: the write stays inside one page (inode slots,
             # journal entries, indirect blocks are all page-confined)
-            page = self._pages.get(page_no)
-            if page is None:
-                page = bytearray(BASE_PAGE)
-                self._pages[page_no] = page
+            if page_no == self._last_no:
+                page = self._last_page
+            else:
+                page = self._pages.get(page_no)
+                if page is None:
+                    page = bytearray(BASE_PAGE)
+                    self._pages[page_no] = page
+                self._last_no = page_no
+                self._last_page = page
             page[off:off + length] = data
             return
         pos = 0
@@ -105,6 +114,9 @@ class _SparsePages:
             take = min(BASE_PAGE - off, length - pos)
             if take == BASE_PAGE:
                 pages.pop(page_no, None)
+                if page_no == self._last_no:
+                    self._last_no = -1
+                    self._last_page = None
             else:
                 page = pages.get(page_no)
                 if page is not None:
@@ -155,11 +167,18 @@ class PMDevice:
         # dirty-line bookkeeping is pure overhead: every store is treated
         # as immediately durable and only costs are charged
         self._fast = not track_stores
-        self._log: List[StoreRecord] = []
+        # store log as parallel columns (SoA): seqs ascend in append
+        # order, flags[i] is 1 once a clwb covered store i's lines.
+        # Fenced records never live in the log — sfence folds them into
+        # the durable image and compacts the columns in place, so clwb
+        # and sfence never rebuild per-record objects.
+        self._log_seqs: List[int] = []
+        self._log_addrs: List[int] = []
+        self._log_data: List[bytes] = []
+        self._log_flushed = bytearray()
         self._seq = 0
-        # lines stored but not yet flushed / flushed but not yet fenced
+        # lines stored but not yet flushed
         self._dirty_lines: Set[int] = set()
-        self._flushed_pending: Set[int] = set()
         # durable image, maintained only when tracking stores
         self._durable: Optional[_SparsePages] = _SparsePages(size) if track_stores else None
         self.bytes_written = 0
@@ -256,9 +275,13 @@ class PMDevice:
         last = (addr + len(data) - 1) // CACHELINE
         self._dirty_lines.update(range(first, last + 1))
         if self.track_stores:
-            self._log.append(StoreRecord(self._seq, addr, bytes(data)))
+            raw = bytes(data)
+            self._log_seqs.append(self._seq)
+            self._log_addrs.append(addr)
+            self._log_data.append(raw)
+            self._log_flushed.append(0)
             if self._capturing:
-                self._capture_records[self._seq] = (addr, bytes(data))
+                self._capture_records[self._seq] = (addr, raw)
                 self._capture_epoch_of[self._seq] = None
             self._seq += 1
 
@@ -274,16 +297,18 @@ class PMDevice:
             ctx.charge(len(lines) * self.machine.clwb_ns)
         if self._fast:
             return
-        for line in lines:
-            if line in self._dirty_lines:
-                self._dirty_lines.discard(line)
-                self._flushed_pending.add(line)
+        self._dirty_lines.difference_update(lines)
         if self.track_stores:
-            self._log = [
-                rec if not self._overlaps_lines(rec, first, last) or rec.flushed
-                else StoreRecord(rec.seq, rec.addr, rec.data, flushed=True)
-                for rec in self._log
-            ]
+            # flag flip in place on the flush column — no record rebuild
+            addrs = self._log_addrs
+            data = self._log_data
+            flushed = self._log_flushed
+            for i in range(len(addrs)):
+                if not flushed[i]:
+                    rfirst = addrs[i] // CACHELINE
+                    rlast = (addrs[i] + len(data[i]) - 1) // CACHELINE
+                    if rfirst <= last and first <= rlast:
+                        flushed[i] = 1
 
     def sfence(self, ctx: Optional[SimContext] = None) -> None:
         """Order flushed lines: everything clwb'ed so far becomes durable."""
@@ -291,24 +316,31 @@ class PMDevice:
             ctx.charge(self.machine.sfence_ns)
         if self._fast:
             return
-        self._flushed_pending.clear()
         if self.track_stores:
-            new_log: List[StoreRecord] = []
+            seqs = self._log_seqs
+            addrs = self._log_addrs
+            data = self._log_data
+            flushed = self._log_flushed
+            durable = self._durable
+            assert durable is not None
             fenced_any = False
-            for rec in self._log:
-                if rec.flushed and not rec.fenced:
-                    rec = StoreRecord(rec.seq, rec.addr, rec.data,
-                                      flushed=True, fenced=True)
-                    if self._capturing and rec.seq in self._capture_epoch_of:
-                        self._capture_epoch_of[rec.seq] = self._capture_epoch
+            w = 0
+            for i in range(len(seqs)):
+                if flushed[i]:
+                    # fenced: fold into the durable image and drop
+                    durable.write(addrs[i], data[i])
+                    if self._capturing and seqs[i] in self._capture_epoch_of:
+                        self._capture_epoch_of[seqs[i]] = self._capture_epoch
                         fenced_any = True
-                if rec.fenced:
-                    assert self._durable is not None
-                    self._durable.write(rec.addr, rec.data)
                 else:
-                    new_log.append(rec)
-            # durable records are folded into the durable image and dropped
-            self._log = new_log
+                    if w != i:
+                        seqs[w] = seqs[i]
+                        addrs[w] = addrs[i]
+                        data[w] = data[i]
+                        flushed[w] = flushed[i]
+                    w += 1
+            if w != len(seqs):
+                del seqs[w:], addrs[w:], data[w:], flushed[w:]
             if self._capturing and fenced_any:
                 self._capture_epoch += 1
 
@@ -357,12 +389,6 @@ class PMDevice:
                     ctx: Optional[SimContext] = None) -> None:
         """:meth:`store` of *length* zero bytes, buffer-free."""
         self.store(addr, Zeros(length), ctx)
-
-    @staticmethod
-    def _overlaps_lines(rec: StoreRecord, first: int, last: int) -> bool:
-        rfirst = rec.addr // CACHELINE
-        rlast = (rec.addr + len(rec.data) - 1) // CACHELINE
-        return rfirst <= last and first <= rlast
 
     # -- crash support -----------------------------------------------------------
 
@@ -432,7 +458,11 @@ class PMDevice:
         """Stores that are not yet guaranteed durable (no fence covers them)."""
         if not self.track_stores:
             raise PMError("store tracking is disabled on this device")
-        return [rec for rec in self._log if not rec.fenced]
+        # StoreRecord is materialized only here, at the API boundary
+        return [StoreRecord(seq, addr, data, flushed=bool(fl))
+                for seq, addr, data, fl in
+                zip(self._log_seqs, self._log_addrs, self._log_data,
+                    self._log_flushed)]
 
     def crash_image(self, surviving: Iterable[int] = ()) -> "PMDevice":
         """The device as it would look after a crash.
@@ -445,15 +475,17 @@ class PMDevice:
             raise PMError("store tracking is disabled on this device")
         assert self._durable is not None
         survivors = set(surviving)
-        unknown = survivors - {rec.seq for rec in self._log}
+        unknown = survivors - set(self._log_seqs)
         if unknown:
             raise PMError(f"unknown in-flight store seqs: {sorted(unknown)}")
         image = PMDevice(self.size, self.machine, self.topology,
                          track_stores=True)
         image._store = self._durable.clone()
-        for rec in sorted(self._log, key=lambda r: r.seq):
-            if rec.seq in survivors:
-                image._store.write(rec.addr, rec.data)
+        # the seq column ascends in append order: replay is already sorted
+        for seq, addr, data in zip(self._log_seqs, self._log_addrs,
+                                   self._log_data):
+            if seq in survivors:
+                image._store.write(addr, data)
         assert image._durable is not None
         image._durable = image._store.clone()
         return image
@@ -463,10 +495,12 @@ class PMDevice:
         out = PMDevice(self.size, self.machine, self.topology,
                        track_stores=self.track_stores)
         out._store = self._store.clone()
-        out._log = list(self._log)
+        out._log_seqs = list(self._log_seqs)
+        out._log_addrs = list(self._log_addrs)
+        out._log_data = list(self._log_data)
+        out._log_flushed = bytearray(self._log_flushed)
         out._seq = self._seq
         out._dirty_lines = set(self._dirty_lines)
-        out._flushed_pending = set(self._flushed_pending)
         if self._durable is not None:
             out._durable = self._durable.clone()
         out.bytes_written = self.bytes_written

@@ -33,6 +33,7 @@ from __future__ import annotations
 import inspect
 import struct
 import sys
+from array import array
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
@@ -59,6 +60,7 @@ _T_FLOAT = b"d"
 _T_STR = b"s"
 _T_BYTES = b"b"
 _T_BYTEARRAY = b"y"
+_T_ARRAY = b"a"
 _T_LIST = b"l"
 _T_TUPLE = b"t"
 _T_DICT = b"D"
@@ -144,6 +146,7 @@ _MODULE_WHITELIST = (
     "repro.core.rewrite",
     "repro.core.numa_policy",
     "repro.structures.extents",
+    "repro.structures.runstore",
     "repro.structures.sortedmap",
     "repro.structures.rbtree",
     "repro.structures.stats",
@@ -326,6 +329,17 @@ class _Encoder:
             _write_uvarint(out, len(obj))
             out.append(bytes(obj))
             return
+        if kind is array:
+            # typecode + machine bytes: exact for the int codes, and for
+            # 'd'/'f' the IEEE-754 bytes round-trip bit-identically
+            out.append(_T_ARRAY)
+            code = obj.typecode.encode("ascii")
+            _write_uvarint(out, len(code))
+            out.append(code)
+            raw = obj.tobytes()
+            _write_uvarint(out, len(raw))
+            out.append(raw)
+            return
         if kind is list:
             out.append(_T_LIST)
             _write_uvarint(out, len(obj))
@@ -425,6 +439,16 @@ class _Decoder:
             obj = bytearray(r.take(r.uvarint()))
             self.memo.append(obj)
             return obj
+        if tag == _T_ARRAY:
+            code = r.take(r.uvarint()).decode("ascii")
+            try:
+                arr = array(code)
+            except ValueError as exc:
+                raise SnapshotDecodeError(
+                    f"bad array typecode {code!r}") from exc
+            arr.frombytes(r.take(r.uvarint()))
+            self.memo.append(arr)
+            return arr
         if tag == _T_LIST:
             count = r.uvarint()
             obj: List[Any] = []

@@ -36,7 +36,7 @@ __all__ = ["FORMAT_VERSION", "cache_key", "snapshot_dir", "snapshot_path",
 
 #: bump whenever the codec stream or the simulated state layout changes;
 #: old files are then ignored (and eventually overwritten), never misread
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _MAGIC = b"REPROSNP"
 _HEAD = struct.Struct("<HI")   # version, meta_len

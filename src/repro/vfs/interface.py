@@ -369,6 +369,11 @@ class FileSystem(ABC):
     @abstractmethod
     def statfs(self) -> FSStats: ...
 
+    def utilization(self) -> float:
+        """``statfs().utilization``; hot pollers get an O(pools) override
+        in :class:`repro.fs.common.base.BaseFS`."""
+        return self.statfs().utilization
+
     @abstractmethod
     def file_extents(self, ino: int): ...
 

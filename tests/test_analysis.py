@@ -20,6 +20,7 @@ from repro.analysis import (DEFAULT_TARGET, FileContext, run_lint,
                             update_baseline)
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.engine import derive_module, scan_suppressions
+from repro.analysis.rules.array_state import ArrayStateRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.metric_names import MetricNamesRule
@@ -342,6 +343,63 @@ def test_metric_names_accepts_registered_and_prefixed():
         """),
     })
     assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# array-kernel
+
+
+BAD_ARRAY_STATE = """
+    def churn(ctx, dev, pool):
+        ctx.clock._cpu_ns[ctx.cpu] += 5.0
+        dev._log_seqs.append(7)
+        pool._rs.starts[0] = 3
+        del dev._log_data[0]
+        pool._rs.free_blocks = 0
+"""
+
+
+def test_array_kernel_flags_unsanctioned_mutation():
+    hits = rule_hits(ArrayStateRule(), BAD_ARRAY_STATE,
+                     module="repro.workloads.fixture")
+    assert {h.detail for h in hits} == {"_cpu_ns", "_log_seqs", "_rs",
+                                        "_log_data"}
+    assert len(hits) == 5
+    assert all(h.rule == "array-kernel" for h in hits)
+
+
+def test_array_kernel_sanctioned_modules_and_reads_are_clean():
+    # the owning kernel module may mutate its own state
+    clock_hits = rule_hits(ArrayStateRule(), """
+        def charge(self, cpu, ns):
+            self._cpu_ns[cpu] += ns
+    """, module="repro.clock")
+    assert clock_hits == []
+    device_hits = rule_hits(ArrayStateRule(), """
+        def store(self, addr, data):
+            self._log_seqs.append(self._seq)
+            self._log_flushed.append(0)
+    """, module="repro.pm.device")
+    assert device_hits == []
+    # reads and whole-attribute rebinds (construction) are fine anywhere
+    reads = rule_hits(ArrayStateRule(), """
+        def snapshot(ctx, pool):
+            now = ctx.clock._cpu_ns[ctx.cpu]
+            pool._rs = object()
+            return now, list(ctx.clock._cpu_ns)
+    """, module="repro.workloads.fixture")
+    assert reads == []
+
+
+def test_array_kernel_scoped_to_repro_and_suppressible():
+    assert rule_hits(ArrayStateRule(), BAD_ARRAY_STATE,
+                     module="scripts.fixture") == []
+    suppressed = rule_hits(ArrayStateRule(), """
+        def poke(ctx):
+            # repro: allow[array-kernel] test hook mirrors the kernel
+            ctx.clock._cpu_ns[0] += 1.0
+    """, module="repro.workloads.fixture")
+    assert suppressed == []
 
 
 def test_counter_layout_names_are_registered():

@@ -164,3 +164,25 @@ def test_batched_vs_reference(seeds):
 def test_sequence_is_deterministic():
     """Same seed, same engine: byte-for-byte identical runs."""
     assert _run_sequence(True, 99) == _run_sequence(True, 99)
+
+
+STATE_SEEDS = range(0, 32)
+
+
+@pytest.mark.parametrize("seeds", [STATE_SEEDS],
+                         ids=lambda r: f"seeds{r.start}-{r.stop - 1}")
+def test_array_state_vs_reference_state(seeds):
+    """Same sweep, but crossing the *state* engine toggle: the
+    structure-of-arrays kernels (flat page table, run-store free pool,
+    SoA store log, clock array) against the per-object reference
+    structures.  Dense model/fault coverage lives in
+    test_state_engine_equivalence.py; this is the random-syscall angle."""
+    from repro.engine import reference_state_scope
+
+    for seed in seeds:
+        fast = _run_sequence(True, seed)
+        with reference_state_scope():
+            ref = _run_sequence(True, seed)
+        for a, b in zip(fast[0], ref[0]):
+            assert repr(a) == repr(b), f"seed {seed}: clock diverged"
+        assert fast[1:] == ref[1:], f"seed {seed}: state engines diverged"

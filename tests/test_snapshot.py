@@ -136,6 +136,47 @@ class TestCodec:
         with pytest.raises(SnapshotDecodeError):
             codec.decode(bad)
 
+    @pytest.mark.parametrize("typecode,values", [
+        ("d", [0.0, -0.0, 0.1, 1 / 3, 5e-324, float("inf")]),
+        ("f", [0.0, 1.5, -2.25]),
+        ("q", [-(2 ** 63), 0, 2 ** 63 - 1]),
+        ("Q", [0, 2 ** 64 - 1]),
+        ("l", [-1, 0, 7]),
+        ("B", [0, 128, 255]),
+        ("b", []),
+    ])
+    def test_array_roundtrip_byte_exact(self, typecode, values):
+        """array.array columns (the SoA kernels' backing stores) must
+        round-trip byte-for-byte — for 'd' that is IEEE-754 bit-exact."""
+        from array import array
+
+        arr = array(typecode, values)
+        out = _roundtrip(arr)
+        assert type(out) is array
+        assert out.typecode == arr.typecode
+        assert out.tobytes() == arr.tobytes()
+
+    def test_array_shared_reference_identity(self):
+        from array import array
+
+        arr = array("d", [1.0, 2.0])
+        out = _roundtrip([arr, arr])
+        assert out[0] is out[1]
+        assert out[0].tobytes() == arr.tobytes()
+
+    def test_array_bad_typecode_rejected(self):
+        from array import array
+
+        blob = codec.encode(array("q", [1, 2]))
+        bad = blob.replace(b"q", b"@", 1)
+        with pytest.raises(SnapshotDecodeError):
+            codec.decode(bad)
+
+    def test_memoryview_unsupported(self):
+        """Fail closed: views over someone else's buffer don't persist."""
+        with pytest.raises(SnapshotUnsupported):
+            codec.encode(memoryview(b"abc"))
+
 
 # -- store -------------------------------------------------------------------
 
