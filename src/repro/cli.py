@@ -9,6 +9,8 @@ Quick access to the library without writing a script:
 * ``repro crash-test`` — run the CrashMonkey/ACE catalogue on WineFS;
 * ``repro lint`` — the repro.analysis static-analysis suite (CI gate);
 * ``repro slo --jobs 2`` — seeded fault campaign with SLO telemetry;
+* ``repro serve --load --seeds 1,2`` — seeded multi-tenant object-service
+  load over simulated backends (``repro.serve``);
 * ``repro scalability --fs WineFS --threads 1,4,16`` — a Fig 10 slice.
 """
 
@@ -264,6 +266,80 @@ def cmd_slo(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """The ``repro.serve`` object service from the command line.
+
+    Without ``--load``: stand up one storage from the flags, serve a few
+    demonstration objects through the RPC loopback, and print what
+    happened — a smoke test of the whole stack.
+
+    With ``--load``: run the seeded multi-tenant load matrix through the
+    fleet runner.  The JSON report and the OpenMetrics exposition
+    contain only simulated quantities merged in sorted-cell-key order,
+    so both are byte-identical for any ``--jobs`` value and across
+    repeated runs with the same seeds.
+    """
+    import json
+
+    from .harness.fleet import run_serve_campaign, serve_matrix
+    from .harness.report import slo_table
+
+    fs_names = sorted(args.serve_fs.split(","))
+    for name in fs_names:
+        if name not in SPECS_BY_NAME:
+            raise SystemExit(f"unknown file system {name!r}")
+
+    if not args.load:
+        from .serve import LoadSpec, generate_stream, get_objstorage, \
+            loopback_client, run_load
+        backends = [{"cls": "fs", "fs": name, "size_gib": args.size_gib,
+                     "num_cpus": args.cpus, "aged": args.aged}
+                    for name in fs_names]
+        storage = get_objstorage(cls="multiplexer", backends=backends,
+                                 queue_cap=args.queue_cap)
+        client = loopback_client(storage)
+        stream = generate_stream(LoadSpec(seed=args.seeds_list[0],
+                                          tenants=args.tenants, ops=50))
+        report = run_load(client, stream)
+        print(f"served {report['requests']} requests across "
+              f"{args.tenants} tenant(s) on {len(fs_names)} backend(s): "
+              f"{report['ops']}")
+        print(f"moved {report['bytes_put']} bytes in / "
+              f"{report['bytes_got']} bytes out; "
+              f"rejected {report['rejected']}; "
+              f"errors {report['errors'] or 'none'}")
+        return 0
+
+    cells = serve_matrix(fs_names, args.seeds_list, size_gib=args.size_gib,
+                         num_cpus=args.cpus, ops=args.ops,
+                         tenants=args.tenants, queue_cap=args.queue_cap,
+                         aged=args.aged, faults=args.faults)
+    report = run_serve_campaign(cells, jobs=args.jobs)
+    if args.out:
+        blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+        if args.out == "-":
+            sys.stdout.write(blob)
+        else:
+            with open(args.out, "w") as handle:
+                handle.write(blob)
+            print(f"wrote {args.out} ({len(report['cells'])} cells, "
+                  f"jobs={args.jobs})")
+    if args.openmetrics:
+        from .obs import write_openmetrics
+        write_openmetrics(args.openmetrics, report["frame"])
+        if args.openmetrics != "-":
+            print(f"wrote {args.openmetrics} (OpenMetrics)")
+    if args.out != "-" and args.openmetrics != "-":
+        totals = report["totals"]
+        title = (f"serve report ({len(report['cells'])} cells, "
+                 f"{totals['requests']} requests, "
+                 f"{totals['rejected']} rejected)")
+        service_rows = [r for r in report["results"]
+                        if r["slo"] == "service"]
+        print(slo_table(service_rows, title=title).render())
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the repro.analysis static-analysis suite (see DESIGN.md)."""
     import json
@@ -360,6 +436,13 @@ def cmd_trace(args) -> int:
 
 def _parse_threads(value: str) -> List[int]:
     return [int(x) for x in value.split(",") if x]
+
+
+def _parse_seeds(value: str) -> List[int]:
+    seeds = sorted(int(x) for x in value.split(",") if x)
+    if not seeds:
+        raise argparse.ArgumentTypeError("need at least one seed")
+    return seeds
 
 
 def _positive_int(value: str) -> int:
@@ -461,6 +544,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged frame as OpenMetrics text "
                         "('-' for stdout)")
 
+    p = sub.add_parser("serve", help="serve a multi-tenant object "
+                                     "workload (put/get/exists/delete/"
+                                     "list) over simulated FS backends")
+    p.add_argument("--load", action="store_true",
+                   help="run the seeded load matrix instead of the "
+                        "demo smoke run")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (the report is byte-identical "
+                        "for any value)")
+    p.add_argument("--fs", dest="serve_fs", default="WineFS",
+                   help="comma-separated backend file systems")
+    p.add_argument("--seeds", dest="seeds_list", type=_parse_seeds,
+                   default=[1], help="comma-separated load seeds")
+    p.add_argument("--ops", type=_positive_int, default=300,
+                   help="requests per load cell")
+    p.add_argument("--tenants", type=_positive_int, default=4)
+    p.add_argument("--queue-cap", type=int, default=0,
+                   help="per-backend admission queue depth "
+                        "(0 disables admission control)")
+    p.add_argument("--aged", action="store_true",
+                   help="serve from aged images (snapshot-cached)")
+    p.add_argument("--faults", action="store_true",
+                   help="run the seeded serve fault campaign mid-load")
+    p.add_argument("--size-gib", type=float, default=0.0625)
+    p.add_argument("--cpus", type=int, default=2)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON serve report ('-' for stdout)")
+    p.add_argument("--openmetrics", metavar="PATH", default=None,
+                   help="write the merged frame as OpenMetrics text "
+                        "('-' for stdout)")
+
     p = sub.add_parser("lint", help="run the repro.analysis static-"
                                     "analysis suite over src/repro")
     p.add_argument("paths", nargs="*",
@@ -510,6 +624,7 @@ COMMANDS = {
     "crash-test": cmd_crash_test,
     "faults": cmd_faults,
     "slo": cmd_slo,
+    "serve": cmd_serve,
     "lint": cmd_lint,
     "scalability": cmd_scalability,
     "trace": cmd_trace,

@@ -83,6 +83,16 @@ class ReadOnlyError(FSError):
     errno_name = "EROFS"
 
 
+class BusyError(FSError):
+    """EAGAIN: the service is saturated; retry later.
+
+    Raised by the :mod:`repro.serve` multiplexer when a backend's
+    admission queue is full — the loss-based backpressure signal that
+    burns the service SLO error budget instead of growing latency."""
+
+    errno_name = "EAGAIN"
+
+
 class NotMountedError(FSError):
     """The file system has been unmounted or crashed; remount first."""
 

@@ -20,8 +20,8 @@ layers themselves (journal, filesystem, allocator, vfs); this package only
 decides *when* a fault fires and counts what happened to it.
 """
 
-from .campaign import campaign_plan, crash_plan
+from .campaign import campaign_plan, crash_plan, serve_campaign_plan
 from .plan import (FAULT_KINDS, FaultPlan, FaultSpec, MAX_WRITE_RETRIES)
 
 __all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "MAX_WRITE_RETRIES",
-           "campaign_plan", "crash_plan"]
+           "campaign_plan", "crash_plan", "serve_campaign_plan"]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from ..rng import make_rng
 from .plan import FaultPlan, FaultSpec
 
-__all__ = ["campaign_plan", "crash_plan"]
+__all__ = ["campaign_plan", "crash_plan", "serve_campaign_plan"]
 
 #: poisoned bytes at the journal head for :func:`crash_plan` (one
 #: cacheline — enough to break the first record's checksum)
@@ -52,6 +52,29 @@ def campaign_plan(seed: int) -> FaultPlan:
         FaultSpec("latency", at_op=1500 + rng.randrange(0, 1000),
                   count=250, latency_mult=4.0),
         FaultSpec("enospc", at_op=10 + rng.randrange(0, 30), count=1),
+        FaultSpec("write_error", blocks=(), count=1),
+    ]
+    return FaultPlan(seed=seed, specs=specs)
+
+
+def serve_campaign_plan(seed: int) -> FaultPlan:
+    """Runtime fault mix for one *served* campaign cell.
+
+    Same fault vocabulary as :func:`campaign_plan`, re-placed for the
+    service workload: an object verb expands to a handful of VFS calls,
+    so a few hundred served requests give a few thousand fault-visible
+    ops.  The windows land early enough that even a short load crosses
+    them, and the latency spikes are sized so service-class tail
+    objectives survive while the error ledger records the damage.
+    """
+    rng = make_rng(seed, salt=1)
+    specs = [
+        FaultSpec("latency", at_op=20 + rng.randrange(0, 120),
+                  count=100 + rng.randrange(0, 80),
+                  latency_mult=float(2 + rng.randrange(0, 3))),
+        FaultSpec("latency", at_op=400 + rng.randrange(0, 400),
+                  count=150, latency_mult=3.0),
+        FaultSpec("enospc", at_op=5 + rng.randrange(0, 20), count=1),
         FaultSpec("write_error", blocks=(), count=1),
     ]
     return FaultPlan(seed=seed, specs=specs)

@@ -29,7 +29,9 @@ from .setup import ALL_SPECS, SPECS_BY_NAME, aged_fs, fresh_fs
 __all__ = ["run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
            "run_bench_matrix", "DEFAULT_BENCH_PATTERNS",
            "slo_cell", "slo_matrix", "run_slo_campaign",
-           "SLO_REPORT_SCHEMA"]
+           "SLO_REPORT_SCHEMA",
+           "serve_cell", "serve_matrix", "run_serve_campaign",
+           "SERVE_REPORT_SCHEMA"]
 
 
 def run_fleet(fn: Callable[[Any], Any], cells: Sequence[Any],
@@ -279,6 +281,111 @@ def slo_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     telemetry.absorb_fault_plan(fs.name, plan)
     telemetry.finalize(ctx.clock.elapsed)
     return telemetry.as_payload()
+
+
+# -- the `repro serve` load campaign -----------------------------------------
+
+SERVE_REPORT_SCHEMA = "repro.serve-report/1"
+
+
+def serve_matrix(fs_names: Sequence[str], seeds: Sequence[int], *,
+                 size_gib: float = 0.0625, num_cpus: int = 2,
+                 ops: int = 300, tenants: int = 4, queue_cap: int = 0,
+                 aged: bool = False,
+                 faults: bool = False) -> List[Dict[str, Any]]:
+    """The sorted (fs, seed) serve cell list — the canonical merge order."""
+    cells = [{"fs": fs, "seed": seed, "size_gib": size_gib,
+              "num_cpus": num_cpus, "ops": ops, "tenants": tenants,
+              "queue_cap": queue_cap, "aged": aged, "faults": faults}
+             for fs in fs_names for seed in seeds]
+    cells.sort(key=lambda c: (c["fs"], c["seed"]))
+    return cells
+
+
+def serve_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Serve one seeded multi-tenant load against one FS backend.
+
+    The cell stands up the full service stack on its own simulated
+    machine — FS backend, multiplexer (admission control when
+    ``queue_cap > 0``), RPC loopback client — and replays the seeded
+    stream through the *client*, so every measured op crosses the codec.
+    With ``faults`` set, :func:`repro.faults.serve_campaign_plan` runs
+    against the backend mid-load; surfaced errors burn the ``service``
+    SLO budget but never abort the load.  Returns the telemetry frame,
+    the load report, and the multiplexer's admission metrics.
+    """
+    from ..faults import serve_campaign_plan
+    from ..obs import Telemetry
+    from ..serve import (FSObjStorage, LoadSpec, ObjStorageMultiplexer,
+                         generate_stream, loopback_client, run_load)
+
+    name = cell["fs"]
+    seed = cell["seed"]
+    build = aged_fs if cell.get("aged") else fresh_fs
+    # track_data: served objects must round-trip their actual bytes
+    fs, ctx = build(name, size_gib=cell["size_gib"],
+                    num_cpus=cell["num_cpus"], track_data=True)
+    telemetry = Telemetry(tag=f"serve/{name}/s{seed}")
+    if cell.get("faults"):
+        plan = serve_campaign_plan(seed)
+        if hasattr(fs, "attach_fault_plan"):
+            fs.attach_fault_plan(plan)
+        else:
+            fs.device.set_fault_plan(plan)
+    else:
+        plan = None
+    backend = FSObjStorage(fs, ctx)
+    mux = ObjStorageMultiplexer([backend],
+                                queue_cap=cell.get("queue_cap", 0))
+    mux.attach_telemetry(telemetry)
+    client = loopback_client(mux, label=f"serve/{name}")
+    stream = generate_stream(LoadSpec(seed=seed, tenants=cell["tenants"],
+                                      ops=cell["ops"]))
+    report = run_load(client, stream, telemetry=telemetry)
+    if plan is not None:
+        telemetry.absorb_fault_plan(fs.name, plan)
+    telemetry.finalize(ctx.clock.elapsed)
+    return {
+        "fs": name,
+        "seed": seed,
+        "load": report,
+        "admission": mux.registry.as_dict(),
+        "frame": telemetry.as_payload(),
+    }
+
+
+def run_serve_campaign(cells: Sequence[Dict[str, Any]],
+                       jobs: int = 1) -> Dict[str, Any]:
+    """Run the serve matrix and evaluate SLOs over the merged frame.
+
+    Same merge discipline as :func:`run_slo_campaign`: frames merge in
+    sorted-cell-key order, so the report (and its OpenMetrics
+    exposition) is byte-identical for any *jobs* value.
+    """
+    from ..obs import evaluate_frame, merge_frames
+
+    results = run_fleet(serve_cell, cells, jobs=jobs)
+    merged = merge_frames([r["frame"] for r in results])
+    evaluated = evaluate_frame(merged)
+    totals = merge_numeric(
+        {"requests": r["load"]["requests"], "rejected": r["load"]["rejected"],
+         "bytes_put": r["load"]["bytes_put"],
+         "bytes_got": r["load"]["bytes_got"]}
+        for r in results)
+    return {
+        "schema": SERVE_REPORT_SCHEMA,
+        "cells": [{"fs": r["fs"], "seed": r["seed"], "load": r["load"],
+                   "admission": r["admission"]} for r in results],
+        "totals": totals,
+        "frame": merged,
+        "results": [
+            {"fs": r.fs, "slo": r.spec.name, "ops": r.ops,
+             "surfaced": r.surfaced, "p50_ns": r.p50_ns,
+             "p99_ns": r.p99_ns, "p999_ns": r.p999_ns,
+             "budget_burn": r.budget_burn,
+             "objectives": list(r.objective_lines), "ok": r.ok}
+            for r in evaluated],
+    }
 
 
 def run_slo_campaign(cells: Sequence[Dict[str, Any]],

@@ -127,14 +127,24 @@ def _aged_cache_key(name: str, *, size_gib: float, num_cpus: int,
 
 
 def _restore_aged(key: str, name: str
-                  ) -> Optional[Tuple[FileSystem, SimContext]]:
-    root = snapshot_store.load(key)
+                  ) -> Tuple[Optional[Tuple[FileSystem, SimContext]], str]:
+    """Restore the aged image under *key*; ``(pair, status)``.
+
+    *status* is a :data:`repro.snapshot.store.LOAD_STATUSES` entry; a
+    decoded value of the wrong shape counts as ``decode_error``.  Any
+    non-``hit`` status makes the caller re-age, and :func:`aged_fs`
+    counts the non-``miss`` failures into the run's metrics registry —
+    a cache that silently re-ages every run must not look healthy.
+    """
+    root, status = snapshot_store.load_ex(key)
+    if status != "hit":
+        return None, status
     if not isinstance(root, dict):
-        return None
+        return None, "decode_error"
     fs = root.get("fs")
     ctx = root.get("ctx")
     if not isinstance(fs, FileSystem) or not isinstance(ctx, SimContext):
-        return None
+        return None, "decode_error"
     # callback gauges are dropped at encode time; re-create them exactly
     # as make_fs does so the registry matches the freshly-aged path
     fs.device.bind_metrics(ctx.counters.registry, fs=name)
@@ -142,7 +152,7 @@ def _restore_aged(key: str, name: str
     # (they key VFS lock names); fast-forward the process-wide counter
     for inode in fs._itable.live_inodes():
         _GENERATION.advance_past(inode.gen)
-    return fs, ctx
+    return (fs, ctx), "hit"
 
 
 def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
@@ -165,13 +175,14 @@ def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
     use_cache = (snapshot and trace is None
                  and os.environ.get("REPRO_SNAPSHOT", "1") != "0")
     key = ""
+    load_status = "miss"
     if use_cache:
         key = _aged_cache_key(name, size_gib=size_gib, num_cpus=num_cpus,
                               utilization=utilization,
                               churn_multiple=churn_multiple,
                               profile=profile, seed=seed,
                               track_data=track_data)
-        restored = _restore_aged(key, name)
+        restored, load_status = _restore_aged(key, name)
         if restored is not None:
             return restored
     fs, ctx = make_fs(name, size_gib=size_gib, num_cpus=num_cpus,
@@ -182,6 +193,11 @@ def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
                          seed=seed)
         ager.age(ctx, write_volume=int(churn_multiple * size_gib * GIB))
     _reset_after_setup(fs, ctx)
+    if load_status not in ("hit", "miss"):
+        # the cache had a file for this key but could not serve it; count
+        # the failure (post-reset, so it survives into the run's metrics)
+        ctx.counters.registry.counter("snapshot_load_failures", fs=name,
+                                      reason=load_status).inc()
     if use_cache and fs.device.faults is None:
         snapshot_store.save(key, {"fs": fs, "ctx": ctx}, meta={
             "fs": name, "size_gib": size_gib, "num_cpus": num_cpus,

@@ -66,6 +66,12 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "slo_degraded_seconds",
     "slo_degradations_total",
     "slo_mttr_seconds",
+    # service layer (repro.serve)
+    "serve_requests_total",
+    "serve_rejected_total",
+    "serve_queue_depth",
+    # snapshot cache health (repro.harness.setup)
+    "snapshot_load_failures",
 })
 
 #: every span / zero-width record name

@@ -60,6 +60,13 @@ DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
             p99_ns=1e6, p999_ns=5e6, error_budget=0.005),
     SLOSpec("space", ("truncate", "fallocate", "mmap"),
             p99_ns=5e6, p999_ns=2e7, error_budget=0.005),
+    # service-level objectives for repro.serve: the object verbs recorded
+    # under the "serve" label.  The names never collide with VFS entry
+    # points, so frames without a service layer evaluate exactly as
+    # before.  Thresholds cover a whole object op (several VFS calls,
+    # payloads up to 256 KiB) on an aged image.
+    SLOSpec("service", ("put", "get", "exists", "delete", "list"),
+            p99_ns=5e7, p999_ns=2e8, error_budget=0.001),
 )
 
 

@@ -1,0 +1,249 @@
+"""In-process RPC pair: framed request/response codec, server, client.
+
+The wire form is a single self-delimiting frame (same framing discipline
+as the snapshot store):
+
+    magic ``ROBJ`` | u16 version | u32 meta_len | meta JSON (UTF-8) |
+    u64 payload_len | payload bytes
+
+Requests put the verb and its string arguments in the meta JSON and the
+object bytes (puts only) in the payload; responses carry ``ok`` plus
+either a JSON-able ``result`` or an ``errno``/``error`` pair, with get
+payloads travelling as raw bytes.  Object data never transits JSON, so
+the codec is byte-exact for any payload.
+
+:class:`ObjStorageServer` wraps any :class:`~repro.serve.ObjStorage` and
+**never raises**: file-system errors (a poisoned read, a degraded
+mount's ``EROFS``, an admission rejection's ``EAGAIN``) become error
+responses carrying the errno name, and malformed frames become
+``EINVAL`` responses — a fault campaign can burn the error budget but
+cannot crash the server.  :class:`RemoteObjStorage` is the inverse map:
+it speaks frames through any ``bytes -> bytes`` transport and re-raises
+the matching :mod:`repro.errors` class, so a client-driven storage is
+behaviourally identical to the local one (the conformance suite runs
+the same mixin over both).  :func:`spawn_pipe_server` crosses a real
+process boundary: the child builds its storage from a factory config
+and answers frames over a ``multiprocessing`` pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (BusyError, ExistsError, FSError,
+                      InvalidArgumentError, MediaError, NoSpaceError,
+                      NotFoundError, ReadOnlyError, ReproError)
+from .interface import ObjStorage
+
+__all__ = ["RPCError", "encode_frame", "decode_frame", "ObjStorageServer",
+           "RemoteObjStorage", "loopback_client", "spawn_pipe_server",
+           "serve_connection"]
+
+_MAGIC = b"ROBJ"
+_VERSION = 1
+_HEAD = struct.Struct("<HI")   # version, meta_len
+_PLEN = struct.Struct("<Q")    # payload_len
+
+#: verbs a server dispatches; everything else is EINVAL
+_METHODS = ("put", "get", "exists", "delete", "list", "sim_ns", "advance")
+
+#: errno name -> exception class raised client-side
+_ERRNO_CLASSES = {
+    "ENOENT": NotFoundError,
+    "EEXIST": ExistsError,
+    "EINVAL": InvalidArgumentError,
+    "EAGAIN": BusyError,
+    "EROFS": ReadOnlyError,
+    "ENOSPC": NoSpaceError,
+    "EIO": MediaError,
+}
+
+
+class RPCError(ReproError):
+    """The transport returned a frame the codec cannot parse."""
+
+
+def encode_frame(meta: Dict[str, Any], payload: bytes = b"") -> bytes:
+    meta_blob = json.dumps(meta, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    return (_MAGIC + _HEAD.pack(_VERSION, len(meta_blob)) + meta_blob
+            + _PLEN.pack(len(payload)) + payload)
+
+
+def decode_frame(blob: bytes) -> Tuple[Dict[str, Any], bytes]:
+    if not isinstance(blob, (bytes, bytearray)) \
+            or not blob.startswith(_MAGIC):
+        raise RPCError("bad frame magic")
+    offset = len(_MAGIC)
+    if len(blob) < offset + _HEAD.size + _PLEN.size:
+        raise RPCError("truncated frame header")
+    version, meta_len = _HEAD.unpack_from(blob, offset)
+    if version != _VERSION:
+        raise RPCError(f"unsupported frame version {version}")
+    offset += _HEAD.size
+    meta_end = offset + meta_len
+    if meta_end + _PLEN.size > len(blob):
+        raise RPCError("truncated frame meta")
+    try:
+        meta = json.loads(bytes(blob[offset:meta_end]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RPCError(f"bad frame meta: {exc}") from None
+    (payload_len,) = _PLEN.unpack_from(blob, meta_end)
+    payload_off = meta_end + _PLEN.size
+    if payload_off + payload_len != len(blob):
+        raise RPCError("frame payload length mismatch")
+    if not isinstance(meta, dict):
+        raise RPCError("frame meta is not an object")
+    return meta, bytes(blob[payload_off:payload_off + payload_len])
+
+
+class ObjStorageServer:
+    """Dispatch decoded request frames onto one storage; never raises."""
+
+    def __init__(self, storage: ObjStorage) -> None:
+        self.storage = storage
+
+    def handle(self, request: bytes) -> bytes:
+        try:
+            meta, payload = decode_frame(request)
+            return self._dispatch(meta, payload)
+        except FSError as exc:
+            return encode_frame({"ok": False, "errno": exc.errno_name,
+                                 "error": str(exc)})
+        except (RPCError, TypeError, KeyError, ValueError) as exc:
+            return encode_frame({"ok": False, "errno": "EINVAL",
+                                 "error": f"bad request: {exc}"})
+
+    def _dispatch(self, meta: Dict[str, Any], payload: bytes) -> bytes:
+        method = meta.get("method")
+        if method not in _METHODS:
+            raise RPCError(f"unknown method {method!r}")
+        storage = self.storage
+        if method == "put":
+            obj_id = storage.put(meta["tenant"], payload,
+                                 obj_id=meta.get("obj_id"))
+            return encode_frame({"ok": True, "result": obj_id})
+        if method == "get":
+            data = storage.get(meta["tenant"], meta["obj_id"])
+            return encode_frame({"ok": True}, data)
+        if method == "exists":
+            found = storage.exists(meta["tenant"], meta["obj_id"])
+            return encode_frame({"ok": True, "result": bool(found)})
+        if method == "delete":
+            storage.delete(meta["tenant"], meta["obj_id"])
+            return encode_frame({"ok": True})
+        if method == "list":
+            return encode_frame(
+                {"ok": True, "result": storage.list_objects(meta["tenant"])})
+        if method == "sim_ns":
+            return encode_frame({"ok": True, "result": storage.sim_ns()})
+        # advance
+        storage.advance(float(meta["arrival_ns"]))
+        return encode_frame({"ok": True})
+
+
+class RemoteObjStorage(ObjStorage):
+    """Client end: an ObjStorage speaking frames over a transport."""
+
+    def __init__(self, transport: Callable[[bytes], bytes],
+                 label: str = "remote") -> None:
+        self.transport = transport
+        self.name = label
+
+    def _call(self, meta: Dict[str, Any],
+              payload: bytes = b"") -> Tuple[Dict[str, Any], bytes]:
+        response = self.transport(encode_frame(meta, payload))
+        resp_meta, resp_payload = decode_frame(response)
+        if not resp_meta.get("ok"):
+            errno_name = str(resp_meta.get("errno", "EIO"))
+            exc_class = _ERRNO_CLASSES.get(errno_name, FSError)
+            raise exc_class(str(resp_meta.get("error", "remote error")))
+        return resp_meta, resp_payload
+
+    def put(self, tenant: str, data: bytes,
+            obj_id: Optional[str] = None) -> str:
+        meta: Dict[str, Any] = {"method": "put", "tenant": tenant}
+        if obj_id is not None:
+            meta["obj_id"] = obj_id
+        resp, _payload = self._call(meta, bytes(data))
+        return resp["result"]
+
+    def get(self, tenant: str, obj_id: str) -> bytes:
+        _resp, payload = self._call({"method": "get", "tenant": tenant,
+                                     "obj_id": obj_id})
+        return payload
+
+    def exists(self, tenant: str, obj_id: str) -> bool:
+        resp, _payload = self._call({"method": "exists", "tenant": tenant,
+                                     "obj_id": obj_id})
+        return resp["result"]
+
+    def delete(self, tenant: str, obj_id: str) -> None:
+        self._call({"method": "delete", "tenant": tenant,
+                    "obj_id": obj_id})
+
+    def list_objects(self, tenant: str) -> List[str]:
+        resp, _payload = self._call({"method": "list", "tenant": tenant})
+        return resp["result"]
+
+    def sim_ns(self) -> float:
+        resp, _payload = self._call({"method": "sim_ns"})
+        return float(resp["result"])
+
+    def advance(self, arrival_ns: float) -> None:
+        self._call({"method": "advance", "arrival_ns": arrival_ns})
+
+
+def loopback_client(storage: ObjStorage,
+                    label: str = "loopback") -> RemoteObjStorage:
+    """A client whose transport is an in-process server — every call
+    round-trips through the full codec."""
+    server = ObjStorageServer(storage)
+    return RemoteObjStorage(server.handle, label=label)
+
+
+# -- process-boundary serving ------------------------------------------------
+
+def serve_connection(storage: ObjStorage, conn) -> None:
+    """Answer frames on a multiprocessing connection until EOF or an
+    empty shutdown frame."""
+    server = ObjStorageServer(storage)
+    while True:
+        try:
+            request = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if not request:
+            break
+        conn.send_bytes(server.handle(request))
+
+
+def _pipe_server_main(config: Dict[str, Any], conn) -> None:
+    from .factory import get_objstorage
+
+    serve_connection(get_objstorage(**config), conn)
+    conn.close()
+
+
+def spawn_pipe_server(config: Dict[str, Any], label: str = "remote"):
+    """Start a child process serving the storage built from *config*.
+
+    Returns ``(client, process, conn)``; send an empty frame (or just
+    ``process.terminate()``) to stop the child.  The transport is
+    strictly request/response over one duplex pipe.
+    """
+    import multiprocessing
+
+    parent_conn, child_conn = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_pipe_server_main, args=(config, child_conn), daemon=True)
+    process.start()
+    child_conn.close()
+
+    def transport(blob: bytes) -> bytes:
+        parent_conn.send_bytes(blob)
+        return parent_conn.recv_bytes()
+
+    return RemoteObjStorage(transport, label=label), process, parent_conn

@@ -14,8 +14,12 @@ Files live under ``$REPRO_SNAPSHOT_DIR`` (default ``~/.cache/repro``) as
 The meta JSON repeats the key parameters for inspection; integrity and
 version checks happen before any payload byte reaches the codec.  Every
 failure mode — missing file, bad magic, stale version, CRC mismatch,
-truncation, decode error — returns ``None`` so callers silently fall
-back to re-aging.
+truncation, decode error — makes :func:`load` return ``None`` so callers
+fall back to re-aging; :func:`load_ex` additionally classifies the
+failure (``miss`` / ``stale`` / ``corrupt`` / ``decode_error``) so the
+harness can count non-miss failures instead of losing them — a corrupt
+cache that silently re-ages on every run looks exactly like a healthy
+cold cache unless something counts it.
 """
 
 from __future__ import annotations
@@ -31,8 +35,8 @@ from typing import Any, Dict, Optional
 
 from . import codec
 
-__all__ = ["FORMAT_VERSION", "cache_key", "snapshot_dir", "snapshot_path",
-           "save", "load"]
+__all__ = ["FORMAT_VERSION", "LOAD_STATUSES", "cache_key", "snapshot_dir",
+           "snapshot_path", "save", "load", "load_ex"]
 
 #: bump whenever the codec stream or the simulated state layout changes;
 #: old files are then ignored (and eventually overwritten), never misread
@@ -111,36 +115,60 @@ def save(key: str, root: Any, meta: Optional[Dict[str, Any]] = None) -> bool:
     return True
 
 
-def load(key: str) -> Optional[Any]:
-    """Decode the snapshot stored under *key*; ``None`` on any failure."""
+#: every status ``load_ex`` can report.  ``hit`` carries a value; the
+#: rest carry ``None``.  ``miss`` (no file) is the healthy cold-cache
+#: case; the other three mean a file existed but could not be used.
+LOAD_STATUSES = ("hit", "miss", "corrupt", "stale", "decode_error")
+
+
+def load_ex(key: str) -> tuple:
+    """Decode the snapshot stored under *key*.
+
+    Returns ``(value, "hit")`` on success, else ``(None, status)`` with
+    *status* one of :data:`LOAD_STATUSES`: ``miss`` when no file exists,
+    ``stale`` for a readable file with an old format version, ``corrupt``
+    for structural damage (bad magic, truncation, CRC mismatch), and
+    ``decode_error`` when the integrity-checked payload fails the codec.
+    """
     path = snapshot_path(key)
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
+    except FileNotFoundError:
+        return None, "miss"
     except OSError:
-        return None
+        return None, "corrupt"
     try:
         if not blob.startswith(_MAGIC):
-            return None
+            return None, "corrupt"
         offset = len(_MAGIC)
         if len(blob) < offset + _HEAD.size + _PLEN.size + _CRC.size:
-            return None
+            return None, "corrupt"
         version, meta_len = _HEAD.unpack_from(blob, offset)
         if version != FORMAT_VERSION:
-            return None
+            return None, "stale"
         offset += _HEAD.size
         meta_end = offset + meta_len
         payload_off = meta_end + _PLEN.size
         if payload_off > len(blob) - _CRC.size:
-            return None
+            return None, "corrupt"
         (payload_len,) = _PLEN.unpack_from(blob, meta_end)
         payload_end = payload_off + payload_len
         if payload_end != len(blob) - _CRC.size:
-            return None
+            return None, "corrupt"
         (crc,) = _CRC.unpack_from(blob, payload_end)
         if zlib.crc32(blob[offset:meta_end]
                       + blob[payload_off:payload_end]) & 0xFFFFFFFF != crc:
-            return None
-        return codec.decode(blob[payload_off:payload_end])
+            return None, "corrupt"
+    except struct.error:
+        return None, "corrupt"
+    try:
+        return codec.decode(blob[payload_off:payload_end]), "hit"
     except (codec.SnapshotDecodeError, struct.error, ValueError):
-        return None
+        return None, "decode_error"
+
+
+def load(key: str) -> Optional[Any]:
+    """Decode the snapshot stored under *key*; ``None`` on any failure."""
+    value, _status = load_ex(key)
+    return value

@@ -1,0 +1,661 @@
+"""The ``repro.serve`` service layer: conformance, differential, faults.
+
+Four suites, matching the layer's four claims:
+
+* **Conformance** — :class:`ObjStorageConformance` is one behavioural
+  mixin run against every backend the factory can build: the in-memory
+  reference, all nine simulated file systems, the multiplexer, and the
+  RPC loopback (codec round-trip on every call).  A storage passes the
+  suite or it is not an ObjStorage.
+* **Differential** — a seeded sweep (100 seeds by default; override
+  with ``REPRO_SERVE_SEEDS``) proving the multiplexer adds nothing: a
+  multi-tenant stream routed through it leaves every backend
+  byte-identical (simulated ns, object bytes, metrics) to replaying the
+  same stream against direct backends, and admission-control rejections
+  are deterministic and leave no backend trace.
+* **Faults** — a seeded fault campaign against a served WineFS burns
+  the service error budget and degrades the mount but never crashes the
+  server; masked vs surfaced outcomes land in the ledger and the
+  degraded interval lands on the timeline.
+* **Snapshots** — an aged backend restored from the snapshot cache
+  serves byte-identical results to a freshly re-aged one, and a corrupt
+  snapshot falls back to re-aging while counting a
+  ``snapshot_load_failures`` metric instead of failing silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.clock import make_context
+from repro.errors import (BusyError, FSError, InvalidArgumentError,
+                          NotFoundError)
+from repro.faults import crash_plan, serve_campaign_plan
+from repro.harness.setup import SPECS_BY_NAME, fresh_fs
+from repro.obs import Telemetry, evaluate_frame, frame_of
+from repro.obs.names import METRIC_NAMES
+from repro.params import KIB, MIB
+from repro.pm.device import PMDevice
+from repro.serve import (FSObjStorage, LoadSpec, MemoryObjStorage,
+                         ObjStorageMultiplexer, ObjStorageServer, RPCError,
+                         RemoteObjStorage, compute_obj_id, decode_frame,
+                         dump_objects, encode_frame, generate_stream,
+                         get_objstorage, loopback_client, run_load,
+                         spawn_pipe_server)
+from repro.snapshot import store as snapshot_store
+
+SERVE_SIZE = 64 * MIB
+SERVE_CPUS = 2
+FS_NAMES = sorted(SPECS_BY_NAME)
+
+#: differential sweep width; the CI smoke job narrows it via env
+DIFF_SEEDS = range(int(os.environ.get("REPRO_SERVE_SEEDS", "100")))
+
+
+def make_fs_storage(name: str, size: int = SERVE_SIZE,
+                    num_cpus: int = SERVE_CPUS) -> FSObjStorage:
+    device = PMDevice(size)
+    fs = SPECS_BY_NAME[name].build(device, num_cpus, track_data=True)
+    ctx = make_context(num_cpus)
+    fs.mkfs(ctx)
+    return FSObjStorage(fs, ctx, label=name)
+
+
+# -- conformance -------------------------------------------------------------
+
+class ObjStorageConformance:
+    """Behavioural contract every ObjStorage must satisfy.
+
+    Subclasses provide :meth:`make_storage`; each test gets a fresh
+    instance, so tests are order-independent."""
+
+    def make_storage(self):
+        raise NotImplementedError
+
+    def test_put_returns_content_id(self):
+        storage = self.make_storage()
+        data = b"the content is the address"
+        assert storage.put("t00", data) == compute_obj_id(data)
+
+    def test_put_get_roundtrip(self):
+        storage = self.make_storage()
+        for data in (b"x", b"\x00\xffuneven\x01" * 300, b"a" * (8 * KIB)):
+            oid = storage.put("t00", data)
+            assert storage.get("t00", oid) == data
+
+    def test_put_idempotent(self):
+        storage = self.make_storage()
+        data = b"put me twice"
+        oid = storage.put("t00", data)
+        assert storage.put("t00", data) == oid
+        assert storage.list_objects("t00") == [oid]
+
+    def test_put_with_matching_id(self):
+        storage = self.make_storage()
+        data = b"precomputed"
+        oid = compute_obj_id(data)
+        assert storage.put("t00", data, obj_id=oid) == oid
+
+    def test_put_id_mismatch_rejected(self):
+        storage = self.make_storage()
+        with pytest.raises(InvalidArgumentError):
+            storage.put("t00", b"honest bytes",
+                        obj_id=compute_obj_id(b"other bytes"))
+
+    def test_get_missing_raises(self):
+        storage = self.make_storage()
+        with pytest.raises(NotFoundError):
+            storage.get("t00", compute_obj_id(b"never stored"))
+
+    def test_exists(self):
+        storage = self.make_storage()
+        oid = storage.put("t00", b"here")
+        assert storage.exists("t00", oid)
+        assert not storage.exists("t00", compute_obj_id(b"not here"))
+
+    def test_delete(self):
+        storage = self.make_storage()
+        oid = storage.put("t00", b"short-lived")
+        storage.delete("t00", oid)
+        assert not storage.exists("t00", oid)
+        with pytest.raises(NotFoundError):
+            storage.get("t00", oid)
+        assert storage.list_objects("t00") == []
+
+    def test_delete_missing_raises(self):
+        storage = self.make_storage()
+        with pytest.raises(NotFoundError):
+            storage.delete("t00", compute_obj_id(b"never stored"))
+
+    def test_list_empty_tenant(self):
+        storage = self.make_storage()
+        assert storage.list_objects("t99") == []
+
+    def test_list_sorted_and_complete(self):
+        storage = self.make_storage()
+        ids = {storage.put("t00", bytes([i]) * (64 + i))
+               for i in range(12)}
+        assert storage.list_objects("t00") == sorted(ids)
+
+    def test_tenant_namespaces_isolated(self):
+        storage = self.make_storage()
+        data = b"shared content, separate namespaces"
+        oid_a = storage.put("alice", data)
+        oid_b = storage.put("bob", data)
+        assert oid_a == oid_b
+        storage.delete("alice", oid_a)
+        assert not storage.exists("alice", oid_a)
+        assert storage.get("bob", oid_b) == data
+
+    def test_invalid_names_rejected(self):
+        storage = self.make_storage()
+        oid = compute_obj_id(b"x")
+        with pytest.raises(InvalidArgumentError):
+            storage.put("bad/tenant", b"x")
+        with pytest.raises(InvalidArgumentError):
+            storage.get("t00", "not-a-hex-id")
+        with pytest.raises(InvalidArgumentError):
+            storage.exists("", oid)
+
+    def test_sim_ns_advances(self):
+        storage = self.make_storage()
+        before = storage.sim_ns()
+        oid = storage.put("t00", b"z" * (4 * KIB))
+        after_put = storage.sim_ns()
+        storage.get("t00", oid)
+        after_get = storage.sim_ns()
+        assert before <= after_put <= after_get
+        assert after_get > before
+
+
+class TestMemoryConformance(ObjStorageConformance):
+    def make_storage(self):
+        return MemoryObjStorage()
+
+
+class TestFSBackendConformance(ObjStorageConformance):
+    """The full contract against every evaluated file system."""
+
+    @pytest.fixture(autouse=True, params=FS_NAMES)
+    def _pick_fs(self, request):
+        self.fs_name = request.param
+
+    def make_storage(self):
+        return make_fs_storage(self.fs_name)
+
+
+class TestMultiplexerConformance(ObjStorageConformance):
+    """The contract through a mixed two-backend multiplexer."""
+
+    def make_storage(self):
+        return ObjStorageMultiplexer(
+            [make_fs_storage("WineFS"), MemoryObjStorage()])
+
+
+class TestLoopbackRPCConformance(ObjStorageConformance):
+    """The contract with every call crossing the RPC codec."""
+
+    def make_storage(self):
+        return loopback_client(make_fs_storage("WineFS"))
+
+
+class TestLoopbackMultiplexerConformance(ObjStorageConformance):
+    """Codec + multiplexer + FS backend: the full serving stack."""
+
+    def make_storage(self):
+        return loopback_client(ObjStorageMultiplexer(
+            [make_fs_storage("ext4-DAX"), MemoryObjStorage()]))
+
+
+# -- multiplexer routing and admission ---------------------------------------
+
+class TestRouting:
+    def test_route_is_content_hash(self):
+        mux = ObjStorageMultiplexer([MemoryObjStorage(f"m{i}")
+                                     for i in range(3)])
+        for tenant in ("t00", "alice", "bob", "t42"):
+            expected = zlib.crc32(tenant.encode("utf-8")) % 3
+            assert mux.route(tenant) == expected
+
+    def test_tenant_affinity(self):
+        backends = [MemoryObjStorage(f"m{i}") for i in range(4)]
+        mux = ObjStorageMultiplexer(backends)
+        oid = mux.put("alice", b"routed")
+        home = backends[mux.route("alice")]
+        assert home.exists("alice", oid)
+        for i, backend in enumerate(backends):
+            if i != mux.route("alice"):
+                assert not backend.exists("alice", oid)
+
+    def test_requests_counted_per_backend(self):
+        backends = [MemoryObjStorage(f"m{i}") for i in range(2)]
+        mux = ObjStorageMultiplexer(backends)
+        oid = mux.put("t00", b"counted")
+        mux.get("t00", oid)
+        series = mux.registry.as_dict()
+        backend = backends[mux.route("t00")].name
+        assert series[f'serve_requests_total{{backend="{backend}",'
+                      f'op="put"}}'] == 1
+        assert series[f'serve_requests_total{{backend="{backend}",'
+                      f'op="get"}}'] == 1
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ObjStorageMultiplexer([])
+
+    def test_backpressure_rejects_with_eagain(self):
+        mux = ObjStorageMultiplexer([MemoryObjStorage()], queue_cap=1)
+        mux.advance(0.0)
+        mux.put("t00", b"first fills the queue")
+        with pytest.raises(BusyError):
+            mux.put("t00", b"second finds it full")
+        # once simulated time passes the completion, the queue drains
+        mux.advance(mux.backends[0].sim_ns() + 1.0)
+        oid = mux.put("t00", b"third gets through")
+        mux.advance(mux.backends[0].sim_ns() + 1.0)
+        assert mux.exists("t00", oid)
+        series = mux.registry.as_dict()
+        assert series['serve_rejected_total{backend="memory",'
+                      'op="put"}'] == 1
+
+
+# -- the seeded differential sweep -------------------------------------------
+
+def _diff_backends(seed: int):
+    """Two FS models per seed, rotating through all nine."""
+    a = FS_NAMES[seed % len(FS_NAMES)]
+    b = FS_NAMES[(seed // len(FS_NAMES) + seed + 1) % len(FS_NAMES)]
+    return a, b
+
+
+def _apply_direct(storage, req) -> None:
+    """Replay one request the way ``run_load`` dispatches it."""
+    try:
+        if req.op == "put":
+            storage.put(req.tenant, req.data, obj_id=req.obj_id)
+        elif req.op == "get":
+            storage.get(req.tenant, req.obj_id)
+        elif req.op == "exists":
+            storage.exists(req.tenant, req.obj_id)
+        elif req.op == "delete":
+            storage.delete(req.tenant, req.obj_id)
+        else:
+            storage.list_objects(req.tenant)
+    except FSError:
+        pass
+
+
+def _backend_state(backends, tenants):
+    """(sim_ns, metrics, objects) per backend.  Clocks and metrics are
+    captured *before* the dump — dumping reads, which charges time."""
+    sims = [b.sim_ns() for b in backends]
+    metrics = [b.ctx.counters.registry.as_dict() for b in backends]
+    dumps = [dump_objects(b, tenants) for b in backends]
+    return sims, metrics, dumps
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_multiplexer_matches_direct_backends(seed):
+    """Routing adds nothing: multiplexed and direct runs are identical."""
+    name_a, name_b = _diff_backends(seed)
+    spec = LoadSpec(seed=seed, tenants=3, ops=40, max_size=64 * KIB)
+    stream = generate_stream(spec)
+    tenants = [f"t{i:02d}" for i in range(spec.tenants)]
+
+    mux_backends = [make_fs_storage(name_a), make_fs_storage(name_b)]
+    mux = ObjStorageMultiplexer(mux_backends)
+    report = run_load(loopback_client(mux), stream)
+    assert report["rejected"] == 0
+
+    direct = [make_fs_storage(name_a), make_fs_storage(name_b)]
+    router = ObjStorageMultiplexer(direct)  # route() only; no dispatch
+    for req in stream:
+        _apply_direct(direct[router.route(req.tenant)], req)
+
+    assert _backend_state(mux_backends, tenants) \
+        == _backend_state(direct, tenants)
+
+
+def test_differential_covers_every_fs_model():
+    """The rotating pairing reaches all nine models within the sweep."""
+    covered = set()
+    for seed in DIFF_SEEDS:
+        covered.update(_diff_backends(seed))
+    assert covered == set(FS_NAMES)
+
+
+def test_rejection_ordering_deterministic():
+    """Same seed, same saturated stream → the same rejections, twice;
+    and admitted work alone reproduces the backend state exactly."""
+    spec = LoadSpec(seed=5, tenants=3, ops=120,
+                    mean_interarrival_ns=800.0, max_size=16 * KIB)
+    stream = generate_stream(spec)
+    tenants = [f"t{i:02d}" for i in range(spec.tenants)]
+
+    def saturated_run():
+        backends = [make_fs_storage("WineFS"), make_fs_storage("NOVA")]
+        mux = ObjStorageMultiplexer(backends, queue_cap=2)
+        report = run_load(loopback_client(mux), stream)
+        return backends, mux, report
+
+    backends_1, _mux_1, report_1 = saturated_run()
+    backends_2, _mux_2, report_2 = saturated_run()
+    # capture each state exactly once: dumping reads, which charges time
+    state_1 = _backend_state(backends_1, tenants)
+    state_2 = _backend_state(backends_2, tenants)
+    assert report_1["rejected"] > 0
+    assert report_1["rejections"] == report_2["rejections"]
+    assert state_1 == state_2
+
+    # rejected requests leave no trace: direct replay of only the
+    # admitted requests reproduces the saturated run's backend state
+    rejected = set(report_1["rejections"])
+    direct = [make_fs_storage("WineFS"), make_fs_storage("NOVA")]
+    router = ObjStorageMultiplexer(direct)
+    for req in stream:
+        if req.index not in rejected:
+            _apply_direct(direct[router.route(req.tenant)], req)
+    assert _backend_state(direct, tenants) == state_1
+
+
+# -- load generation ----------------------------------------------------------
+
+class TestLoadgen:
+    def test_stream_is_deterministic(self):
+        spec = LoadSpec(seed=9, tenants=4, ops=80)
+        assert generate_stream(spec) == generate_stream(spec)
+        assert generate_stream(spec) \
+            != generate_stream(LoadSpec(seed=10, tenants=4, ops=80))
+
+    def test_clean_run_surfaces_no_errors(self):
+        spec = LoadSpec(seed=2, tenants=4, ops=200)
+        report = run_load(MemoryObjStorage(), generate_stream(spec))
+        assert report["errors"] == {}
+        assert report["rejected"] == 0
+        assert report["requests"] == 200
+
+    def test_swh_size_distribution(self):
+        from repro.rng import make_rng
+        from repro.serve import object_size
+        rng = make_rng(1, salt=99)
+        sizes = [object_size(rng) for _ in range(4000)]
+        under_4k = sum(s <= 4 * KIB for s in sizes) / len(sizes)
+        under_16k = sum(s <= 16 * KIB for s in sizes) / len(sizes)
+        # the SWH shape: ~50% under 4 KiB, ~75% under 16 KiB
+        assert 0.45 < under_4k < 0.56
+        assert 0.70 < under_16k < 0.81
+
+    def test_arrivals_monotonic(self):
+        stream = generate_stream(LoadSpec(seed=4, ops=60))
+        arrivals = [req.arrival_ns for req in stream]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+
+# -- RPC codec, server, process boundary -------------------------------------
+
+class TestRPC:
+    def test_frame_roundtrip(self):
+        meta = {"method": "put", "tenant": "t00", "obj_id": "ab" * 32}
+        payload = b"\x00\x01\xfe\xff" * 100
+        assert decode_frame(encode_frame(meta, payload)) == (meta, payload)
+
+    @pytest.mark.parametrize("blob", [
+        b"", b"JUNK", b"ROBJ", b"ROBJ" + b"\x00" * 4,
+        encode_frame({"method": "get"})[:-1],
+        encode_frame({"method": "get"}) + b"extra",
+    ])
+    def test_malformed_frames_raise(self, blob):
+        with pytest.raises(RPCError):
+            decode_frame(blob)
+
+    def test_server_never_raises(self):
+        server = ObjStorageServer(MemoryObjStorage())
+        for request in (b"garbage", encode_frame({"method": "nope"}),
+                        encode_frame({"method": "get", "tenant": "t00"})):
+            meta, _payload = decode_frame(server.handle(request))
+            assert meta["ok"] is False
+            assert meta["errno"] == "EINVAL"
+
+    def test_errors_cross_the_wire_typed(self):
+        client = loopback_client(MemoryObjStorage())
+        with pytest.raises(NotFoundError):
+            client.get("t00", compute_obj_id(b"absent"))
+        with pytest.raises(InvalidArgumentError):
+            client.put("t00", b"data", obj_id=compute_obj_id(b"liar"))
+
+    def test_get_payload_is_byte_exact(self):
+        client = loopback_client(MemoryObjStorage())
+        data = bytes(range(256)) * 64
+        oid = client.put("t00", data)
+        assert client.get("t00", oid) == data
+
+    def test_sim_ns_and_advance_cross_the_wire(self):
+        storage = MemoryObjStorage()
+        mux = ObjStorageMultiplexer([storage], queue_cap=4)
+        client = loopback_client(mux)
+        client.advance(123.0)
+        client.put("t00", b"timed")
+        assert client.sim_ns() == storage.sim_ns()
+
+    def test_pipe_server_across_process_boundary(self):
+        client, process, conn = spawn_pipe_server({"cls": "memory"})
+        try:
+            data = b"over the process boundary"
+            oid = client.put("t00", data)
+            assert client.get("t00", oid) == data
+            assert client.exists("t00", oid)
+            assert client.list_objects("t00") == [oid]
+            client.delete("t00", oid)
+            with pytest.raises(NotFoundError):
+                client.get("t00", oid)
+        finally:
+            conn.send_bytes(b"")
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+            conn.close()
+        assert process.exitcode == 0
+
+
+# -- factory ------------------------------------------------------------------
+
+class TestFactory:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            get_objstorage(cls="tape-robot")
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            get_objstorage(cls="fs", fs="btrfs")
+
+    def test_multiplexer_config_recurses(self):
+        storage = get_objstorage(cls="multiplexer", backends=[
+            {"cls": "memory", "label": "m0"},
+            {"cls": "fs", "fs": "WineFS", "size_gib": 0.0625,
+             "num_cpus": 2},
+        ], queue_cap=3)
+        assert isinstance(storage, ObjStorageMultiplexer)
+        assert storage.queue_cap == 3
+        oid = storage.put("t00", b"via config")
+        assert storage.get("t00", oid) == b"via config"
+
+
+# -- fault campaign against a served file system ------------------------------
+
+def test_serve_fault_campaign_degrades_but_never_crashes():
+    """The satellite-2 scenario end to end: a seeded fault plan mid-load
+    burns the service error budget; a post-crash scar degrades the mount
+    to read-only (EROFS put *responses*, not server crashes); a heal
+    closes the degraded interval into an MTTR sample."""
+    fs, ctx = fresh_fs("WineFS", size_gib=0.0625, num_cpus=SERVE_CPUS,
+                       track_data=True)
+    plan = serve_campaign_plan(3)
+    fs.attach_fault_plan(plan)
+    telemetry = Telemetry(tag="serve-campaign")
+    backend = FSObjStorage(fs, ctx)
+    mux = ObjStorageMultiplexer([backend])
+    mux.attach_telemetry(telemetry)
+    stream = generate_stream(LoadSpec(seed=3, tenants=4, ops=150))
+    report = run_load(loopback_client(mux), stream, telemetry=telemetry)
+
+    # the campaign surfaced damage into the load, which kept going
+    assert report["requests"] == 150
+    assert sum(report["errors"].values()) >= 1
+    telemetry.absorb_fault_plan(fs.name, plan)
+    assert telemetry.ledger.fault_total("WineFS", "surfaced") >= 1
+    assert telemetry.ledger.fault_total("WineFS", "masked") >= 1
+
+    # crash without unmount, scar the journal head, remount degraded
+    damage = crash_plan(3, fs.journal.journals[0].base)
+    fs2 = SPECS_BY_NAME["WineFS"].build(fs.device, SERVE_CPUS,
+                                        track_data=True)
+    fs2.attach_fault_plan(damage)
+    fs2.attach_telemetry(telemetry)
+    fs2.mount(ctx)
+    assert fs2.read_only
+
+    # the degraded mount serves reads and answers writes with EROFS
+    # error responses — the server never raises
+    degraded = ObjStorageServer(FSObjStorage(fs2, ctx))
+    meta, _ = decode_frame(degraded.handle(
+        encode_frame({"method": "put", "tenant": "t00"}, b"rejected")))
+    assert meta == {"ok": False, "errno": "EROFS",
+                    "error": meta["error"]}
+    survivor_ids = FSObjStorage(fs2, ctx).list_objects("t00")
+    assert survivor_ids, "post-crash namespace should not be empty"
+    meta, payload = decode_frame(degraded.handle(encode_frame(
+        {"method": "get", "tenant": "t00", "obj_id": survivor_ids[0]})))
+    assert meta["ok"] and payload
+
+    # heal: a re-format closes the degraded interval into an MTTR sample
+    fs2.mkfs(ctx)
+    assert not fs2.read_only
+    telemetry.absorb_fault_plan(fs2.name, damage)
+    telemetry.finalize(ctx.clock.elapsed)
+    _bank, _ledger, timeline = frame_of(telemetry.as_payload())
+    assert timeline.degradations("WineFS") == 1
+    assert timeline.degraded_ns("WineFS") > 0
+    assert timeline.mttr_ns("WineFS") > 0
+
+    # the surfaced errors blew the service error budget — visibly
+    service = [r for r in evaluate_frame(telemetry.as_payload())
+               if r.spec.name == "service" and r.fs == "serve"]
+    assert len(service) == 1
+    assert service[0].budget_burn > 1.0
+    assert not service[0].ok
+
+
+def test_serve_campaign_cell_is_deterministic():
+    from repro.harness.fleet import serve_cell
+
+    cell = {"fs": "WineFS", "seed": 7, "size_gib": 0.0625,
+            "num_cpus": 2, "ops": 80, "tenants": 3, "queue_cap": 2,
+            "faults": True}
+    assert serve_cell(dict(cell)) == serve_cell(dict(cell))
+
+
+# -- snapshot-restored backends ----------------------------------------------
+
+_AGED_KWARGS = dict(cls="fs", fs="WineFS", size_gib=0.0625, num_cpus=2,
+                    aged=True, seed=11, utilization=0.4,
+                    churn_multiple=0.5)
+
+
+def _serve_on(storage):
+    stream = generate_stream(LoadSpec(seed=21, tenants=2, ops=60,
+                                      max_size=16 * KIB))
+    run_load(storage, stream)
+    sim = storage.sim_ns()
+    return sim, dump_objects(storage, ["t00", "t01"])
+
+
+def test_snapshot_restored_backend_serves_identical_bytes(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+    aged = get_objstorage(**_AGED_KWARGS)            # ages, saves
+    assert len(os.listdir(tmp_path)) == 1
+    re_aged = get_objstorage(**_AGED_KWARGS, snapshot=False)
+    restored = get_objstorage(**_AGED_KWARGS)        # cache hit
+    state = _serve_on(aged)
+    assert _serve_on(re_aged) == state
+    assert _serve_on(restored) == state
+
+
+def test_corrupt_snapshot_falls_back_and_is_counted(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+    baseline = _serve_on(get_objstorage(**_AGED_KWARGS))
+    (snap,) = tmp_path.iterdir()
+    blob = bytearray(snap.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF                     # break the CRC
+    snap.write_bytes(bytes(blob))
+
+    storage = get_objstorage(**_AGED_KWARGS)         # falls back, re-ages
+    series = storage.ctx.counters.registry.as_dict()
+    assert series['snapshot_load_failures{fs="WineFS",'
+                  'reason="corrupt"}'] == 1
+    assert _serve_on(storage) == baseline            # results unchanged
+
+
+def test_load_ex_classifies_every_failure(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+    assert snapshot_store.save("k" * 64, {"v": 1})
+    value, status = snapshot_store.load_ex("k" * 64)
+    assert (value, status) == ({"v": 1}, "hit")
+    assert snapshot_store.load_ex("m" * 64) == (None, "miss")
+
+    path = tmp_path / ("k" * 64 + ".snap")
+    good = path.read_bytes()
+    path.write_bytes(good[:len(good) // 2])          # truncated
+    assert snapshot_store.load_ex("k" * 64) == (None, "corrupt")
+    stale = bytearray(good)
+    stale[8:10] = (snapshot_store.FORMAT_VERSION + 1).to_bytes(2, "little")
+    path.write_bytes(bytes(stale))                   # future version
+    assert snapshot_store.load_ex("k" * 64) == (None, "stale")
+    path.write_bytes(good)
+    assert snapshot_store.load_ex("k" * 64)[1] == "hit"
+    assert snapshot_store.load("k" * 64) == {"v": 1}
+
+
+def test_serve_metric_names_registered():
+    assert {"serve_requests_total", "serve_rejected_total",
+            "serve_queue_depth",
+            "snapshot_load_failures"} <= METRIC_NAMES
+
+
+# -- the `repro serve` CLI ----------------------------------------------------
+
+class TestServeCLI:
+    def test_demo_mode(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--fs", "WineFS", "--size-gib",
+                     "0.0625"]) == 0
+        out = capsys.readouterr().out
+        assert "served 50 requests" in out
+        assert "errors none" in out
+
+    def test_load_mode_byte_identical(self, tmp_path, monkeypatch):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path / "cache"))
+
+        def run(tag):
+            out = tmp_path / f"report-{tag}.json"
+            om = tmp_path / f"metrics-{tag}.txt"
+            argv = ["serve", "--load", "--fs", "WineFS", "--seeds", "1",
+                    "--ops", "60", "--queue-cap", "2", "--size-gib",
+                    "0.0625", "--out", str(out), "--openmetrics",
+                    str(om)]
+            assert main(argv) == 0
+            return out.read_bytes(), om.read_bytes()
+
+        first = run("a")
+        assert run("b") == first
+        report = json.loads(first[0])
+        assert report["schema"] == "repro.serve-report/1"
+        assert report["totals"]["requests"] == 60
+        assert any(r["slo"] == "service" for r in report["results"])
+        assert first[1].startswith(b"# ")
