@@ -9,6 +9,11 @@ Rules:
 
 * Only benches present in BOTH the floor file and the measured speedups
   are gated; a floor for a bench the run skipped is reported, not fatal.
+* A floor may be a plain number (gates ``speedup_vs_baseline``) or an
+  object ``{"metric": ..., "floor": ...}`` gating a self-relative metric
+  from the bench's own ``work`` dict (e.g. ``snapshot_restore`` gates
+  ``work.speedup_vs_cold`` — warm restore vs cold re-age measured in the
+  same run, so no baseline file is involved).
 * The run and floor ``scale`` must match — wall times (and therefore
   speedups) at different work multipliers are not comparable.
 * ``fleet_scaling`` is gated only when the run's
@@ -54,6 +59,23 @@ def check(doc: dict, floors_doc: dict) -> int:
 
     failures = []
     for name, floor in sorted(floors.items()):
+        if isinstance(floor, dict):
+            # self-relative metric floor: read from the bench's work dict
+            metric = floor["metric"]
+            label = f"{name}.{metric}"
+            work = doc.get("benches", {}).get(name, {}).get("work", {})
+            measured = work.get(metric)
+            if measured is None:
+                print(f"  {label:15s} -- not in this run, skipped")
+                continue
+            needed = float(floor["floor"]) * (1.0 - tolerance)
+            verdict = "ok" if measured >= needed else "REGRESSION"
+            print(f"  {label:15s} {measured:6.2f}x  "
+                  f"(floor {float(floor['floor']):.2f}x, "
+                  f"gate {needed:.2f}x)  {verdict}")
+            if measured < needed:
+                failures.append((label, measured, needed))
+            continue
         measured = speedups.get(name)
         if measured is None:
             print(f"  {name:15s} -- not in this run, skipped")

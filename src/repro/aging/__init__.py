@@ -8,10 +8,11 @@ from a profile and deleted at random until a target churn volume has
 passed through the allocator at a target utilization.
 """
 
-from .profiles import AgingProfile, AGRAWAL, WANG_HPC, uniform_profile
+from .profiles import (AgingProfile, AGRAWAL, PROFILES, WANG_HPC,
+                       uniform_profile)
 from .geriatrix import Geriatrix, AgingResult
 from .fragmentation import fragmentation_report, FragmentationReport
 
-__all__ = ["AgingProfile", "AGRAWAL", "WANG_HPC", "uniform_profile",
-           "Geriatrix", "AgingResult",
+__all__ = ["AgingProfile", "AGRAWAL", "PROFILES", "WANG_HPC",
+           "uniform_profile", "Geriatrix", "AgingResult",
            "fragmentation_report", "FragmentationReport"]

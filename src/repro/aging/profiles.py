@@ -93,6 +93,11 @@ WANG_HPC = AgingProfile(
 )
 
 
+#: the named profiles CLI surfaces (``--profile``) accept; fleet corpus
+#: cells carry the *name* across process boundaries and resolve it here
+PROFILES = {"agrawal": AGRAWAL, "wang-hpc": WANG_HPC}
+
+
 def uniform_profile(lo: int, hi: int, name: str = "uniform") -> AgingProfile:
     """A degenerate profile for tests: sizes ~uniform-ish in [lo, hi].
 

@@ -13,9 +13,17 @@ graph, so it must either be whitelisted too or carry an allow comment
 on the import (for modules that are provably never stored in persisted
 object attributes — pure-function helpers, exceptions, etc.).
 
+The rule also guards the wire format itself: every ``_T_<NAME>`` tag
+byte defined in a ``repro.snapshot`` module must be unique across the
+package.  The v2 columnar frames added tags next to the v1 set in the
+same byte namespace — one decoder dispatches on all of them — so a new
+tag reusing an existing byte would silently misparse every committed
+golden blob rather than fail a test.
+
 Facts per file: module name, whether it defines top-level classes, its
-resolved intra-``repro`` imports, and (for the codec itself) the
-whitelist literal.  ``finalize`` crosses them.
+resolved intra-``repro`` imports, its ``_T_*`` tag-byte constants, and
+(for the codec itself) the whitelist literal.  ``finalize`` crosses
+them.
 """
 
 from __future__ import annotations
@@ -66,11 +74,30 @@ class SnapshotWhitelistRule(ProjectRule):
             "defines_classes": defines_classes,
             "imports": imports,
         }
+        if ctx.module.startswith("repro.snapshot"):
+            facts["tags"] = self._collect_tags(ctx.tree)
         if ctx.module.endswith(_CODEC_SUFFIX):
             wl = self._parse_whitelist(ctx.tree)
             if wl is not None:
                 facts["whitelist"] = wl
         return facts
+
+    @staticmethod
+    def _collect_tags(tree: ast.Module) -> List[List[object]]:
+        """``[name, byte, lineno]`` for every ``_T_X = b"?"`` constant."""
+        tags: List[List[object]] = []
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id.startswith("_T_")
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, bytes)
+                        and len(node.value.value) == 1):
+                    tags.append([target.id, node.value.value[0],
+                                 node.lineno])
+        return tags
 
     @staticmethod
     def _parse_whitelist(tree: ast.Module):
@@ -85,18 +112,41 @@ class SnapshotWhitelistRule(ProjectRule):
                             and isinstance(elt.value, str)]
         return None
 
+    def _tag_findings(self, facts: Dict[str, Dict[str, object]]
+                      ) -> List[Finding]:
+        """One finding per tag byte claimed by two ``_T_*`` constants."""
+        seen: Dict[int, str] = {}
+        findings: List[Finding] = []
+        for relpath in sorted(facts):
+            per_file = facts[relpath]
+            for name, byte, line in per_file.get("tags", []):
+                owner = f"{per_file['module']}.{name}"
+                prior = seen.setdefault(int(byte), owner)
+                if prior == owner:
+                    continue
+                findings.append(Finding(
+                    rule=self.id, path=relpath, line=int(line), col=0,
+                    message=(f"tag byte {bytes((int(byte),))!r} of {name} "
+                             f"is already used by {prior}; a reused tag "
+                             "misparses committed snapshot streams"),
+                    hint="pick an unused byte for the new frame tag "
+                         "(the decoder dispatches v1 and v2 tags in one "
+                         "byte namespace)",
+                    qualname="", detail=name))
+        return findings
+
     def finalize(self, facts: Dict[str, Dict[str, object]]
                  ) -> List[Finding]:
+        findings: List[Finding] = self._tag_findings(facts)
         whitelist: List[str] = []
         for per_file in facts.values():
             if "whitelist" in per_file:
                 whitelist = list(per_file["whitelist"])
         if not whitelist:
-            return []   # codec not in the linted set: nothing to check
+            return findings   # codec not in the linted set
         wl = set(whitelist)
         by_module = {per_file["module"]: (relpath, per_file)
                      for relpath, per_file in facts.items()}
-        findings: List[Finding] = []
         flagged = set()
         for w in sorted(wl):
             if w not in by_module:

@@ -11,6 +11,8 @@ Quick access to the library without writing a script:
 * ``repro slo --jobs 2`` — seeded fault campaign with SLO telemetry;
 * ``repro serve --load --seeds 1,2`` — seeded multi-tenant object-service
   load over simulated backends (``repro.serve``);
+* ``repro snapshot build --jobs 4`` — archive an aged-image corpus into
+  the sharded snapshot archive (then ``ls``/``scrub``/``gc`` it);
 * ``repro scalability --fs WineFS --threads 1,4,16`` — a Fig 10 slice.
 """
 
@@ -20,12 +22,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .aging import AGRAWAL, WANG_HPC, Geriatrix, fragmentation_report
+from .aging import PROFILES, Geriatrix, fragmentation_report
 from .harness import SPECS_BY_NAME, Table, aged_fs, fresh_fs
 from .params import GIB, MIB
 from .workloads import mmap_rw_benchmark, run_scalability
-
-PROFILES = {"agrawal": AGRAWAL, "wang-hpc": WANG_HPC}
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -340,6 +340,110 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    """Build and maintain the sharded aged-image snapshot archive.
+
+    ``build`` fans the (fs × profile × utilization × seed) grid across
+    ``--jobs`` workers and archives every image (byte-identical packs
+    and index for any jobs value); ``ls`` enumerates the index;
+    ``scrub`` re-verifies every record CRC and quarantines damaged
+    packs (exit 1 when it finds any); ``gc`` evicts LRU packs — or,
+    without an archive, LRU ``.snap`` files in ``$REPRO_SNAPSHOT_DIR``
+    — until ``--max-bytes`` holds.
+    """
+    import json
+    import os
+
+    from .snapshot import archive as archive_mod
+    from .snapshot import store as store_mod
+
+    root = args.archive or archive_mod.archive_root()
+
+    def make_archive():
+        if root is None:
+            raise SystemExit("no archive: pass --archive DIR or set "
+                             "$REPRO_SNAPSHOT_ARCHIVE")
+        return archive_mod.Archive(root)
+
+    if args.action == "build":
+        from .harness.fleet import build_corpus, corpus_matrix
+
+        fs_names = sorted(args.snap_fs.split(","))
+        for name in fs_names:
+            if name not in SPECS_BY_NAME:
+                raise SystemExit(f"unknown file system {name!r}")
+        profiles = sorted(args.profiles.split(","))
+        utilizations = sorted(float(u) for u in args.utils.split(","))
+        seeds = sorted(int(s) for s in args.seeds.split(","))
+        make_archive()  # fail before aging if the root is unusable
+        cells = corpus_matrix(fs_names, profiles, utilizations, seeds,
+                              size_gib=args.size_gib, num_cpus=args.cpus,
+                              churn_multiple=args.churn,
+                              track_data=args.track_data)
+        seal = (None if args.seal_mib is None
+                else int(args.seal_mib * MIB))
+        report = build_corpus(cells, root, jobs=args.jobs, seal_bytes=seal)
+        if args.out:
+            blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+            if args.out == "-":
+                sys.stdout.write(blob)
+            else:
+                with open(args.out, "w") as handle:
+                    handle.write(blob)
+                print(f"wrote {args.out} ({len(report['cells'])} cells, "
+                      f"jobs={args.jobs})")
+        if args.out != "-":
+            stats = report["archive"]
+            print(f"archived {len(report['cells'])} cells -> "
+                  f"{stats['objects']} objects "
+                  f"({stats['aliases']} deduped) in {stats['packs']} "
+                  f"pack(s), {stats['bytes']:,} bytes")
+        return 0
+
+    if args.action == "ls":
+        archive = make_archive()
+        for key, relpath, offset, length in archive.objects():
+            print(f"{key}  {relpath}:{offset}+{length}")
+        stats = archive.stats()
+        print(f"{stats['objects']} object(s) ({stats['aliases']} aliased), "
+              f"{stats['packs']} pack(s), {stats['shards']} shard(s), "
+              f"{stats['bytes']:,} bytes")
+        return 0
+
+    if args.action == "scrub":
+        archive = make_archive()
+        report = archive.scrub()
+        print(f"scrubbed {report['files']} file(s), "
+              f"{report['objects']} object record(s)")
+        for relpath in report["quarantined"]:
+            print(f"quarantined {relpath}")
+        if report["dropped_keys"]:
+            print(f"dropped {len(report['dropped_keys'])} key(s); "
+                  "affected images will re-age on next use")
+        return 1 if report["quarantined"] else 0
+
+    # gc: archive packs when an archive is configured, else the flat dir
+    max_bytes = args.max_bytes
+    if max_bytes is None:
+        raw = os.environ.get("REPRO_SNAPSHOT_MAX_BYTES")
+        if raw is None:
+            raise SystemExit("gc needs --max-bytes or "
+                             "$REPRO_SNAPSHOT_MAX_BYTES")
+        max_bytes = int(raw)
+    if root is not None:
+        report = archive_mod.Archive(root).gc(max_bytes)
+        print(f"evicted {len(report['evicted'])} pack(s), freed "
+              f"{report['freed_bytes']:,} bytes "
+              f"({len(report['dropped_keys'])} key(s) dropped)")
+    else:
+        directory = store_mod.snapshot_dir()
+        report = store_mod.evict_lru(directory, max_bytes)
+        print(f"evicted {len(report['evicted'])} snapshot(s) from "
+              f"{directory}, freed {report['freed_bytes']:,} bytes "
+              f"({report['kept_bytes']:,} kept)")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the repro.analysis static-analysis suite (see DESIGN.md)."""
     import json
@@ -575,6 +679,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged frame as OpenMetrics text "
                         "('-' for stdout)")
 
+    p = sub.add_parser("snapshot", help="build and maintain the sharded "
+                                        "aged-image snapshot archive")
+    p.add_argument("action", choices=["build", "ls", "scrub", "gc"],
+                   help="build: archive an aged-image corpus; ls: list "
+                        "objects; scrub: verify CRCs and quarantine "
+                        "damage; gc: evict LRU packs/snapshots")
+    p.add_argument("--archive", metavar="DIR", default=None,
+                   help="archive root (default: $REPRO_SNAPSHOT_ARCHIVE)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for build (packs and index are "
+                        "byte-identical for any value)")
+    p.add_argument("--fs", dest="snap_fs", default="WineFS",
+                   help="comma-separated file systems to build")
+    p.add_argument("--profiles", default="agrawal",
+                   help="comma-separated aging profiles "
+                        "(agrawal, wang-hpc)")
+    p.add_argument("--utils", default="0.75",
+                   help="comma-separated target utilizations")
+    p.add_argument("--seeds", default="7",
+                   help="comma-separated aging seeds")
+    p.add_argument("--size-gib", type=float, default=0.25)
+    p.add_argument("--cpus", type=int, default=2)
+    p.add_argument("--churn", type=float, default=1.0,
+                   help="churn volume as a multiple of partition size")
+    p.add_argument("--track-data", action="store_true",
+                   help="archive images that keep file contents (what "
+                        "serve backends restore)")
+    p.add_argument("--seal-mib", type=float, default=None,
+                   help="pack seal threshold in MiB (default 64)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="gc target size (default: "
+                        "$REPRO_SNAPSHOT_MAX_BYTES)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON build report ('-' for stdout)")
+
     p = sub.add_parser("lint", help="run the repro.analysis static-"
                                     "analysis suite over src/repro")
     p.add_argument("paths", nargs="*",
@@ -625,6 +764,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "slo": cmd_slo,
     "serve": cmd_serve,
+    "snapshot": cmd_snapshot,
     "lint": cmd_lint,
     "scalability": cmd_scalability,
     "trace": cmd_trace,

@@ -14,18 +14,20 @@ experiments and prints figure/table-shaped text output.
 
 from .setup import (FSSpec, ALL_SPECS, SPECS_BY_NAME,
                     METADATA_GROUP, DATA_GROUP,
-                    make_fs, aged_fs, fresh_fs)
+                    make_fs, aged_fs, aged_cache_key, fresh_fs)
 from .fleet import (run_fleet, merge_numeric, bench_cell, bench_matrix,
                     run_bench_matrix, slo_cell, slo_matrix,
-                    run_slo_campaign)
+                    run_slo_campaign, corpus_cell, corpus_matrix,
+                    build_corpus)
 from .report import (Table, format_series, format_cdf,
                      phase_breakdown_table, slo_table, availability_table)
 
 __all__ = ["FSSpec", "ALL_SPECS", "SPECS_BY_NAME",
            "METADATA_GROUP", "DATA_GROUP",
-           "make_fs", "aged_fs", "fresh_fs",
+           "make_fs", "aged_fs", "aged_cache_key", "fresh_fs",
            "run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
            "run_bench_matrix",
            "slo_cell", "slo_matrix", "run_slo_campaign",
+           "corpus_cell", "corpus_matrix", "build_corpus",
            "Table", "format_series", "format_cdf",
            "phase_breakdown_table", "slo_table", "availability_table"]

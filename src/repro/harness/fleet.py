@@ -21,7 +21,8 @@ which is also what keeps the fleet usable under coverage and debuggers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..params import KIB, MIB
 from .setup import ALL_SPECS, SPECS_BY_NAME, aged_fs, fresh_fs
@@ -31,7 +32,9 @@ __all__ = ["run_fleet", "merge_numeric", "bench_cell", "bench_matrix",
            "slo_cell", "slo_matrix", "run_slo_campaign",
            "SLO_REPORT_SCHEMA",
            "serve_cell", "serve_matrix", "run_serve_campaign",
-           "SERVE_REPORT_SCHEMA"]
+           "SERVE_REPORT_SCHEMA",
+           "corpus_cell", "corpus_matrix", "build_corpus",
+           "CORPUS_REPORT_SCHEMA"]
 
 
 def run_fleet(fn: Callable[[Any], Any], cells: Sequence[Any],
@@ -385,6 +388,141 @@ def run_serve_campaign(cells: Sequence[Dict[str, Any]],
              "budget_burn": r.budget_burn,
              "objectives": list(r.objective_lines), "ok": r.ok}
             for r in evaluated],
+    }
+
+
+# -- the `repro snapshot build` corpus ---------------------------------------
+
+CORPUS_REPORT_SCHEMA = "repro.snapshot-corpus/1"
+
+
+def corpus_matrix(fs_names: Sequence[str], profiles: Sequence[str],
+                  utilizations: Sequence[float], seeds: Sequence[int], *,
+                  size_gib: float = 0.25, num_cpus: int = 2,
+                  churn_multiple: float = 1.0,
+                  track_data: bool = False) -> List[Dict[str, Any]]:
+    """The sorted (fs × profile × utilization × seed) grid — the
+    canonical archive-write order, like every other fleet matrix.
+
+    Profiles are carried by *name* (``repro.aging.PROFILES``) so cells
+    stay plain picklable data.
+    """
+    from ..aging import PROFILES
+
+    for profile in profiles:
+        if profile not in PROFILES:
+            raise ValueError(f"unknown aging profile {profile!r}")
+    cells = [{"fs": fs, "profile": profile, "utilization": utilization,
+              "seed": seed, "size_gib": size_gib, "num_cpus": num_cpus,
+              "churn_multiple": churn_multiple, "track_data": track_data}
+             for fs in fs_names for profile in profiles
+             for utilization in utilizations for seed in seeds]
+    cells.sort(key=lambda c: (c["fs"], c["profile"], c["utilization"],
+                              c["seed"]))
+    return cells
+
+
+def corpus_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Age one grid cell and encode its image; the parent archives it.
+
+    Workers do the expensive, independent part (aging + codec encode)
+    and return raw payload bytes; all archive writes happen in the
+    parent, in sorted cell order, so the resulting packs and index are
+    byte-identical for any ``--jobs`` value.  Un-serializable graphs
+    report a ``None`` payload (fail-closed, like ``store.save``).
+
+    Inode generations are drawn from a process-wide counter, so the
+    encoded bytes would otherwise depend on what this process built
+    before the cell.  The counter is pinned to its initial value for
+    the build and fast-forwarded afterwards: every payload comes out as
+    if aged in a fresh process, which is what makes the archive's
+    contents (and dedup) independent of worker scheduling.
+    """
+    from ..aging import PROFILES
+    from ..fs.common.inode import _GENERATION
+    from ..snapshot import codec
+    from .setup import aged_cache_key
+
+    kwargs = dict(size_gib=cell["size_gib"], num_cpus=cell["num_cpus"],
+                  utilization=cell["utilization"],
+                  churn_multiple=cell["churn_multiple"],
+                  profile=PROFILES[cell["profile"]], seed=cell["seed"],
+                  track_data=cell["track_data"])
+    key = aged_cache_key(cell["fs"], **kwargs)
+    saved_gen = _GENERATION.next
+    _GENERATION.next = 1
+    try:
+        fs, ctx = aged_fs(cell["fs"], snapshot=False, **kwargs)
+        try:
+            payload = codec.encode({"fs": fs, "ctx": ctx})
+        except codec.SnapshotUnsupported:
+            payload = None
+    finally:
+        _GENERATION.advance_past(saved_gen - 1)
+    return {
+        "fs": cell["fs"],
+        "profile": cell["profile"],
+        "utilization": cell["utilization"],
+        "seed": cell["seed"],
+        "key": key,
+        "payload": payload,
+        "meta": {"fs": cell["fs"], "size_gib": cell["size_gib"],
+                 "num_cpus": cell["num_cpus"],
+                 "utilization": cell["utilization"],
+                 "churn_multiple": cell["churn_multiple"],
+                 "profile": cell["profile"], "seed": cell["seed"],
+                 "track_data": cell["track_data"]},
+    }
+
+
+def build_corpus(cells: Sequence[Dict[str, Any]], root: str,
+                 jobs: int = 1, *,
+                 seal_bytes: Optional[int] = None) -> Dict[str, Any]:
+    """Fan the corpus grid across *jobs* and archive every aged image.
+
+    Deterministic by construction: workers only compute, the parent
+    writes to a single ``build`` shard in sorted cell order and seals it
+    at the end, so index and pack contents are byte-identical for any
+    *jobs* value.  The report carries per-cell outcomes plus the
+    archive's dedup stats — identical payloads (every un-ageable PMFS
+    cell across profiles/utilizations/seeds) are stored once and
+    aliased.
+    """
+    from ..obs.metrics import MetricsRegistry
+    from ..snapshot.archive import DEFAULT_SEAL_BYTES, Archive
+
+    results = run_fleet(corpus_cell, cells, jobs=jobs)
+    archive = Archive(root, shard_token="build",
+                      seal_bytes=(DEFAULT_SEAL_BYTES if seal_bytes is None
+                                  else seal_bytes))
+    registry = MetricsRegistry()
+    report_cells = []
+    for result in results:
+        payload = result.pop("payload")
+        if payload is None:
+            status = "unsupported"
+        else:
+            status = archive.put_payload(result["key"], payload,
+                                         meta=result.pop("meta"))
+            if status is None:
+                status = "error"
+            else:
+                registry.counter("snapshot_archive_objects",
+                                 status=status).inc()
+                registry.counter("snapshot_archive_bytes").inc(
+                    0 if status != "stored" else len(payload))
+        report_cells.append({
+            "fs": result["fs"], "profile": result["profile"],
+            "utilization": result["utilization"], "seed": result["seed"],
+            "key": result["key"], "status": status,
+            "payload_bytes": len(payload) if payload is not None else 0,
+        })
+    archive.seal()
+    return {
+        "schema": CORPUS_REPORT_SCHEMA,
+        "cells": report_cells,
+        "archive": archive.stats(),
+        "metrics": registry.as_dict(),
     }
 
 

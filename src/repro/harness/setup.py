@@ -108,10 +108,16 @@ def _reset_after_setup(fs: FileSystem, ctx: SimContext) -> None:
     fs.device.bytes_written = 0
 
 
-def _aged_cache_key(name: str, *, size_gib: float, num_cpus: int,
-                    utilization: float, churn_multiple: float,
-                    profile: AgingProfile, seed: int,
-                    track_data: bool) -> str:
+def aged_cache_key(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
+                   utilization: float = 0.75, churn_multiple: float = 10.0,
+                   profile: AgingProfile = AGRAWAL, seed: int = 7,
+                   track_data: bool = False) -> str:
+    """The snapshot-store key :func:`aged_fs` files an image under.
+
+    Public so the fleet corpus builder (and anything else that archives
+    aged images out-of-band) lands on exactly the keys a later
+    ``aged_fs`` call will look up.  Defaults mirror :func:`aged_fs`.
+    """
     return snapshot_store.cache_key({
         "kind": "aged_fs",
         "fs": name,
@@ -177,11 +183,11 @@ def aged_fs(name: str, *, size_gib: float = 1.0, num_cpus: int = 4,
     key = ""
     load_status = "miss"
     if use_cache:
-        key = _aged_cache_key(name, size_gib=size_gib, num_cpus=num_cpus,
-                              utilization=utilization,
-                              churn_multiple=churn_multiple,
-                              profile=profile, seed=seed,
-                              track_data=track_data)
+        key = aged_cache_key(name, size_gib=size_gib, num_cpus=num_cpus,
+                             utilization=utilization,
+                             churn_multiple=churn_multiple,
+                             profile=profile, seed=seed,
+                             track_data=track_data)
         restored, load_status = _restore_aged(key, name)
         if restored is not None:
             return restored

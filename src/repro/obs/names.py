@@ -72,6 +72,9 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serve_queue_depth",
     # snapshot cache health (repro.harness.setup)
     "snapshot_load_failures",
+    # snapshot archive / corpus builder (repro.harness.fleet)
+    "snapshot_archive_objects",
+    "snapshot_archive_bytes",
 })
 
 #: every span / zero-width record name

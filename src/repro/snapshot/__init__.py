@@ -4,22 +4,30 @@
 whose restore is bit-identical (exact floats, preserved dict order and
 shared references); ``store`` wraps it in a content-addressed on-disk
 cache with magic/version/CRC framing so corrupt or stale files fall back
-to re-aging.  ``harness.aged_fs`` is the consumer.
+to re-aging; ``archive`` is the Winery-style sharded pack backend the
+store routes to when ``$REPRO_SNAPSHOT_ARCHIVE`` is set.
+``harness.aged_fs`` is the consumer.
 """
 
-from .codec import (SnapshotDecodeError, SnapshotUnsupported, decode,
-                    encode)
-from .store import (FORMAT_VERSION, cache_key, load, save, snapshot_dir,
-                    snapshot_path)
+from .archive import Archive, archive_root
+from .codec import (CODEC_VERSIONS, SnapshotDecodeError, SnapshotUnsupported,
+                    decode, encode)
+from .store import (FORMAT_VERSION, cache_key, evict_lru, load, load_ex,
+                    save, snapshot_dir, snapshot_path)
 
 __all__ = [
+    "Archive",
+    "archive_root",
+    "CODEC_VERSIONS",
     "SnapshotDecodeError",
     "SnapshotUnsupported",
     "decode",
     "encode",
     "FORMAT_VERSION",
     "cache_key",
+    "evict_lru",
     "load",
+    "load_ex",
     "save",
     "snapshot_dir",
     "snapshot_path",

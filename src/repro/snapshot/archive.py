@@ -1,0 +1,497 @@
+"""Winery-style sharded pack archive for aged-image snapshots.
+
+The flat store (:mod:`repro.snapshot.store`) keeps one ``<key>.snap``
+file per image — fine for a developer cache, wasteful for a fleet-built
+corpus where hundreds of grid cells share identical payloads (every
+un-ageable PMFS cell, every duplicate parameter point).  This module
+implements the Software Heritage *Winery* object-storage shape on top of
+the same record framing:
+
+hot write shard
+    Each writer appends CRC-framed object records to its own
+    ``shard-<token>.write`` file.  Appends never rewrite existing bytes,
+    so a crashed writer leaves at worst an unindexed tail record.
+
+sealed pack
+    When a shard crosses ``seal_bytes`` it is renamed (atomically, same
+    directory) to ``packs/pack-NNNNNN.pack`` and chmod'ed read-only.
+    Packs are immutable: readers can hold offsets into them forever.
+
+index
+    One ``index.json`` maps every object key to ``(relpath, offset,
+    length)`` — shard or pack, the record layout is identical.  The
+    index is published by write-to-temp + ``os.replace`` under an
+    ``fcntl`` file lock, so readers always see a complete JSON document
+    and concurrent writers serialize their merges.  A ``contents``
+    section maps payload digests to the first key that wrote them:
+    later keys with identical payload bytes become *aliases* (index
+    entries sharing the first record's location) and write nothing.
+
+scrub
+    Walks every shard and pack record-by-record, re-verifying each
+    record's CRC.  A file with structural damage or a failed CRC is
+    moved to ``quarantine/`` and its index entries are dropped, so the
+    next restore of an affected key falls back to re-aging — the same
+    fail-closed contract as the flat store's ``load_ex``.
+
+All integrity failures on the read path degrade to the store's statuses
+(``miss`` / ``corrupt`` / ``stale`` / ``decode_error``); nothing in a
+damaged archive can stop a run, only slow it down to cold-aging speed.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import hashlib
+import json
+import os
+import stat
+import struct
+import tempfile
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from . import codec, store
+
+__all__ = ["Archive", "ARCHIVE_VERSION", "DEFAULT_SEAL_BYTES",
+           "archive_root", "INDEX_SCHEMA"]
+
+#: bumped when the pack/record layout changes; packs carry it in their
+#: header so foreign files are quarantined, never misparsed
+ARCHIVE_VERSION = 1
+
+#: seal threshold: compact enough that a corpus build produces several
+#: packs (exercising the seal path), large enough that pack count stays
+#: far below the object count
+DEFAULT_SEAL_BYTES = 64 * 1024 * 1024
+
+INDEX_SCHEMA = "repro.snapshot-archive/1"
+
+_PACK_MAGIC = b"REPROPAK"
+_PACK_HEAD = struct.Struct("<H")          # archive version
+_REC_MAGIC = b"ROBJ"
+# record header: magic | store version | key_len | meta_len | payload_len
+_REC_HEAD = struct.Struct("<4sHHIQ")
+_REC_CRC = struct.Struct("<I")
+
+
+def archive_root() -> Optional[str]:
+    """Archive directory from ``$REPRO_SNAPSHOT_ARCHIVE``, or ``None``.
+
+    When unset, callers use the flat per-file store; when set, the
+    store's ``save``/``load_ex`` route here instead.
+    """
+    return os.environ.get("REPRO_SNAPSHOT_ARCHIVE") or None
+
+
+def _frame_record(key: str, meta_blob: bytes, payload: bytes) -> bytes:
+    raw_key = key.encode("utf-8")
+    crc = zlib.crc32(raw_key + meta_blob + payload) & 0xFFFFFFFF
+    head = _REC_HEAD.pack(_REC_MAGIC, store.FORMAT_VERSION, len(raw_key),
+                          len(meta_blob), len(payload))
+    return head + raw_key + meta_blob + payload + _REC_CRC.pack(crc)
+
+
+def _parse_record(blob: bytes, offset: int
+                  ) -> Optional[Tuple[str, int, bytes, bytes, int]]:
+    """``(key, version, meta, payload, end_offset)`` or None if invalid.
+
+    CRC-checks the record; any structural problem (bad magic, lengths
+    past EOF, CRC mismatch) returns None so callers treat the enclosing
+    file as damaged from this point on.
+    """
+    head_end = offset + _REC_HEAD.size
+    if head_end > len(blob):
+        return None
+    magic, version, key_len, meta_len, payload_len = _REC_HEAD.unpack_from(
+        blob, offset)
+    if magic != _REC_MAGIC:
+        return None
+    body_end = head_end + key_len + meta_len + payload_len
+    end = body_end + _REC_CRC.size
+    if end > len(blob):
+        return None
+    raw_key = blob[head_end:head_end + key_len]
+    meta_blob = blob[head_end + key_len:head_end + key_len + meta_len]
+    payload = blob[head_end + key_len + meta_len:body_end]
+    (crc,) = _REC_CRC.unpack_from(blob, body_end)
+    if zlib.crc32(raw_key + meta_blob + payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        key = raw_key.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    return key, version, meta_blob, payload, end
+
+
+def _pack_header() -> bytes:
+    return _PACK_MAGIC + _PACK_HEAD.pack(ARCHIVE_VERSION)
+
+
+_HEADER_LEN = len(_PACK_MAGIC) + _PACK_HEAD.size
+
+
+def _valid_header(blob: bytes) -> bool:
+    if len(blob) < _HEADER_LEN or not blob.startswith(_PACK_MAGIC):
+        return False
+    (version,) = _PACK_HEAD.unpack_from(blob, len(_PACK_MAGIC))
+    return version == ARCHIVE_VERSION
+
+
+class _IndexLock:
+    """``flock`` on ``<root>/.lock`` serializing index publication."""
+
+    def __init__(self, root: str) -> None:
+        self._path = os.path.join(root, ".lock")
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_IndexLock":
+        self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+class Archive:
+    """One sharded pack archive rooted at a directory.
+
+    Thread-unsafe per instance, multi-process safe per directory: every
+    index mutation happens under the directory's file lock, every data
+    write is an append to this writer's own shard, and the index is
+    published atomically.  Instances are cheap — the index is re-read
+    from disk on every lookup so concurrent writers are always visible.
+    """
+
+    def __init__(self, root: str, *, seal_bytes: int = DEFAULT_SEAL_BYTES,
+                 shard_token: Optional[str] = None) -> None:
+        self.root = root
+        self.seal_bytes = seal_bytes
+        # one shard per writer process keeps appends single-writer; a
+        # deterministic token (the corpus builder passes "build") makes
+        # shard and pack contents reproducible byte-for-byte
+        token = shard_token if shard_token is not None else f"pid{os.getpid()}"
+        self.shard_name = f"shard-{token}.write"
+        os.makedirs(os.path.join(root, "packs"), exist_ok=True)
+
+    # -- paths and index I/O --------------------------------------------------
+
+    def _path(self, relpath: str) -> str:
+        return os.path.join(self.root, relpath)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _read_index(self) -> Dict[str, Any]:
+        try:
+            with open(self.index_path, "rb") as handle:
+                doc = json.load(handle)
+        except (FileNotFoundError, ValueError, OSError):
+            return {"schema": INDEX_SCHEMA, "objects": {}, "contents": {}}
+        if not isinstance(doc, dict) or doc.get("schema") != INDEX_SCHEMA:
+            return {"schema": INDEX_SCHEMA, "objects": {}, "contents": {}}
+        doc.setdefault("objects", {})
+        doc.setdefault("contents", {})
+        return doc
+
+    def _publish_index(self, doc: Dict[str, Any]) -> None:
+        blob = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".index-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- write path -----------------------------------------------------------
+
+    def put(self, key: str, root_obj: Any,
+            meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Encode *root_obj* and store it under *key*.
+
+        Returns False when the graph is unserializable or the directory
+        is unwritable — same soft-failure contract as ``store.save``.
+        """
+        try:
+            payload = codec.encode(root_obj)
+        except codec.SnapshotUnsupported:
+            return False
+        return self.put_payload(key, payload, meta=meta) is not None
+
+    def put_payload(self, key: str, payload: bytes,
+                    meta: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Store already-encoded *payload* bytes under *key*.
+
+        The corpus builder encodes in worker processes and archives in
+        the parent (in sorted cell order) through this entry point.
+        Identical payload bytes already present become an alias entry:
+        no data is written, the key simply points at the first record.
+        Returns ``"stored"``, ``"alias"``, or ``"existing"`` on success,
+        ``None`` when the directory is unwritable.
+        """
+        meta_blob = json.dumps(store._canonical(meta or {}), sort_keys=True,
+                               separators=(",", ":")).encode("utf-8")
+        digest = hashlib.sha256(payload).hexdigest()
+        try:
+            with _IndexLock(self.root):
+                doc = self._read_index()
+                objects = doc["objects"]
+                if key in objects:
+                    return "existing"
+                alias = doc["contents"].get(digest)
+                if alias is not None and alias in objects:
+                    objects[key] = list(objects[alias])
+                    self._publish_index(doc)
+                    return "alias"
+                record = _frame_record(key, meta_blob, payload)
+                shard = self._path(self.shard_name)
+                with open(shard, "ab") as handle:
+                    if handle.tell() == 0:
+                        handle.write(_pack_header())
+                    offset = handle.tell()
+                    handle.write(record)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    size = handle.tell()
+                objects[key] = [self.shard_name, offset, len(record)]
+                doc["contents"][digest] = key
+                if size >= self.seal_bytes:
+                    self._seal_locked(doc)
+                self._publish_index(doc)
+        except OSError:
+            return None
+        return "stored"
+
+    def _next_pack_name(self) -> str:
+        packs_dir = os.path.join(self.root, "packs")
+        taken = [name for name in os.listdir(packs_dir)
+                 if name.startswith("pack-") and name.endswith(".pack")]
+        number = 0
+        for name in taken:
+            try:
+                number = max(number, int(name[5:-5]) + 1)
+            except ValueError:
+                continue
+        return f"packs/pack-{number:06d}.pack"
+
+    def _seal_locked(self, doc: Dict[str, Any]) -> Optional[str]:
+        """Rename this writer's shard into an immutable pack (lock held)."""
+        shard = self._path(self.shard_name)
+        if not os.path.exists(shard):
+            return None
+        pack_rel = self._next_pack_name()
+        pack = self._path(pack_rel)
+        os.replace(shard, pack)
+        os.chmod(pack, stat.S_IRUSR | stat.S_IRGRP | stat.S_IROTH)
+        for entry in doc["objects"].values():
+            if entry[0] == self.shard_name:
+                entry[0] = pack_rel
+        return pack_rel
+
+    def seal(self) -> Optional[str]:
+        """Seal this writer's shard now; returns the pack relpath."""
+        with _IndexLock(self.root):
+            doc = self._read_index()
+            pack_rel = self._seal_locked(doc)
+            if pack_rel is not None:
+                self._publish_index(doc)
+            return pack_rel
+
+    # -- read path ------------------------------------------------------------
+
+    def load_ex(self, key: str) -> Tuple[Optional[Any], str]:
+        """Decode the object under *key*; statuses match ``store.load_ex``."""
+        entry = self._read_index()["objects"].get(key)
+        if entry is None:
+            return None, "miss"
+        try:
+            relpath, offset, length = entry
+            with open(self._path(relpath), "rb") as handle:
+                handle.seek(int(offset))
+                blob = handle.read(int(length))
+        except (OSError, TypeError, ValueError):
+            return None, "corrupt"
+        parsed = _parse_record(blob, 0)
+        if parsed is None or parsed[4] != len(blob):
+            return None, "corrupt"
+        _key, version, _meta, payload, _end = parsed
+        if version != store.FORMAT_VERSION:
+            return None, "stale"
+        try:
+            return codec.decode(payload), "hit"
+        except (codec.SnapshotDecodeError, struct.error, ValueError):
+            return None, "decode_error"
+
+    def contains(self, key: str) -> bool:
+        return key in self._read_index()["objects"]
+
+    def objects(self) -> Iterator[Tuple[str, str, int, int]]:
+        """Yield ``(key, relpath, offset, length)`` in sorted key order."""
+        objects = self._read_index()["objects"]
+        for key in sorted(objects):
+            relpath, offset, length = objects[key]
+            yield key, relpath, int(offset), int(length)
+
+    def stats(self) -> Dict[str, Any]:
+        doc = self._read_index()
+        files: Dict[str, int] = {}
+        for name in self._data_files():
+            try:
+                files[name] = os.path.getsize(self._path(name))
+            except OSError:
+                continue
+        locations = {tuple(entry) for entry in doc["objects"].values()}
+        return {
+            "objects": len(doc["objects"]),
+            "unique_records": len(locations),
+            "aliases": len(doc["objects"]) - len(locations),
+            "packs": sum(1 for name in files if name.startswith("packs/")),
+            "shards": sum(1 for name in files if name.endswith(".write")),
+            "bytes": sum(files.values()),
+        }
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _data_files(self) -> List[str]:
+        names: List[str] = []
+        packs_dir = os.path.join(self.root, "packs")
+        if os.path.isdir(packs_dir):
+            names.extend(f"packs/{name}" for name in os.listdir(packs_dir)
+                         if name.endswith(".pack"))
+        names.extend(name for name in os.listdir(self.root)
+                     if name.startswith("shard-") and name.endswith(".write"))
+        return sorted(names)
+
+    def scrub(self) -> Dict[str, Any]:
+        """Verify every record CRC; quarantine damaged files.
+
+        Returns ``{"files", "objects", "quarantined", "dropped_keys"}``.
+        A file is damaged when its header is wrong or any record fails
+        to parse/CRC before EOF; damaged files move to ``quarantine/``
+        and every index entry pointing into them (including aliases) is
+        dropped, so affected keys re-age on next use.
+        """
+        with _IndexLock(self.root):
+            doc = self._read_index()
+            valid: Dict[str, set] = {}
+            quarantined: List[str] = []
+            objects_seen = 0
+            for relpath in self._data_files():
+                path = self._path(relpath)
+                try:
+                    with open(path, "rb") as handle:
+                        blob = handle.read()
+                except OSError:
+                    quarantined.append(relpath)
+                    continue
+                ok = _valid_header(blob)
+                spans = set()
+                offset = _HEADER_LEN
+                while ok and offset < len(blob):
+                    parsed = _parse_record(blob, offset)
+                    if parsed is None:
+                        ok = False
+                        break
+                    spans.add((offset, parsed[4] - offset))
+                    objects_seen += 1
+                    offset = parsed[4]
+                if ok:
+                    valid[relpath] = spans
+                else:
+                    self._quarantine(relpath)
+                    quarantined.append(relpath)
+            dropped = self._drop_invalid_entries(doc, valid)
+            self._publish_index(doc)
+        return {
+            "files": len(valid) + len(quarantined),
+            "objects": objects_seen,
+            "quarantined": quarantined,
+            "dropped_keys": dropped,
+        }
+
+    def _quarantine(self, relpath: str) -> None:
+        qdir = os.path.join(self.root, "quarantine")
+        os.makedirs(qdir, exist_ok=True)
+        target = os.path.join(qdir, os.path.basename(relpath))
+        try:
+            os.chmod(self._path(relpath), 0o644)
+        except OSError:
+            pass
+        os.replace(self._path(relpath), target)
+
+    @staticmethod
+    def _drop_invalid_entries(doc: Dict[str, Any],
+                              valid: Dict[str, set]) -> List[str]:
+        dropped = []
+        for key, entry in list(doc["objects"].items()):
+            relpath, offset, length = entry
+            if (int(offset), int(length)) not in valid.get(relpath, ()):
+                del doc["objects"][key]
+                dropped.append(key)
+        kept = set(doc["objects"])
+        doc["contents"] = {digest: key
+                           for digest, key in doc["contents"].items()
+                           if key in kept}
+        return sorted(dropped)
+
+    def gc(self, max_bytes: int) -> Dict[str, Any]:
+        """Evict sealed packs, least-recently-modified first, until the
+        archive's data files fit in *max_bytes*.
+
+        Hot shards are never evicted (they hold in-flight writes).
+        Returns ``{"evicted", "freed_bytes", "dropped_keys"}``.
+        """
+        with _IndexLock(self.root):
+            doc = self._read_index()
+            sized = []
+            total = 0
+            for relpath in self._data_files():
+                try:
+                    info = os.stat(self._path(relpath))
+                except OSError:
+                    continue
+                total += info.st_size
+                if relpath.startswith("packs/"):
+                    sized.append((info.st_mtime, relpath, info.st_size))
+            sized.sort()
+            evicted: List[str] = []
+            freed = 0
+            for _mtime, relpath, size in sized:
+                if total <= max_bytes:
+                    break
+                try:
+                    os.chmod(self._path(relpath), 0o644)
+                    os.unlink(self._path(relpath))
+                except OSError:
+                    continue
+                total -= size
+                freed += size
+                evicted.append(relpath)
+            dropped: List[str] = []
+            if evicted:
+                gone = set(evicted)
+                for key, entry in list(doc["objects"].items()):
+                    if entry[0] in gone:
+                        del doc["objects"][key]
+                        dropped.append(key)
+                kept = set(doc["objects"])
+                doc["contents"] = {digest: key
+                                   for digest, key in doc["contents"].items()
+                                   if key in kept}
+                self._publish_index(doc)
+        return {"evicted": evicted, "freed_bytes": freed,
+                "dropped_keys": sorted(dropped)}

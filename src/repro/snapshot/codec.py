@@ -26,6 +26,31 @@ Identity rules (what makes restore bit-identical, not just equal):
 - Dicts decode in encode order, so iteration-order-dependent float
   accumulation replays identically.  Sets are encoded in sorted order to
   keep the stream deterministic.
+
+Format v2 (the default) adds a *columnar fast path* on top of the v1
+tagged stream.  Homogeneous containers are encoded in bulk instead of
+tag-by-tag:
+
+- lists/tuples whose elements are all plain ints in int64 range become
+  one struct-packed ``<q`` vector (``_T_INTLIST`` / ``_T_INTTUPLE``);
+- flat ``int -> int`` dicts (page tables, run columns) become one packed
+  key/value vector (``_T_INTDICT``), decode order preserved;
+- scattered ints (instance attributes, mixed containers) become a
+  zigzag varint (``_T_VINT``) instead of the length-prefixed v1 form —
+  they are the single most common node in an aged image;
+- strings are interned: the first occurrence registers into a stream
+  string table (``_T_ISTR``), repeats are a varint back-reference
+  (``_T_SREF``) — path, name, and lock-key strings repeat heavily;
+- instances share *shapes*: the attribute-name tuple of each class state
+  is registered once (``_T_OBJECT2``), so the ~5 repeated names per
+  instance collapse to a single shape id.
+
+Every v2 bulk form is an opportunistic rewrite of a v1 form with the
+exact same memoization position (bulk elements are scalars, which are
+never memoized), so shared-ref numbering is identical and anything that
+does not qualify falls back to the v1 tagged path — fail-closed, same
+``SnapshotUnsupported`` semantics.  ``decode`` understands both formats;
+``encode(root, version=1)`` still produces a pure v1 stream.
 """
 
 from __future__ import annotations
@@ -39,7 +64,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..errors import SimulationError
 
-__all__ = ["SnapshotUnsupported", "SnapshotDecodeError", "encode", "decode"]
+__all__ = ["SnapshotUnsupported", "SnapshotDecodeError", "CODEC_VERSIONS",
+           "encode", "decode"]
 
 
 class SnapshotUnsupported(SimulationError):
@@ -70,6 +96,34 @@ _T_FROZENSET = b"Z"
 _T_REF = b"r"
 _T_OBJECT = b"o"
 _T_SINGLETON = b"G"
+
+# -- v2 columnar tags (see module docstring) --
+_T_INTLIST = b"L"
+_T_INTTUPLE = b"U"
+_T_INTDICT = b"M"
+_T_ISTR = b"I"
+_T_SREF = b"R"
+_T_OBJECT2 = b"P"
+_T_VINT = b"v"
+
+# integer tag values for the decoder: comparing small ints beats slicing
+# a one-byte ``bytes`` per node on the decode hot path
+(_B_NONE, _B_TRUE, _B_FALSE, _B_INT, _B_FLOAT, _B_STR, _B_BYTES,
+ _B_BYTEARRAY, _B_ARRAY, _B_LIST, _B_TUPLE, _B_DICT, _B_ODICT, _B_SET,
+ _B_FROZENSET, _B_REF, _B_OBJECT, _B_SINGLETON, _B_INTLIST, _B_INTTUPLE,
+ _B_INTDICT, _B_ISTR, _B_SREF, _B_OBJECT2, _B_VINT) = (
+    tag[0] for tag in (
+        _T_NONE, _T_TRUE, _T_FALSE, _T_INT, _T_FLOAT, _T_STR, _T_BYTES,
+        _T_BYTEARRAY, _T_ARRAY, _T_LIST, _T_TUPLE, _T_DICT, _T_ODICT,
+        _T_SET, _T_FROZENSET, _T_REF, _T_OBJECT, _T_SINGLETON, _T_INTLIST,
+        _T_INTTUPLE, _T_INTDICT, _T_ISTR, _T_SREF, _T_OBJECT2, _T_VINT))
+
+#: stream format versions :func:`encode` accepts
+CODEC_VERSIONS = (1, 2)
+
+#: zigzag varints qualify for ints in (-2^62, 2^62): the encoded value
+#: stays within the decoder's 70-bit varint guard with room to spare
+_VINT_BOUND = 1 << 62
 
 _F64 = struct.Struct("<d")
 
@@ -254,7 +308,7 @@ def _singletons() -> List[Any]:
 # -- encoder -----------------------------------------------------------------
 
 class _Encoder:
-    def __init__(self) -> None:
+    def __init__(self, version: int = 2) -> None:
         self.out: List[bytes] = []
         self.memo: Dict[int, int] = {}
         self.memo_next = 0
@@ -263,6 +317,34 @@ class _Encoder:
         self.whitelist = _class_whitelist()
         self.filters = _state_filters()
         self.singleton_ids = {id(obj): i for i, obj in enumerate(_singletons())}
+        self.version = version
+        self.strings: Dict[str, int] = {}
+        self.shapes: Dict[Tuple[str, ...], int] = {}
+
+    def _encode_str(self, value: str) -> None:
+        """v2 string: intern-table back-reference or register-and-emit."""
+        out = self.out
+        sref = self.strings.get(value)
+        if sref is not None:
+            out.append(_T_SREF)
+            _write_uvarint(out, sref)
+            return
+        self.strings[value] = len(self.strings)
+        raw = value.encode("utf-8")
+        out.append(_T_ISTR)
+        _write_uvarint(out, len(raw))
+        out.append(raw)
+
+    @staticmethod
+    def _pack_ints(values: Any) -> Optional[bytes]:
+        """``<q``-packed machine bytes, or None if any element does not
+        qualify (non-int, bool, or outside int64)."""
+        try:
+            if not all(type(v) is int for v in values):
+                return None
+            return array("q", values).tobytes()
+        except OverflowError:
+            return None
 
     def _memoize(self, obj: Any) -> None:
         self.memo[id(obj)] = self.memo_next
@@ -281,6 +363,11 @@ class _Encoder:
             return
         kind = type(obj)
         if kind is int:
+            if self.version >= 2 and -_VINT_BOUND < obj < _VINT_BOUND:
+                out.append(_T_VINT)
+                # zigzag: obj >> 62 is -1 for negatives, 0 otherwise
+                _write_uvarint(out, (obj << 1) ^ (obj >> 62))
+                return
             out.append(_T_INT)
             raw = obj.to_bytes((obj.bit_length() + 8) // 8 or 1,
                                "little", signed=True)
@@ -292,6 +379,9 @@ class _Encoder:
             out.append(_F64.pack(obj))
             return
         if kind is str:
+            if self.version >= 2:
+                self._encode_str(obj)
+                return
             raw = obj.encode("utf-8")
             out.append(_T_STR)
             _write_uvarint(out, len(raw))
@@ -313,6 +403,14 @@ class _Encoder:
             _write_uvarint(out, singleton)
             return
         if kind is tuple:
+            if self.version >= 2 and obj:
+                raw = self._pack_ints(obj)
+                if raw is not None:
+                    out.append(_T_INTTUPLE)
+                    _write_uvarint(out, len(obj))
+                    out.append(raw)
+                    self._memoize(obj)  # same post-order slot as _T_TUPLE
+                    return
             if id(obj) in self.in_progress:
                 raise SnapshotUnsupported("reference cycle through a tuple")
             self.in_progress.add(id(obj))
@@ -341,12 +439,32 @@ class _Encoder:
             out.append(raw)
             return
         if kind is list:
+            if self.version >= 2 and obj:
+                raw = self._pack_ints(obj)
+                if raw is not None:
+                    out.append(_T_INTLIST)
+                    _write_uvarint(out, len(obj))
+                    out.append(raw)
+                    return
             out.append(_T_LIST)
             _write_uvarint(out, len(obj))
             for item in obj:
                 self.encode(item)
             return
         if kind is dict or kind is OrderedDict:
+            if self.version >= 2 and obj and kind is dict:
+                first_k, first_v = next(iter(obj.items()))
+                if type(first_k) is int and type(first_v) is int:
+                    flat: List[int] = []
+                    for key, value in obj.items():
+                        flat.append(key)
+                        flat.append(value)
+                    raw = self._pack_ints(flat)
+                    if raw is not None:
+                        out.append(_T_INTDICT)
+                        _write_uvarint(out, len(obj))
+                        out.append(raw)
+                        return
             out.append(_T_DICT if kind is dict else _T_ODICT)
             _write_uvarint(out, len(obj))
             for key, value in obj.items():
@@ -371,7 +489,7 @@ class _Encoder:
             raise SnapshotUnsupported(
                 f"object of type {tag} is not snapshot-whitelisted")
         out = self.out
-        out.append(_T_OBJECT)
+        out.append(_T_OBJECT2 if self.version >= 2 else _T_OBJECT)
         class_id = self.class_ids.get(kind)
         if class_id is None:
             class_id = len(self.class_ids)
@@ -384,6 +502,24 @@ class _Encoder:
             _write_uvarint(out, class_id)
         get_state = self.filters.get(kind, _default_get_state)
         state = get_state(obj)
+        if self.version >= 2:
+            # shape = the attribute-name tuple, registered once per
+            # distinct sequence; instances of a class almost always share
+            # one shape, so per-instance name bytes collapse to one varint
+            shape = tuple(name for name, _ in state)
+            shape_id = self.shapes.get(shape)
+            if shape_id is None:
+                shape_id = len(self.shapes)
+                self.shapes[shape] = shape_id
+                _write_uvarint(out, shape_id)
+                _write_uvarint(out, len(shape))
+                for name in shape:
+                    self._encode_str(name)
+            else:
+                _write_uvarint(out, shape_id)
+            for _name, value in state:
+                self.encode(value)
+            return
         _write_uvarint(out, len(state))
         for name, value in state:
             raw = name.encode("utf-8")
@@ -401,45 +537,104 @@ class _Decoder:
         self.classes: List[type] = []
         self.whitelist = _class_whitelist()
         self.singletons = _singletons()
+        self.strings: List[str] = []
+        self.shapes: List[Tuple[str, ...]] = []
+
+    def _unpack_ints(self, count: int) -> List[int]:
+        arr = array("q")
+        arr.frombytes(self.reader.take(count * 8))
+        return arr.tolist()
 
     def decode(self) -> Any:
+        # dispatch is ordered by measured tag frequency in aged-image
+        # streams: scattered ints, refs, instances, then everything else
         r = self.reader
-        tag = r.take(1)
-        if tag == _T_NONE:
-            return None
-        if tag == _T_TRUE:
-            return True
-        if tag == _T_FALSE:
-            return False
-        if tag == _T_INT:
-            raw = r.take(r.uvarint())
-            return int.from_bytes(raw, "little", signed=True)
-        if tag == _T_FLOAT:
-            return _F64.unpack(r.take(8))[0]
-        if tag == _T_STR:
-            return r.take(r.uvarint()).decode("utf-8")
-        if tag == _T_BYTES:
-            return r.take(r.uvarint())
-        if tag == _T_REF:
+        pos = r.pos
+        data = r.data
+        if pos >= len(data):
+            raise SnapshotDecodeError("truncated snapshot stream")
+        tag = data[pos]
+        r.pos = pos + 1
+        if tag == _B_VINT:
+            zigzag = r.uvarint()
+            return (zigzag >> 1) ^ -(zigzag & 1)
+        if tag == _B_REF:
             index = r.uvarint()
             if index >= len(self.memo):
                 raise SnapshotDecodeError(f"dangling memo ref {index}")
             return self.memo[index]
-        if tag == _T_SINGLETON:
+        if tag == _B_OBJECT2:
+            return self._decode_instance_v2()
+        if tag == _B_SREF:
             index = r.uvarint()
-            if index >= len(self.singletons):
-                raise SnapshotDecodeError(f"unknown singleton {index}")
-            return self.singletons[index]
-        if tag == _T_TUPLE:
+            if index >= len(self.strings):
+                raise SnapshotDecodeError(f"dangling string ref {index}")
+            return self.strings[index]
+        if tag == _B_LIST:
+            count = r.uvarint()
+            obj: List[Any] = []
+            self.memo.append(obj)
+            for _ in range(count):
+                obj.append(self.decode())
+            return obj
+        if tag == _B_NONE:
+            return None
+        if tag == _B_TRUE:
+            return True
+        if tag == _B_FALSE:
+            return False
+        if tag == _B_ISTR:
+            value = r.take(r.uvarint()).decode("utf-8")
+            self.strings.append(value)
+            return value
+        if tag == _B_BYTEARRAY:
+            obj = bytearray(r.take(r.uvarint()))
+            self.memo.append(obj)
+            return obj
+        if tag == _B_DICT or tag == _B_ODICT:
+            count = r.uvarint()
+            mapping: Dict[Any, Any] = {} if tag == _B_DICT else OrderedDict()
+            self.memo.append(mapping)
+            for _ in range(count):
+                key = self.decode()
+                mapping[key] = self.decode()
+            return mapping
+        if tag == _B_TUPLE:
             count = r.uvarint()
             obj = tuple(self.decode() for _ in range(count))
             self.memo.append(obj)
             return obj
-        if tag == _T_BYTEARRAY:
-            obj = bytearray(r.take(r.uvarint()))
-            self.memo.append(obj)
+        if tag == _B_INTTUPLE:
+            obj = tuple(self._unpack_ints(r.uvarint()))
+            self.memo.append(obj)  # same post-order slot as _T_TUPLE
             return obj
-        if tag == _T_ARRAY:
+        if tag == _B_INTLIST:
+            obj = self._unpack_ints(r.uvarint())
+            self.memo.append(obj)  # elements are scalars: same slot as _T_LIST
+            return obj
+        if tag == _B_INTDICT:
+            count = r.uvarint()
+            flat = iter(self._unpack_ints(count * 2))
+            mapping = dict(zip(flat, flat))
+            if len(mapping) != count:
+                raise SnapshotDecodeError("duplicate keys in packed dict")
+            self.memo.append(mapping)
+            return mapping
+        if tag == _B_INT:
+            raw = r.take(r.uvarint())
+            return int.from_bytes(raw, "little", signed=True)
+        if tag == _B_FLOAT:
+            return _F64.unpack(r.take(8))[0]
+        if tag == _B_STR:
+            return r.take(r.uvarint()).decode("utf-8")
+        if tag == _B_BYTES:
+            return r.take(r.uvarint())
+        if tag == _B_SINGLETON:
+            index = r.uvarint()
+            if index >= len(self.singletons):
+                raise SnapshotDecodeError(f"unknown singleton {index}")
+            return self.singletons[index]
+        if tag == _B_ARRAY:
             code = r.take(r.uvarint()).decode("ascii")
             try:
                 arr = array(code)
@@ -449,40 +644,25 @@ class _Decoder:
             arr.frombytes(r.take(r.uvarint()))
             self.memo.append(arr)
             return arr
-        if tag == _T_LIST:
-            count = r.uvarint()
-            obj: List[Any] = []
-            self.memo.append(obj)
-            for _ in range(count):
-                obj.append(self.decode())
-            return obj
-        if tag in (_T_DICT, _T_ODICT):
-            count = r.uvarint()
-            mapping: Dict[Any, Any] = {} if tag == _T_DICT else OrderedDict()
-            self.memo.append(mapping)
-            for _ in range(count):
-                key = self.decode()
-                mapping[key] = self.decode()
-            return mapping
-        if tag == _T_SET:
+        if tag == _B_SET:
             count = r.uvarint()
             items: set = set()
             self.memo.append(items)
             for _ in range(count):
                 items.add(self.decode())
             return items
-        if tag == _T_FROZENSET:
+        if tag == _B_FROZENSET:
             count = r.uvarint()
             placeholder = len(self.memo)
             self.memo.append(None)
             frozen = frozenset(self.decode() for _ in range(count))
             self.memo[placeholder] = frozen
             return frozen
-        if tag == _T_OBJECT:
+        if tag == _B_OBJECT:
             return self._decode_instance()
-        raise SnapshotDecodeError(f"unknown tag {tag!r}")
+        raise SnapshotDecodeError(f"unknown tag {bytes((tag,))!r}")
 
-    def _decode_instance(self) -> Any:
+    def _decode_class(self) -> type:
         r = self.reader
         class_id = r.uvarint()
         if class_id == len(self.classes):
@@ -492,10 +672,14 @@ class _Decoder:
                 raise SnapshotDecodeError(
                     f"snapshot names unknown class {name!r}")
             self.classes.append(cls)
-        elif class_id < len(self.classes):
-            cls = self.classes[class_id]
-        else:
-            raise SnapshotDecodeError(f"bad class id {class_id}")
+            return cls
+        if class_id < len(self.classes):
+            return self.classes[class_id]
+        raise SnapshotDecodeError(f"bad class id {class_id}")
+
+    def _decode_instance(self) -> Any:
+        r = self.reader
+        cls = self._decode_class()
         obj = cls.__new__(cls)
         self.memo.append(obj)
         setter = object.__setattr__  # works for __slots__ and frozen classes
@@ -504,14 +688,46 @@ class _Decoder:
             setter(obj, name, self.decode())
         return obj
 
+    def _decode_instance_v2(self) -> Any:
+        r = self.reader
+        cls = self._decode_class()
+        obj = cls.__new__(cls)
+        self.memo.append(obj)
+        shape_id = r.uvarint()
+        if shape_id == len(self.shapes):
+            names = []
+            for _ in range(r.uvarint()):
+                name = self.decode()
+                if type(name) is not str:
+                    raise SnapshotDecodeError("shape name is not a string")
+                names.append(name)
+            shape: Tuple[str, ...] = tuple(names)
+            self.shapes.append(shape)
+        elif shape_id < len(self.shapes):
+            shape = self.shapes[shape_id]
+        else:
+            raise SnapshotDecodeError(f"bad shape id {shape_id}")
+        setter = object.__setattr__
+        decode = self.decode
+        for name in shape:
+            setter(obj, name, decode())
+        return obj
 
-def encode(root: Any) -> bytes:
-    """Serialize *root* (typically an ``{"fs": ..., "ctx": ...}`` dict)."""
+
+def encode(root: Any, *, version: int = 2) -> bytes:
+    """Serialize *root* (typically an ``{"fs": ..., "ctx": ...}`` dict).
+
+    *version* selects the stream format: 2 (default) uses the columnar
+    fast path, 1 produces the pure tagged stream.  Both decode with
+    :func:`decode` to the same object graph.
+    """
+    if version not in CODEC_VERSIONS:
+        raise ValueError(f"unknown codec version {version!r}")
     limit = sys.getrecursionlimit()
     if limit < _RECURSION_LIMIT:
         sys.setrecursionlimit(_RECURSION_LIMIT)
     try:
-        enc = _Encoder()
+        enc = _Encoder(version)
         enc.encode(root)
         return b"".join(enc.out)
     finally:

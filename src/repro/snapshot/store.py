@@ -20,6 +20,16 @@ failure (``miss`` / ``stale`` / ``corrupt`` / ``decode_error``) so the
 harness can count non-miss failures instead of losing them — a corrupt
 cache that silently re-ages on every run looks exactly like a healthy
 cold cache unless something counts it.
+
+Two environment knobs change where and how much:
+
+* ``$REPRO_SNAPSHOT_ARCHIVE`` routes :func:`save`/:func:`load_ex` to a
+  sharded pack archive rooted there (:mod:`repro.snapshot.archive`)
+  instead of one flat file per key — same statuses, same fail-closed
+  behavior, plus content dedup across keys;
+* ``$REPRO_SNAPSHOT_MAX_BYTES`` caps the flat directory: after every
+  save, least-recently-used ``.snap`` files (by mtime — loads touch
+  their file) are evicted until the cap holds.
 """
 
 from __future__ import annotations
@@ -36,11 +46,12 @@ from typing import Any, Dict, Optional
 from . import codec
 
 __all__ = ["FORMAT_VERSION", "LOAD_STATUSES", "cache_key", "snapshot_dir",
-           "snapshot_path", "save", "load", "load_ex"]
+           "snapshot_path", "save", "load", "load_ex", "evict_lru"]
 
 #: bump whenever the codec stream or the simulated state layout changes;
 #: old files are then ignored (and eventually overwritten), never misread
-FORMAT_VERSION = 2
+#: (3: codec v2 columnar stream became the default encoding)
+FORMAT_VERSION = 3
 
 _MAGIC = b"REPROSNP"
 _HEAD = struct.Struct("<HI")   # version, meta_len
@@ -77,6 +88,68 @@ def snapshot_path(key: str) -> str:
     return os.path.join(snapshot_dir(), f"{key}.snap")
 
 
+def _archive() -> Optional[Any]:
+    """The routed archive when ``$REPRO_SNAPSHOT_ARCHIVE`` is set."""
+    from . import archive as archive_mod
+
+    root = archive_mod.archive_root()
+    if root is None:
+        return None
+    try:
+        return archive_mod.Archive(root)
+    except OSError:
+        return None
+
+
+def _max_bytes() -> Optional[int]:
+    raw = os.environ.get("REPRO_SNAPSHOT_MAX_BYTES")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def evict_lru(directory: str, max_bytes: int) -> Dict[str, Any]:
+    """Evict ``.snap`` files, oldest mtime first, until the directory's
+    snapshot bytes fit in *max_bytes*.
+
+    Returns ``{"evicted", "freed_bytes", "kept_bytes"}``.  Loads touch
+    their file's mtime, so eviction order is true LRU, not FIFO.
+    """
+    sized = []
+    total = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".snap"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            info = os.stat(path)
+        except OSError:
+            continue
+        sized.append((info.st_mtime, path, info.st_size))
+        total += info.st_size
+    sized.sort()
+    evicted = []
+    freed = 0
+    for _mtime, path, size in sized:
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        freed += size
+        evicted.append(os.path.basename(path))
+    return {"evicted": evicted, "freed_bytes": freed, "kept_bytes": total}
+
+
 def save(key: str, root: Any, meta: Optional[Dict[str, Any]] = None) -> bool:
     """Encode *root* and atomically write it under *key*.
 
@@ -84,6 +157,9 @@ def save(key: str, root: Any, meta: Optional[Dict[str, Any]] = None) -> bool:
     serializable or the directory is not writable; snapshotting is an
     optimization, never a correctness requirement.
     """
+    routed = _archive()
+    if routed is not None:
+        return routed.put(key, root, meta=meta)
     try:
         payload = codec.encode(root)
     except codec.SnapshotUnsupported:
@@ -112,6 +188,9 @@ def save(key: str, root: Any, meta: Optional[Dict[str, Any]] = None) -> bool:
             raise
     except OSError:
         return False
+    cap = _max_bytes()
+    if cap is not None:
+        evict_lru(os.path.dirname(target), cap)
     return True
 
 
@@ -130,6 +209,9 @@ def load_ex(key: str) -> tuple:
     for structural damage (bad magic, truncation, CRC mismatch), and
     ``decode_error`` when the integrity-checked payload fails the codec.
     """
+    routed = _archive()
+    if routed is not None:
+        return routed.load_ex(key)
     path = snapshot_path(key)
     try:
         with open(path, "rb") as handle:
@@ -138,6 +220,10 @@ def load_ex(key: str) -> tuple:
         return None, "miss"
     except OSError:
         return None, "corrupt"
+    try:
+        os.utime(path)  # mtime = recency, for evict_lru
+    except OSError:
+        pass
     try:
         if not blob.startswith(_MAGIC):
             return None, "corrupt"

@@ -271,6 +271,39 @@ def test_snapshot_whitelist_flags_unlisted_import():
     assert findings[0].path == "fs/common/base.py"
 
 
+def test_snapshot_tag_bytes_must_be_unique():
+    """Reusing a frame tag byte inside repro.snapshot is a finding:
+    the one decoder dispatches v1 and v2 tags in one byte namespace."""
+    findings = project_findings(SnapshotWhitelistRule(), {
+        "snapshot/codec.py": ("repro.snapshot.codec", """
+            _T_INT = b"i"
+            _T_VINT = b"v"
+            _T_CLASH = b"i"
+        """),
+    })
+    assert len(findings) == 1
+    assert findings[0].detail == "_T_CLASH"
+    assert "_T_INT" in findings[0].message
+
+
+def test_snapshot_tag_bytes_checked_across_modules():
+    findings = project_findings(SnapshotWhitelistRule(), {
+        "snapshot/codec.py": ("repro.snapshot.codec", """
+            _T_INT = b"i"
+        """),
+        "snapshot/extra.py": ("repro.snapshot.extra", """
+            _T_OTHER = b"i"
+        """),
+    })
+    assert len(findings) == 1
+    assert findings[0].path == "snapshot/extra.py"
+    # same byte outside repro.snapshot (different wire format) is fine
+    assert project_findings(SnapshotWhitelistRule(), {
+        "snapshot/codec.py": ("repro.snapshot.codec", "_T_INT = b'i'\n"),
+        "serve/wire.py": ("repro.serve.wire", "_T_INT = b'i'\n"),
+    }) == []
+
+
 def test_snapshot_whitelist_clean_when_listed_or_classless():
     findings = project_findings(SnapshotWhitelistRule(), {
         "snapshot/codec.py": ("repro.snapshot.codec", """

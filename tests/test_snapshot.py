@@ -178,6 +178,123 @@ class TestCodec:
             codec.encode(memoryview(b"abc"))
 
 
+# -- codec versions (v1 scattered tags vs v2 columnar) -----------------------
+
+
+_GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _golden_value():
+    """The object graph the committed golden blobs encode.
+
+    Regenerate the blobs (only when the format intentionally changes)
+    by re-running the encode below and rewriting
+    ``tests/data/snapshot_golden_v{1,2}.bin``.
+    """
+    from array import array
+
+    from repro.structures.extents import Extent, ExtentList
+
+    shared = [1, 2, 3]
+    return {
+        "ints": list(range(-5, 200, 7)) + [2**61, -(2**61), 2**80, -(2**80)],
+        "int_tuple": tuple(range(40)),
+        "int_map": {i: i * i for i in range(30)},
+        "floats": [0.0, -0.0, 0.1, 1 / 3, 5e-324, float("inf")],
+        "strings": ["alpha", "beta", "alpha", "beta", "alpha"],
+        "bytes": b"\x00\x01\xfe\xff",
+        "shared": [shared, shared],
+        "extents": ExtentList([Extent(3, 8), Extent(100, 512)]),
+        "column": array("q", [-(2**63), 0, 2**63 - 1]),
+        "set": {5, 3, 1},
+        "nested": {"a": [{"b": (1, 2)}], "c": None, "d": True},
+    }
+
+
+def _assert_golden_equal(out, expected):
+    assert set(out) == set(expected)
+    for key in expected:
+        assert type(out[key]) is type(expected[key]), key
+        if key == "extents":
+            assert [(e.start, e.length) for e in out[key]] == \
+                   [(e.start, e.length) for e in expected[key]]
+        else:
+            assert out[key] == expected[key], key
+    assert out["shared"][0] is out["shared"][1]
+
+
+class TestCodecVersions:
+    """Both stream formats decode through the one decoder, forever."""
+
+    @pytest.mark.parametrize("version", codec.CODEC_VERSIONS)
+    def test_cross_version_roundtrip(self, version):
+        value = _golden_value()
+        _assert_golden_equal(codec.decode(codec.encode(value,
+                                                       version=version)),
+                             value)
+
+    @pytest.mark.parametrize("version", codec.CODEC_VERSIONS)
+    def test_committed_golden_decodes(self, version):
+        """Old committed blobs must stay decodable: the decoder may gain
+        tags but can never lose them."""
+        path = os.path.join(_GOLDEN_DIR, f"snapshot_golden_v{version}.bin")
+        blob = open(path, "rb").read()
+        _assert_golden_equal(codec.decode(blob), _golden_value())
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            codec.encode([1], version=99)
+
+    @pytest.mark.parametrize("version", codec.CODEC_VERSIONS)
+    def test_encode_deterministic(self, version):
+        value = _golden_value()
+        assert codec.encode(value, version=version) == \
+            codec.encode(value, version=version)
+
+    def test_versions_differ_on_the_wire(self):
+        value = _golden_value()
+        assert codec.encode(value, version=1) != \
+            codec.encode(value, version=2)
+
+    @pytest.mark.parametrize("version", codec.CODEC_VERSIONS)
+    @pytest.mark.parametrize("n", [
+        0, 1, -1, 63, 64, -64, -65,
+        (1 << 62) - 1, 1 << 62, -(1 << 62), -(1 << 62) - 1,
+        (1 << 63) - 1, -(1 << 63), 1 << 200, -(1 << 200),
+    ])
+    def test_int_boundaries(self, version, n):
+        """Every int round-trips across the varint fast-path boundary
+        (|n| < 2**62) and beyond it in both formats."""
+        out = codec.decode(codec.encode([n], version=version))
+        assert out == [n] and type(out[0]) is int
+
+    def test_v2_interns_repeated_strings(self):
+        """v2 emits each unique string once; repeats are table refs, so
+        all equal strings decode to the very same object."""
+        out = codec.decode(codec.encode(["spam" * 4] * 6, version=2))
+        assert all(s is out[0] for s in out)
+
+    def test_v2_interning_pays_for_itself(self):
+        """Repeated strings are the shape interning targets; they must
+        shrink hard.  (Packed int vectors deliberately trade bytes for
+        decode speed, so they are not size-gated.)"""
+        value = {"s": ["inode", "extent", "journal"] * 500}
+        assert len(codec.encode(value, version=2)) < \
+            len(codec.encode(value, version=1)) / 2
+
+    @pytest.mark.parametrize("version", codec.CODEC_VERSIONS)
+    def test_truncation_rejected_everywhere(self, version):
+        """Chopping the stream at any byte fails closed, never crashes
+        with a non-codec error or returns a value."""
+        blob = codec.encode(_golden_value(), version=version)
+        rng = random.Random(7)
+        cuts = {0, 1, len(blob) - 1} | {rng.randrange(len(blob))
+                                        for _ in range(40)}
+        for cut in cuts:
+            with pytest.raises(SnapshotDecodeError):
+                codec.decode(blob[:cut])
+
+
 # -- store -------------------------------------------------------------------
 
 
@@ -252,6 +369,48 @@ class TestStore:
         base = {"profile": AGRAWAL}
         tweaked = {"profile": replace(AGRAWAL, dir_fanout=AGRAWAL.dir_fanout + 1)}
         assert store.cache_key(base) != store.cache_key(tweaked)
+
+
+class TestStoreSizeCap:
+    """``$REPRO_SNAPSHOT_MAX_BYTES`` bounds the flat cache, LRU-first."""
+
+    def _fill(self, count=4, payload=4096):
+        keys = []
+        for i in range(count):
+            key = store.cache_key({"kind": "cap", "n": i})
+            assert store.save(key, {"blob": b"x" * payload})
+            os.utime(store.snapshot_path(key), (i, i))  # oldest = lowest n
+            keys.append(key)
+        return keys
+
+    def test_evict_lru_drops_oldest_first(self, snap_dir):
+        keys = self._fill()
+        sizes = {k: os.path.getsize(store.snapshot_path(k)) for k in keys}
+        cap = sizes[keys[2]] + sizes[keys[3]]
+        out = store.evict_lru(str(snap_dir), cap)
+        assert len(out["evicted"]) == 2
+        assert out["kept_bytes"] <= cap
+        assert [store.load(k) is not None for k in keys] == \
+            [False, False, True, True]
+
+    def test_save_applies_env_cap(self, snap_dir, monkeypatch):
+        keys = self._fill(count=2)
+        one = os.path.getsize(store.snapshot_path(keys[0]))
+        monkeypatch.setenv("REPRO_SNAPSHOT_MAX_BYTES", str(int(one * 2.5)))
+        key = store.cache_key({"kind": "cap", "n": 99})
+        assert store.save(key, {"blob": b"x" * 4096})
+        assert store.load(key) is not None          # newest always kept
+        assert store.load(keys[0]) is None          # oldest evicted
+        assert len(list(snap_dir.glob("*.snap"))) == 2
+
+    def test_load_refreshes_recency(self, snap_dir):
+        keys = self._fill(count=3)
+        assert store.load(keys[0]) is not None      # touch the oldest
+        sizes = {k: os.path.getsize(store.snapshot_path(k)) for k in keys}
+        cap = sizes[keys[0]] + sizes[keys[2]]
+        store.evict_lru(str(snap_dir), cap)
+        assert store.load(keys[0]) is not None      # survived: recently used
+        assert store.load(keys[1]) is None
 
 
 # -- aged_fs integration -----------------------------------------------------

@@ -1,0 +1,384 @@
+"""Sharded pack archive: shard/pack lifecycle, integrity, determinism.
+
+Four layers:
+
+* ``Archive`` — put/load round trips, payload dedup (aliases), seal at
+  the byte threshold, immutable packs;
+* failure paths — corrupt or truncated packs and stale index entries
+  all fall back to re-aging (fail-closed, like the flat store), scrub
+  quarantines damaged files and drops their keys, gc evicts sealed
+  packs LRU-first but never a hot shard;
+* concurrency — many writers (one shard each) interleaving under the
+  index lock produce one consistent index;
+* corpus builder + ``aged_fs`` routing — the fleet-built archive is
+  byte-identical for any ``--jobs`` value, and a restore out of a
+  sealed pack replays bit-identically to a cold re-age on all nine
+  file systems under both state engines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+import threading
+
+import pytest
+
+from repro.engine import reference_state_scope
+from repro.harness import aged_fs, build_corpus, corpus_matrix
+from repro.harness.setup import SPECS_BY_NAME
+from repro.snapshot import Archive, codec, store
+from repro.snapshot.archive import DEFAULT_SEAL_BYTES, archive_root
+
+from tests.test_snapshot import (_assert_bit_identical, _replay,  # noqa: F401
+                                 count_aging)
+
+_AGE_KW = dict(size_gib=0.0625, num_cpus=2, churn_multiple=0.25, seed=5)
+
+
+@pytest.fixture
+def arch_dir(tmp_path, monkeypatch):
+    """A fresh archive root, not yet routed into the store."""
+    root = tmp_path / "archive"
+    monkeypatch.delenv("REPRO_SNAPSHOT_ARCHIVE", raising=False)
+    monkeypatch.delenv("REPRO_SNAPSHOT", raising=False)
+    return str(root)
+
+
+@pytest.fixture
+def routed(arch_dir, tmp_path, monkeypatch):
+    """Route the snapshot store through the archive, flat dir isolated."""
+    monkeypatch.setenv("REPRO_SNAPSHOT_ARCHIVE", arch_dir)
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path / "flat"))
+    return arch_dir
+
+
+def _fill(archive, count=3, size=2048):
+    keys = []
+    for i in range(count):
+        key = f"{i:02d}" * 32
+        payload = codec.encode({"n": i, "blob": bytes([i]) * size})
+        assert archive.put_payload(key, payload) == "stored"
+        keys.append(key)
+    return keys
+
+
+class TestArchive:
+    def test_put_load_roundtrip(self, arch_dir):
+        archive = Archive(arch_dir)
+        assert archive.put("ab" * 32, {"x": [1, 2.5, "three"]})
+        value, status = archive.load_ex("ab" * 32)
+        assert status == "hit"
+        assert value == {"x": [1, 2.5, "three"]}
+
+    def test_miss(self, arch_dir):
+        assert Archive(arch_dir).load_ex("0" * 64) == (None, "miss")
+
+    def test_unserializable_not_stored(self, arch_dir):
+        archive = Archive(arch_dir)
+        assert archive.put("ab" * 32, {"fn": lambda: 0}) is False
+        assert not archive.contains("ab" * 32)
+
+    def test_identical_payload_becomes_alias(self, arch_dir):
+        archive = Archive(arch_dir)
+        payload = codec.encode({"same": True})
+        assert archive.put_payload("aa" * 32, payload) == "stored"
+        assert archive.put_payload("bb" * 32, payload) == "alias"
+        assert archive.put_payload("aa" * 32, payload) == "existing"
+        stats = archive.stats()
+        assert stats["objects"] == 2
+        assert stats["unique_records"] == 1
+        assert stats["aliases"] == 1
+        # both keys decode, from the one record
+        assert archive.load_ex("bb" * 32) == ({"same": True}, "hit")
+
+    def test_seal_at_threshold(self, arch_dir):
+        archive = Archive(arch_dir, seal_bytes=4096)
+        _fill(archive, count=4)
+        stats = archive.stats()
+        assert stats["packs"] >= 1
+        for _key, relpath, _off, _len in archive.objects():
+            if relpath.startswith("packs/"):
+                mode = os.stat(os.path.join(arch_dir, relpath)).st_mode
+                assert not mode & (stat.S_IWUSR | stat.S_IWGRP)
+
+    def test_explicit_seal_empties_shard(self, arch_dir):
+        archive = Archive(arch_dir)
+        keys = _fill(archive)
+        assert archive.stats()["shards"] == 1
+        pack_rel = archive.seal()
+        assert pack_rel and pack_rel.startswith("packs/")
+        stats = archive.stats()
+        assert stats["shards"] == 0 and stats["packs"] == 1
+        for key in keys:
+            assert archive.load_ex(key)[1] == "hit"
+
+    def test_objects_sorted(self, arch_dir):
+        archive = Archive(arch_dir)
+        keys = _fill(archive, count=5)
+        listed = [key for key, *_ in archive.objects()]
+        assert listed == sorted(keys)
+
+    def test_index_is_published_atomically(self, arch_dir):
+        archive = Archive(arch_dir)
+        _fill(archive)
+        doc = json.load(open(archive.index_path))
+        assert doc["schema"] == "repro.snapshot-archive/1"
+        assert not [n for n in os.listdir(arch_dir)
+                    if n.startswith(".index-")]  # no temp droppings
+
+
+class TestArchiveFailurePaths:
+    def _sealed(self, arch_dir):
+        archive = Archive(arch_dir)
+        keys = _fill(archive)
+        archive.seal()
+        (pack_rel,) = {rel for _k, rel, *_ in archive.objects()}
+        return archive, keys, os.path.join(arch_dir, pack_rel)
+
+    def test_corrupt_record_reads_corrupt(self, arch_dir):
+        archive, keys, pack = self._sealed(arch_dir)
+        os.chmod(pack, 0o644)
+        blob = bytearray(open(pack, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(pack, "wb").write(bytes(blob))
+        statuses = [archive.load_ex(k)[1] for k in keys]
+        # only the record holding the flipped byte is damaged; reads are
+        # per-record spans, so neighbours still hit — and nothing raises
+        assert "corrupt" in statuses
+        assert set(statuses) <= {"hit", "corrupt"}
+
+    def test_truncated_pack_reads_corrupt(self, arch_dir):
+        archive, keys, pack = self._sealed(arch_dir)
+        os.chmod(pack, 0o644)
+        blob = open(pack, "rb").read()
+        open(pack, "wb").write(blob[:len(blob) // 2])
+        statuses = [archive.load_ex(k)[1] for k in keys]
+        # every record at or past the cut fails closed; none raises
+        assert statuses[-1] == "corrupt"
+        assert set(statuses) <= {"hit", "corrupt"}
+
+    def test_stale_index_entry_is_miss_or_corrupt(self, arch_dir):
+        archive, keys, pack = self._sealed(arch_dir)
+        os.chmod(pack, 0o644)
+        os.unlink(pack)  # index now points at a ghost
+        for key in keys:
+            value, status = archive.load_ex(key)
+            assert value is None and status != "hit"
+
+    def test_scrub_clean_archive(self, arch_dir):
+        archive, keys, _pack = self._sealed(arch_dir)
+        report = archive.scrub()
+        assert report["quarantined"] == []
+        assert report["dropped_keys"] == []
+        assert report["objects"] == len(keys)
+
+    def test_scrub_quarantines_corrupt_pack(self, arch_dir):
+        archive, keys, pack = self._sealed(arch_dir)
+        os.chmod(pack, 0o644)
+        blob = bytearray(open(pack, "rb").read())
+        blob[-3] ^= 0xFF  # inside the last record's CRC
+        open(pack, "wb").write(bytes(blob))
+        report = archive.scrub()
+        assert report["quarantined"] == [
+            os.path.relpath(pack, arch_dir).replace(os.sep, "/")]
+        assert report["dropped_keys"] == sorted(keys)
+        assert os.path.exists(os.path.join(
+            arch_dir, "quarantine", os.path.basename(pack)))
+        # dropped keys now read as miss: callers re-age
+        assert {archive.load_ex(k)[1] for k in keys} == {"miss"}
+
+    def test_scrub_drops_alias_of_quarantined_record(self, arch_dir):
+        archive = Archive(arch_dir)
+        payload = codec.encode({"v": 1})
+        archive.put_payload("aa" * 32, payload)
+        archive.put_payload("bb" * 32, payload)  # alias
+        archive.seal()
+        (pack_rel,) = {rel for _k, rel, *_ in archive.objects()}
+        pack = os.path.join(arch_dir, pack_rel)
+        os.chmod(pack, 0o644)
+        blob = bytearray(open(pack, "rb").read())
+        blob[-1] ^= 0xFF
+        open(pack, "wb").write(bytes(blob))
+        report = archive.scrub()
+        assert report["dropped_keys"] == ["aa" * 32, "bb" * 32]
+
+    def test_gc_evicts_lru_packs_only(self, arch_dir):
+        archive = Archive(arch_dir, seal_bytes=1)  # seal after every put
+        keys = _fill(archive, count=3)
+        packs = sorted(n for n in os.listdir(os.path.join(arch_dir, "packs")))
+        assert len(packs) == 3
+        for i, name in enumerate(packs):
+            os.utime(os.path.join(arch_dir, "packs", name), (i, i))
+        keep = archive.stats()["bytes"] - 1  # force exactly one eviction
+        report = archive.gc(keep)
+        assert report["evicted"] == [f"packs/{packs[0]}"]
+        assert report["dropped_keys"] == [keys[0]]
+        assert archive.load_ex(keys[0])[1] == "miss"
+        assert archive.load_ex(keys[2])[1] == "hit"
+
+    def test_gc_never_evicts_hot_shard(self, arch_dir):
+        archive = Archive(arch_dir)
+        keys = _fill(archive)          # all still in the hot shard
+        report = archive.gc(0)
+        assert report["evicted"] == []
+        assert {archive.load_ex(k)[1] for k in keys} == {"hit"}
+
+
+class TestConcurrentWriters:
+    def test_many_writers_one_consistent_index(self, arch_dir):
+        """Each thread owns a shard; index merges serialize on the file
+        lock.  Every key must be readable afterwards and the index must
+        hold exactly the union."""
+        per_writer = 8
+        writers = 4
+        errors = []
+
+        def write(token):
+            try:
+                archive = Archive(arch_dir, shard_token=f"w{token}",
+                                  seal_bytes=4096)
+                for i in range(per_writer):
+                    key = f"{token}{i:02d}".ljust(64, "f")
+                    status = archive.put_payload(
+                        key, codec.encode(f"payload-{token}-{i}" * 64))
+                    assert status == "stored", status
+                archive.seal()
+            except BaseException as exc:  # surface into the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(t,))
+                   for t in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        reader = Archive(arch_dir)
+        keys = [key for key, *_ in reader.objects()]
+        assert len(keys) == writers * per_writer
+        assert all(reader.load_ex(k)[1] == "hit" for k in keys)
+        assert reader.stats()["shards"] == 0  # every writer sealed
+        assert reader.scrub()["dropped_keys"] == []
+
+
+class TestCorpusBuilder:
+    _GRID = dict(fs_names=["PMFS", "WineFS"],
+                 profiles=["agrawal", "wang-hpc"],
+                 utilizations=[0.5], seeds=[3])
+
+    def test_matrix_sorted_and_validated(self):
+        cells = corpus_matrix(**self._GRID, size_gib=0.0625,
+                              churn_multiple=0.25)
+        assert [
+            (c["fs"], c["profile"]) for c in cells] == [
+            ("PMFS", "agrawal"), ("PMFS", "wang-hpc"),
+            ("WineFS", "agrawal"), ("WineFS", "wang-hpc")]
+        with pytest.raises(Exception):
+            corpus_matrix(["WineFS"], ["no-such-profile"], [0.5], [1])
+
+    def test_build_deduplicates_unageable_cells(self, arch_dir):
+        """PMFS is returned clean for every profile, so its images are
+        byte-identical across profiles — the archive must store one."""
+        cells = corpus_matrix(**self._GRID, size_gib=0.0625,
+                              churn_multiple=0.25)
+        report = build_corpus(cells, arch_dir)
+        by_cell = {(c["fs"], c["profile"]): c["status"]
+                   for c in report["cells"]}
+        assert by_cell[("PMFS", "agrawal")] == "stored"
+        assert by_cell[("PMFS", "wang-hpc")] == "alias"
+        assert report["archive"]["aliases"] == 1
+        assert report["archive"]["shards"] == 0  # build seals at the end
+        assert report["metrics"]
+
+    def test_jobs_do_not_change_bytes(self, tmp_path):
+        """The whole point: fan-out is an implementation detail.  Same
+        grid, any ``--jobs`` → byte-identical packs, index and report."""
+        cells = corpus_matrix(["WineFS"], ["agrawal", "wang-hpc"], [0.5],
+                              [3], size_gib=0.0625, churn_multiple=0.25)
+        roots, reports = [], []
+        for jobs in (1, 2):
+            root = str(tmp_path / f"jobs{jobs}")
+            reports.append(build_corpus(list(cells), root, jobs=jobs))
+            roots.append(root)
+        assert reports[0] == reports[1]
+        read = lambda r, rel: open(os.path.join(r, rel), "rb").read()
+        assert read(roots[0], "index.json") == read(roots[1], "index.json")
+        packs = sorted(os.listdir(os.path.join(roots[0], "packs")))
+        assert packs == sorted(os.listdir(os.path.join(roots[1], "packs")))
+        for name in packs:
+            assert read(roots[0], f"packs/{name}") == \
+                read(roots[1], f"packs/{name}")
+
+    def test_corpus_restores_through_aged_fs(self, routed, count_aging):
+        """An image built by the corpus builder lands on exactly the key
+        a later ``aged_fs`` call looks up — restore, not re-age."""
+        cells = corpus_matrix(["WineFS"], ["agrawal"], [0.5], [5],
+                              size_gib=0.0625, churn_multiple=0.25)
+        build_corpus(cells, routed)
+        built = count_aging.instances  # jobs=1 ages in-process
+        fs, ctx = aged_fs("WineFS", utilization=0.5, **_AGE_KW)
+        assert count_aging.instances == built  # restored, not re-aged
+        assert fs.statfs().files > 0
+
+
+class TestArchiveRoutedStore:
+    def test_save_routes_to_archive(self, routed, tmp_path):
+        key = store.cache_key({"kind": "routed", "n": 1})
+        assert store.save(key, {"v": [1, 2]})
+        assert not list((tmp_path / "flat").glob("*.snap"))
+        assert Archive(routed).contains(key)
+        assert store.load_ex(key) == ({"v": [1, 2]}, "hit")
+
+    def test_aged_fs_round_trips_through_archive(self, routed, count_aging):
+        aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 1
+        aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 1  # warm restore from the shard
+        assert Archive(routed).stats()["objects"] == 1
+
+    def test_corrupt_archive_falls_back_to_aging(self, routed, count_aging):
+        aged_fs("WineFS", **_AGE_KW)
+        archive = Archive(routed)
+        archive.seal()
+        (pack_rel,) = {rel for _k, rel, *_ in archive.objects()}
+        pack = os.path.join(routed, pack_rel)
+        os.chmod(pack, 0o644)
+        blob = bytearray(open(pack, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(pack, "wb").write(bytes(blob))
+        fs, ctx = aged_fs("WineFS", **_AGE_KW)
+        assert count_aging.instances == 2  # re-aged, run not stopped
+        assert ctx.counters.registry.value(
+            "snapshot_load_failures", fs="WineFS", reason="corrupt") == 1
+
+    def test_archive_root_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SNAPSHOT_ARCHIVE", raising=False)
+        assert archive_root() is None
+        monkeypatch.setenv("REPRO_SNAPSHOT_ARCHIVE", "")
+        assert archive_root() is None
+        monkeypatch.setenv("REPRO_SNAPSHOT_ARCHIVE", "/some/root")
+        assert archive_root() == "/some/root"
+
+
+@pytest.mark.parametrize("engine", ["array", "reference"])
+@pytest.mark.parametrize("fs_name", sorted(SPECS_BY_NAME))
+def test_pack_restore_bit_identical(fs_name, engine, routed, tmp_path):
+    """A restore out of a *sealed pack* replays bit-identically to a
+    cold re-age — same sim_ns clocks (repr-compared floats), counters,
+    metrics, read bytes and statfs — for every evaluated file system
+    under both state engines."""
+    def run():
+        fs_cold, ctx_cold = aged_fs(fs_name, **_AGE_KW)  # ages + archives
+        reaged = _replay(fs_cold, ctx_cold)
+        Archive(routed).seal()  # warm path must come from a pack
+        fs_warm, ctx_warm = aged_fs(fs_name, **_AGE_KW)
+        _assert_bit_identical(_replay(fs_warm, ctx_warm), reaged)
+        assert Archive(routed).stats()["packs"] == 1
+
+    if engine == "reference":
+        with reference_state_scope():
+            run()
+    else:
+        run()
