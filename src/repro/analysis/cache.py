@@ -2,14 +2,22 @@
 
 The AST pass over ``src/repro`` is cheap but not free; CI runs it on
 every push.  The cache keys each file's findings by the sha256 of its
-*content* (never mtime — CI checkouts have fresh mtimes) salted with
-``ENGINE_VERSION``, so editing a rule invalidates everything while an
-untouched tree re-lints from the cache in milliseconds.
+*content* (never mtime — CI checkouts have fresh mtimes) salted with a
+**rule-set hash**: a digest over every ``repro.analysis`` source file.
+Editing any rule, the engine, or the flow layer therefore invalidates
+the whole cache automatically — no manual version bump to forget —
+while an untouched tree re-lints from the cache in milliseconds.
 
 Only per-file rule results are cached.  Project rules (snapshot
-whitelist drift, metric registry) cross file boundaries, so they cache
-their per-file *facts* the same way but always re-run the cross-file
-finalize step — it is O(files) dict work, not parsing.
+whitelist drift, metric registry, the interprocedural flow analysis)
+cross file boundaries, so they cache their per-file *facts* the same
+way but always re-run the cross-file finalize step — it is O(files)
+dict work, not parsing.
+
+Each entry also records the file's module name and imported-module
+list; the engine uses those to rebuild the module dependency graph
+without re-parsing, which is what makes ``--changed`` (re-analyze only
+the git-dirty strongly-connected region) possible.
 """
 
 from __future__ import annotations
@@ -21,15 +29,46 @@ from typing import Dict, List, Optional
 
 from .findings import Finding
 
-#: bump when any rule or the engine changes observable behaviour
-ENGINE_VERSION = 1
+#: bump when cache-key semantics themselves change (content of entries
+#: is guarded by ruleset_hash(), which tracks rule/engine edits)
+ENGINE_VERSION = 2
 
-_CACHE_SCHEMA = 1
+_CACHE_SCHEMA = 2
+
+_RULESET_HASH: Optional[str] = None
+
+
+def ruleset_hash() -> str:
+    """Digest of every source file in the ``repro.analysis`` package.
+
+    Folding this into the content key means a cached file can never skip
+    re-analysis after a rule edit: change one byte of any rule module and
+    every key changes.  Computed once per process.
+    """
+    global _RULESET_HASH
+    if _RULESET_HASH is None:
+        pkg_dir = os.path.dirname(os.path.abspath(__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(pkg_dir)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, pkg_dir)
+                h.update(rel.encode())
+                try:
+                    with open(full, "rb") as fh:
+                        h.update(fh.read())
+                except OSError:
+                    h.update(b"<unreadable>")
+        _RULESET_HASH = h.hexdigest()
+    return _RULESET_HASH
 
 
 def content_key(source: bytes) -> str:
     h = hashlib.sha256()
-    h.update(f"repro-lint-v{ENGINE_VERSION}|".encode())
+    h.update(f"repro-lint-v{ENGINE_VERSION}|{ruleset_hash()}|".encode())
     h.update(source)
     return h.hexdigest()
 
@@ -47,7 +86,8 @@ class LintCache:
                 with open(path, encoding="utf-8") as fh:
                     doc = json.load(fh)
                 if doc.get("schema") == _CACHE_SCHEMA and \
-                        doc.get("engine") == ENGINE_VERSION:
+                        doc.get("engine") == ENGINE_VERSION and \
+                        doc.get("ruleset") == ruleset_hash():
                     self._entries = doc.get("files", {})
             except (OSError, ValueError):
                 self._entries = {}
@@ -60,12 +100,22 @@ class LintCache:
         self.misses += 1
         return None
 
+    def entry(self, relpath: str) -> Optional[Dict]:
+        """Raw cached entry regardless of content key (for dep graphs)."""
+        return self._entries.get(relpath)
+
+    def relpaths(self) -> List[str]:
+        return sorted(self._entries)
+
     def put(self, relpath: str, key: str, findings: List[Finding],
-            facts: Dict[str, object]) -> None:
+            facts: Dict[str, object], module: str = "",
+            deps: Optional[List[str]] = None) -> None:
         self._entries[relpath] = {
             "key": key,
             "findings": [f.as_dict() for f in findings],
             "facts": facts,
+            "module": module,
+            "deps": sorted(deps or []),
         }
 
     @staticmethod
@@ -76,6 +126,10 @@ class LintCache:
                 rule=d["rule"], path=d["path"], line=d["line"],
                 col=d["col"], message=d["message"], hint=d.get("hint", ""),
                 qualname=d.get("qualname", ""), detail=d.get("detail", ""),
+                occurrence=d.get("occurrence", 0),
+                severity=d.get("severity", "error"),
+                witness=tuple((hop[0], hop[1], hop[2])
+                              for hop in d.get("witness", [])),
             ))
         return out
 
@@ -83,7 +137,7 @@ class LintCache:
         if not self.path:
             return
         doc = {"schema": _CACHE_SCHEMA, "engine": ENGINE_VERSION,
-               "files": self._entries}
+               "ruleset": ruleset_hash(), "files": self._entries}
         tmp = self.path + ".tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:

@@ -7,12 +7,29 @@ Rules come in two shapes:
   findings directly (determinism, persistence-ordering, lock-discipline).
 * :class:`ProjectRule` — records JSON-serializable *facts* per file,
   then ``finalize()`` crosses file boundaries once every file has been
-  seen (snapshot-whitelist drift, metric-name registry resolution).
+  seen (snapshot-whitelist drift, metric-name registry resolution, the
+  interprocedural flow analysis).
 
 Findings are suppressed by ``# repro: allow[rule-id] <why>`` on the
-flagged line or the line directly above, baselined via the committed
-``baseline.json``, and reported in a deterministic order so ``--json``
+flagged line or a comment-only line directly above (stacked allow
+comments all apply; an allow above a decorator covers the decorated
+``def``; a trailing allow anywhere inside one multi-line statement
+covers the whole statement).  Findings are baselined via the committed
+``baseline.json`` and reported in a deterministic order so ``--json``
 output is byte-stable for a given tree.
+
+Severity tiers: ``error`` findings fail the lint, ``warning`` findings
+are reported but never block, ``info`` findings appear only with
+``--verbose``.
+
+Incremental mode (``--changed``): the cache records each file's module
+name and imported modules, which gives a file-granular over-approximation
+of the call graph (a call edge cannot exist without an import edge or
+living inside one file).  ``--changed`` re-analyzes only the git-dirty
+files plus their strongly-connected region of that graph; every other
+file is served straight from the cache.  Per-file results are a pure
+function of file content, so the findings are byte-identical to a full
+run over the same tree.
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ import ast
 import json
 import os
 import re
+import subprocess
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .baseline import apply_baseline, load_baseline, write_baseline
@@ -33,6 +51,73 @@ SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]")
 DEFAULT_TARGET = os.path.join("src", "repro")
 DEFAULT_BASELINE = os.path.join("src", "repro", "analysis", "baseline.json")
 DEFAULT_CACHE = ".repro-lint-cache.json"
+#: the flow rules keep their own baseline and cache: their finding set is
+#: disjoint from the per-file rules and the caches store different facts
+DEFAULT_FLOW_BASELINE = os.path.join(
+    "src", "repro", "analysis", "baseline_flow.json")
+DEFAULT_FLOW_CACHE = ".repro-lint-flow-cache.json"
+
+_SIMPLE_STMTS = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr,
+                 ast.Return, ast.Raise, ast.Assert, ast.Delete)
+
+
+class SuppressionIndex:
+    """Resolves ``# repro: allow[rule-id]`` comments for one file.
+
+    Three anchors beyond "same line":
+
+    * a run of comment-only lines directly above the flagged line — every
+      allow in the run applies, so stacked suppressions for different
+      rules don't shadow each other;
+    * decorated ``def``/``class`` statements — an allow above (or on) the
+      first decorator covers findings anchored at the ``def`` line, where
+      the comment physically cannot sit adjacent;
+    * multi-line simple statements — a trailing allow on any line of the
+      statement covers findings anywhere in its span (compound bodies are
+      not spans; an allow inside an ``if`` cannot bless the whole block).
+    """
+
+    def __init__(self, lines: Sequence[str],
+                 tree: Optional[ast.AST] = None):
+        self.lines = lines
+        self.sup = scan_suppressions(lines)
+        self.extra: Dict[int, Set[str]] = {}
+        if tree is not None:
+            self._index_tree(tree)
+
+    def _index_tree(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node.decorator_list:
+                first = node.decorator_list[0].lineno
+                ids = self.sup.get(first, set()) | self._chain_above(first)
+                if ids:
+                    self.extra.setdefault(node.lineno, set()).update(ids)
+            elif isinstance(node, _SIMPLE_STMTS):
+                end = getattr(node, "end_lineno", None) or node.lineno
+                if end > node.lineno:
+                    ids: Set[str] = set()
+                    for ln in range(node.lineno, end + 1):
+                        ids |= self.sup.get(ln, set())
+                    if ids:
+                        for ln in range(node.lineno, end + 1):
+                            self.extra.setdefault(ln, set()).update(ids)
+
+    def _chain_above(self, line: int) -> Set[str]:
+        ids: Set[str] = set()
+        i = line - 1
+        while 0 < i <= len(self.lines) and \
+                self.lines[i - 1].lstrip().startswith("#"):
+            ids |= self.sup.get(i, set())
+            i -= 1
+        return ids
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.sup.get(line, ()):
+            return True
+        if rule_id in self._chain_above(line):
+            return True
+        return rule_id in self.extra.get(line, ())
 
 
 class FileContext:
@@ -46,10 +131,11 @@ class FileContext:
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
         self.module = module if module is not None else derive_module(path)
-        self.suppressions = scan_suppressions(self.lines)
+        self._index = SuppressionIndex(self.lines, self.tree)
+        self.suppressions = self._index.sup
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        return _suppressed(self.lines, self.suppressions, rule_id, line)
+        return self._index.allowed(rule_id, line)
 
 
 def derive_module(path: str) -> str:
@@ -82,11 +168,7 @@ def scan_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
 
 def _suppressed(lines: Sequence[str], sup: Dict[int, Set[str]],
                 rule_id: str, line: int) -> bool:
-    """Allowed on the flagged line, or by a comment-only line above.
-
-    A *trailing* allow comment applies only to its own line, so one
-    justified site never silently blesses the statement below it.
-    """
+    """Line-based subset of :class:`SuppressionIndex` (no AST anchors)."""
     if rule_id in sup.get(line, ()):
         return True
     above = line - 1
@@ -94,6 +176,96 @@ def _suppressed(lines: Sequence[str], sup: Dict[int, Set[str]],
             lines[above - 1].lstrip().startswith("#"):
         return True
     return False
+
+
+def resolve_import_base(module: str, node: ast.ImportFrom) -> str:
+    """Absolute module named by a (possibly relative) ``from X import``."""
+    if node.level == 0:
+        return node.module or ""
+    pkg = module.split(".")[:-1]          # containing package
+    drop = node.level - 1
+    if drop:
+        pkg = pkg[:-drop] if drop <= len(pkg) else []
+    base = ".".join(pkg)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def module_imports(tree: ast.AST, module: str) -> List[str]:
+    """Modules this file imports (absolute dotted names, sorted)."""
+    deps: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                deps.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(module, node)
+            if base:
+                deps.add(base)
+                for alias in node.names:
+                    deps.add(f"{base}.{alias.name}")
+    deps.discard(module)
+    return sorted(deps)
+
+
+def strongly_connected(edges: Dict[str, Iterable[str]],
+                       ordered: bool = False) -> List[List[str]]:
+    """Tarjan SCCs of a digraph; each component sorted.
+
+    With *ordered*, components come in Tarjan emission order — callees
+    before callers — which is the fixpoint order the flow analyses want;
+    otherwise the outer list is sorted for stable membership queries.
+    """
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+    nodes = sorted(set(edges) | {w for ws in edges.values() for w in ws})
+
+    def strong(v: str) -> None:
+        # iterative Tarjan: (node, iterator) frames to survive deep graphs
+        work = [(v, iter(sorted(edges.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(sorted(comp))
+
+    for v in nodes:
+        if v not in index:
+            strong(v)
+    return out if ordered else sorted(out)
 
 
 class FileRule:
@@ -122,6 +294,12 @@ def default_rules() -> Tuple[List[FileRule], List[ProjectRule]]:
             [SnapshotWhitelistRule(), MetricNamesRule()])
 
 
+def flow_rules() -> Tuple[List[FileRule], List[ProjectRule]]:
+    """The interprocedural rule set behind ``repro lint --flow``."""
+    from .flow import FlowAnalysis
+    return ([], [FlowAnalysis()])
+
+
 def iter_python_files(targets: Iterable[str]) -> List[str]:
     out: List[str] = []
     for target in targets:
@@ -139,29 +317,44 @@ def iter_python_files(targets: Iterable[str]) -> List[str]:
 
 class LintResult:
     def __init__(self, findings: List[Finding], stale: List[str],
-                 files: int, cache_hits: int, errors: List[str]):
+                 files: int, cache_hits: int, errors: List[str],
+                 reanalyzed: Optional[int] = None):
         self.findings = findings
         self.stale = stale
         self.files = files
         self.cache_hits = cache_hits
         self.errors = errors
+        self.reanalyzed = (files - cache_hits) if reanalyzed is None \
+            else reanalyzed
 
     @property
     def new_findings(self) -> List[Finding]:
         return [f for f in self.findings if not f.baselined]
 
     @property
+    def new_errors(self) -> List[Finding]:
+        return [f for f in self.new_findings if f.severity == "error"]
+
+    @property
+    def new_warnings(self) -> List[Finding]:
+        return [f for f in self.new_findings if f.severity == "warning"]
+
+    @property
     def exit_code(self) -> int:
-        return 1 if (self.new_findings or self.errors) else 0
+        return 1 if (self.new_errors or self.errors) else 0
 
     def render_text(self, verbose: bool = False) -> str:
         lines = [f.render() for f in self.findings
-                 if verbose or not f.baselined]
+                 if (verbose or not f.baselined)
+                 and (verbose or f.severity != "info")]
         lines.extend(f"lint error: {e}" for e in self.errors)
         n = len(self.new_findings)
         b = len(self.findings) - n
         tail = (f"{self.files} files checked: {n} finding(s)"
                 + (f", {b} baselined" if b else ""))
+        w = len(self.new_warnings)
+        if w:
+            tail += f" ({w} warning-level)"
         if self.stale:
             tail += f", {len(self.stale)} stale baseline entrie(s)"
         lines.append(tail)
@@ -170,8 +363,11 @@ class LintResult:
     def render_json(self) -> str:
         doc = {
             "files": self.files,
+            "reanalyzed": self.reanalyzed,
             "findings": [f.as_dict() for f in self.findings],
             "new": len(self.new_findings),
+            "new_errors": len(self.new_errors),
+            "new_warnings": len(self.new_warnings),
             "baselined": len(self.findings) - len(self.new_findings),
             "stale_baseline": self.stale,
             "errors": self.errors,
@@ -180,16 +376,75 @@ class LintResult:
         return json.dumps(doc, indent=2, sort_keys=True)
 
 
+def _git_dirty(root: str) -> Optional[Set[str]]:
+    """Worktree-dirty files as posix relpaths under *root*, or None."""
+    try:
+        top = subprocess.run(
+            ["git", "-C", root, "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, timeout=30)
+        if top.returncode != 0:
+            return None
+        toplevel = top.stdout.strip()
+        st = subprocess.run(
+            ["git", "-C", root, "status", "--porcelain", "-uall"],
+            capture_output=True, text=True, timeout=60)
+        if st.returncode != 0:
+            return None
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out: Set[str] = set()
+    for line in st.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        p = line[3:]
+        if " -> " in p:
+            p = p.split(" -> ")[-1]
+        p = p.strip().strip('"')
+        rel = os.path.relpath(os.path.join(toplevel, p), root)
+        out.add(rel.replace(os.sep, "/"))
+    return out
+
+
+def _dirty_region(cache: LintCache, dirty: Set[str]) -> Set[str]:
+    """Dirty files + their strongly-connected region of the module graph."""
+    mod_to_rel: Dict[str, str] = {}
+    for rel in cache.relpaths():
+        mod = (cache.entry(rel) or {}).get("module") or ""
+        if mod:
+            mod_to_rel[mod] = rel
+    edges: Dict[str, List[str]] = {}
+    for rel in cache.relpaths():
+        entry = cache.entry(rel) or {}
+        targets = []
+        for dep in entry.get("deps", []):
+            # "pkg.mod.symbol" dep names resolve through their module prefix
+            while dep and dep not in mod_to_rel:
+                dep = dep.rpartition(".")[0]
+            if dep and mod_to_rel[dep] != rel:
+                targets.append(mod_to_rel[dep])
+        edges[rel] = sorted(set(targets))
+    region = set(dirty)
+    for comp in strongly_connected(edges):
+        if any(member in dirty for member in comp):
+            region.update(comp)
+    return region
+
+
 def run_lint(targets: Sequence[str],
              baseline_path: Optional[str] = None,
              cache_path: Optional[str] = None,
              root: Optional[str] = None,
              rules: Optional[Tuple[List[FileRule], List[ProjectRule]]] = None,
+             changed_only: bool = False,
              ) -> LintResult:
     """Lint *targets* (files or directories) and return the result.
 
     *root* anchors the relative paths used in findings and fingerprints
     (default: the common prefix's CWD), so output is location-independent.
+
+    With *changed_only*, files outside the git-dirty strongly-connected
+    region are served from the cache without so much as a content hash;
+    falls back to a full run when git state is unavailable.
     """
     root = os.path.abspath(root or os.getcwd())
     file_rules, project_rules = rules if rules is not None else default_rules()
@@ -199,30 +454,54 @@ def run_lint(targets: Sequence[str],
         r.id: {} for r in project_rules}
     contexts: Dict[str, FileContext] = {}
     errors: List[str] = []
+    reanalyzed = 0
     paths = iter_python_files(targets)
+
+    forced: Optional[Set[str]] = None   # None => --changed inactive
+    if changed_only and cache_path:
+        dirty = _git_dirty(root)
+        if dirty is not None:
+            forced = _dirty_region(cache, dirty)
 
     for path in paths:
         relpath = os.path.relpath(os.path.abspath(path), root)
+        rel = relpath.replace(os.sep, "/")
         try:
-            with open(path, "rb") as fh:
-                raw = fh.read()
-            key = content_key(raw)
-            cached = cache.get(relpath.replace(os.sep, "/"), key)
-            if cached is not None:
+            cached = None
+            raw: Optional[bytes] = None
+            if forced is not None and rel not in forced:
+                cached = cache.entry(rel)
+            if cached is None:
+                with open(path, "rb") as fh:
+                    raw = fh.read()
+                key = content_key(raw)
+                cached = cache.get(rel, key)
+            else:
+                cache.hits += 1
+            entry_facts = (cached.get("facts") or {}) if cached else {}
+            if cached is not None and \
+                    all(r.id in entry_facts for r in project_rules):
                 per_file.extend(LintCache.decode_findings(cached))
-                for rid, rf in (cached.get("facts") or {}).items():
+                for rid, rf in entry_facts.items():
                     if rid in facts:
-                        facts[rid][relpath.replace(os.sep, "/")] = rf
+                        facts[rid][rel] = rf
                 continue
+            # miss, or cache written under a different rule set
+            if raw is None:
+                with open(path, "rb") as fh:
+                    raw = fh.read()
+                key = content_key(raw)
             ctx = FileContext(path, relpath, raw.decode("utf-8"))
         except (OSError, SyntaxError, UnicodeDecodeError) as exc:
-            errors.append(f"{relpath}: {exc}")
+            errors.append(f"{rel}: {exc}")
+            reanalyzed += 1
             continue
+        reanalyzed += 1
         contexts[ctx.relpath] = ctx
         file_findings: List[Finding] = []
         for rule in file_rules:
             for f in rule.run(ctx):
-                if not ctx.is_suppressed(rule.id, f.line):
+                if not ctx.is_suppressed(f.rule, f.line):
                     file_findings.append(f)
         file_facts: Dict[str, Dict[str, object]] = {}
         for rule in project_rules:
@@ -230,15 +509,17 @@ def run_lint(targets: Sequence[str],
             file_facts[rule.id] = rf
             facts[rule.id][ctx.relpath] = rf
         per_file.extend(file_findings)
-        cache.put(ctx.relpath, key, file_findings, file_facts)
+        cache.put(ctx.relpath, key, file_findings, file_facts,
+                  module=ctx.module,
+                  deps=module_imports(ctx.tree, ctx.module))
 
     project_findings: List[Finding] = []
     for rule in project_rules:
         for f in rule.finalize(facts[rule.id]):
             ctx = contexts.get(f.path)
-            if ctx is not None and ctx.is_suppressed(rule.id, f.line):
+            if ctx is not None and ctx.is_suppressed(f.rule, f.line):
                 continue
-            if ctx is None and _suppressed_on_disk(root, f, rule.id):
+            if ctx is None and _suppressed_on_disk(root, f, f.rule):
                 continue
             project_findings.append(f)
 
@@ -250,7 +531,8 @@ def run_lint(targets: Sequence[str],
     baseline = load_baseline(baseline_path) if baseline_path else {}
     findings, stale = apply_baseline(findings, baseline)
     return LintResult(findings, stale, files=len(paths),
-                      cache_hits=cache.hits, errors=errors)
+                      cache_hits=cache.hits, errors=errors,
+                      reanalyzed=reanalyzed)
 
 
 def _suppressed_on_disk(root: str, f: Finding, rule_id: str) -> bool:
@@ -258,16 +540,23 @@ def _suppressed_on_disk(root: str, f: Finding, rule_id: str) -> bool:
     path = os.path.join(root, f.path)
     try:
         with open(path, encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+            source = fh.read()
     except OSError:
         return False
-    return _suppressed(lines, scan_suppressions(lines), rule_id, f.line)
+    lines = source.splitlines()
+    try:
+        tree: Optional[ast.AST] = ast.parse(source)
+    except (SyntaxError, ValueError):
+        tree = None
+    return SuppressionIndex(lines, tree).allowed(rule_id, f.line)
 
 
 def update_baseline(targets: Sequence[str], baseline_path: str,
                     root: Optional[str] = None,
-                    cache_path: Optional[str] = None) -> int:
+                    cache_path: Optional[str] = None,
+                    rules: Optional[Tuple[List[FileRule],
+                                          List[ProjectRule]]] = None) -> int:
     """Regenerate the baseline from the current findings; returns count."""
     result = run_lint(targets, baseline_path=None, cache_path=cache_path,
-                      root=root)
+                      root=root, rules=rules)
     return write_baseline(baseline_path, result.findings)

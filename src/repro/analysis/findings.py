@@ -6,13 +6,30 @@ hashes (rule, path, enclosing qualname, detail slug, occurrence index)
 so grandfathered findings survive unrelated edits that only shift line
 numbers, while a second identical violation in the same function is a
 new finding.
+
+Findings carry a severity tier:
+
+* ``error`` — invariant violation; blocks the lint (non-zero exit)
+* ``warning`` — reported and counted, but does not fail the run
+* ``info`` — shown only with ``--verbose``
+
+Interprocedural findings additionally carry a *witness* call chain:
+``(label, path, line)`` hops from the defect's origin to the point the
+invariant breaks (store site → … → commit site).  The witness is for
+the human and the SARIF export; it never feeds the fingerprint, so a
+baseline entry survives refactors that merely reroute the chain.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+SEVERITIES = ("error", "warning", "info")
+
+#: ``severity`` -> SARIF 2.1.0 ``level``
+SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 @dataclass(frozen=True)
@@ -26,6 +43,9 @@ class Finding:
     qualname: str = ""   # enclosing Class.method / function, "" = module
     detail: str = ""     # stable slug (API name, receiver, field, ...)
     occurrence: int = 0  # disambiguates identical (qualname, detail) hits
+    severity: str = "error"
+    #: interprocedural witness chain: (label, path, line) hops
+    witness: Tuple[Tuple[str, str, int], ...] = field(default=())
     baselined: bool = False
 
     @property
@@ -35,12 +55,16 @@ class Finding:
         return hashlib.sha1(raw.encode()).hexdigest()[:16]
 
     def render(self) -> str:
-        out = (f"{self.path}:{self.line}:{self.col}: "
-               f"[{self.rule}] {self.message}")
+        head = f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+        if self.severity != "error":
+            head += f"{self.severity}: "
+        out = head + self.message
         if self.hint:
             out += f"  (hint: {self.hint})"
         if self.baselined:
             out += "  [baselined]"
+        for label, path, line in self.witness:
+            out += f"\n    via {label} ({path}:{line})"
         return out
 
     def as_dict(self) -> Dict[str, object]:
@@ -48,6 +72,8 @@ class Finding:
             "rule": self.rule, "path": self.path, "line": self.line,
             "col": self.col, "message": self.message, "hint": self.hint,
             "qualname": self.qualname, "detail": self.detail,
+            "occurrence": self.occurrence, "severity": self.severity,
+            "witness": [list(hop) for hop in self.witness],
             "fingerprint": self.fingerprint, "baselined": self.baselined,
         }
 

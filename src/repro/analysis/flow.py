@@ -1,0 +1,610 @@
+"""Project-wide call graph + dataflow facts for interprocedural lint.
+
+This is the layer behind ``repro lint --flow``.  Per file it extracts a
+compact, JSON-serializable IR (so the facts ride in the ``LintCache``
+like any other project-rule fact):
+
+* every function/method with a structural mini-IR of its body — call
+  sites, attribute stores, returns/raises, and the if/loop/try/with
+  skeleton the dataflow rules walk;
+* the class table (name -> base names) and the import table
+  (local name -> absolute dotted target).
+
+``CallGraph`` then stitches the facts together: ``self.method`` calls
+resolve through an approximate MRO over the project's own class table,
+and *virtually* — a call to ``self.m`` in class ``C`` also targets every
+override of ``m`` in subclasses of ``C``.  That is what makes the
+engine-toggle dispatch pairs (``FreePool``/``ReferenceFreePool``,
+array vs reference page tables) analyze as one family: the reference
+kernels subclass the array ones, so both implementations are reachable
+from every call site.  Constructor calls resolve the same way
+(``FreePool(...)`` targets the ``__init__`` of the class and of every
+subclass the toggle could substitute).
+
+Receivers we cannot type (``self._helper.foo()``) resolve to nothing;
+the three flow rules (``persist-before-commit``, ``lock-order-cycle``,
+``degraded-write-guard``) are written so an unresolved call is a no-op,
+which biases the analysis toward false negatives instead of noise —
+see DESIGN.md "Static analysis v2" for the policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .engine import (FileContext, ProjectRule, resolve_import_base,
+                     strongly_connected)
+from .findings import Finding
+from .rules import dotted, fstring_head
+
+# ---------------------------------------------------------------------------
+# IR node tags (JSON lists, first element is the tag)
+# ---------------------------------------------------------------------------
+CALL = "call"     # ["call", line, col, recv, fn, lockspec|None]
+ASGN = "asgn"     # ["asgn", line, col, recv, field]
+RET = "ret"       # ["ret", line]
+RAISE = "raise"   # ["raise", line]
+IF = "if"         # ["if", body, orelse]
+LOOP = "loop"     # ["loop", body, orelse]
+TRY = "try"       # ["try", body, [handler_bodies...], final]
+WITH = "with"     # ["with", [item_call_nodes...], body]
+
+_LOCK_FNS = ("acquire", "release", "atomic")
+
+_TRIVIAL_DOC = (ast.Constant,)
+
+
+def _is_trivial_body(body: Sequence[ast.stmt]) -> bool:
+    """Docstring/``...``/``pass``/``raise NotImplementedError`` only."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare ...
+        if isinstance(stmt, ast.Raise):
+            exc = stmt.exc
+            name = None
+            if isinstance(exc, ast.Call):
+                name = dotted(exc.func)
+            elif exc is not None:
+                name = dotted(exc)
+            if name and name.split(".")[-1] == "NotImplementedError":
+                continue
+        return False
+    return True
+
+
+def _lock_spec(expr: ast.AST,
+               varmap: Dict[str, List[List[str]]]) -> Optional[List[List[str]]]:
+    """Static description of a lock-name argument.
+
+    Base specs: ``["lit", s]`` literal, ``["fstr", head]`` f-string,
+    ``["call", fn]`` helper call, ``["attr", name]`` attribute read.
+    A Name resolves through the function-local assignment map.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return [["lit", expr.value]]
+    if isinstance(expr, ast.JoinedStr):
+        return [["fstr", fstring_head(expr)]]
+    if isinstance(expr, ast.Name):
+        return varmap.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return [["attr", expr.attr]]
+    if isinstance(expr, ast.Call):
+        fn = dotted(expr.func)
+        if fn:
+            return [["call", fn.split(".")[-1]]]
+    return None
+
+
+class _Collector:
+    """AST -> file fact dict for one :class:`FileContext`."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.classes: Dict[str, List[str]] = {}
+        self.functions: Dict[str, Dict] = {}
+        self.imports: Dict[str, str] = {}
+
+    def run(self) -> Dict:
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = alias.asname and alias.name or \
+                        alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = resolve_import_base(self.ctx.module, node)
+                if not base:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+        self._visit_body(self.ctx.tree.body, prefix="", cls=None)
+        return {
+            "module": self.ctx.module,
+            "relpath": self.ctx.relpath,
+            "classes": self.classes,
+            "imports": self.imports,
+            "functions": self.functions,
+        }
+
+    def _visit_body(self, body: Sequence[ast.stmt], prefix: str,
+                    cls: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                bases = [dotted(b) for b in stmt.bases]
+                self.classes[stmt.name] = [b for b in bases if b]
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                self._visit_body(stmt.body, prefix=qual, cls=stmt.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                self._collect_function(qual, cls, stmt)
+                # nested defs are separate (rarely-called) closures; their
+                # bodies are deliberately NOT inlined into the parent IR
+            elif isinstance(stmt, ast.If):
+                # defs guarded by TYPE_CHECKING / version checks still count
+                self._visit_body(stmt.body, prefix, cls)
+                self._visit_body(stmt.orelse, prefix, cls)
+            elif isinstance(stmt, ast.Try):
+                self._visit_body(stmt.body, prefix, cls)
+                for handler in stmt.handlers:
+                    self._visit_body(handler.body, prefix, cls)
+
+    def _collect_function(self, qual: str, cls: Optional[str],
+                          node: ast.AST) -> None:
+        varmap = self._local_lock_vars(node)
+        fact = {
+            "line": node.lineno,
+            "name": node.name,
+            "cls": cls,
+            "trivial": _is_trivial_body(node.body),
+            "body": self._block(node.body, varmap),
+            "lock_returns": self._lock_returns(node, varmap),
+        }
+        self.functions[qual] = fact
+
+    def _local_lock_vars(self, fn: ast.AST) -> Dict[str, List[List[str]]]:
+        out: Dict[str, List[List[str]]] = {}
+        for node in self._own_walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                spec = _lock_spec(node.value, {})
+                if spec:
+                    out.setdefault(node.targets[0].id, []).extend(
+                        s for s in spec if s not in
+                        out.get(node.targets[0].id, []))
+        return out
+
+    def _lock_returns(self, fn: ast.AST,
+                      varmap: Dict[str, List[List[str]]]) -> List[str]:
+        """Lock namespaces this function can return (for helper resolution)."""
+        spaces: List[str] = []
+        for node in self._own_walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                spec = _lock_spec(node.value, varmap) or []
+                for base in spec:
+                    ns = namespace_of(base)
+                    if ns and ns not in spaces:
+                        spaces.append(ns)
+        return spaces
+
+    @staticmethod
+    def _own_walk(fn: ast.AST) -> Iterable[ast.AST]:
+        """ast.walk that does not descend into nested function defs."""
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- statement -> IR ---------------------------------------------------
+
+    def _block(self, body: Sequence[ast.stmt],
+               varmap: Dict[str, List[List[str]]]) -> List:
+        out: List = []
+        for stmt in body:
+            self._stmt(stmt, out, varmap)
+        return out
+
+    def _calls_in(self, node: ast.AST, out: List,
+                  varmap: Dict[str, List[List[str]]]) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            fn_dotted = dotted(sub.func)
+            recv, fn = "", ""
+            if fn_dotted:
+                parts = fn_dotted.split(".")
+                fn = parts[-1]
+                recv = ".".join(parts[:-1])
+            elif isinstance(sub.func, ast.Attribute):
+                fn = sub.func.attr
+                if isinstance(sub.func.value, ast.Call) and \
+                        isinstance(sub.func.value.func, ast.Name) and \
+                        sub.func.value.func.id == "super":
+                    recv = "super"
+                else:
+                    recv = "<expr>"
+            else:
+                continue
+            lockspec = None
+            if fn in _LOCK_FNS and sub.args:
+                lockspec = _lock_spec(sub.args[0], varmap)
+            out.append([CALL, sub.lineno, sub.col_offset, recv, fn, lockspec])
+
+    def _asgn_targets(self, stmt: ast.AST, out: List) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        flat: List[ast.AST] = []
+        for t in targets:
+            if isinstance(t, (ast.Tuple, ast.List)):
+                flat.extend(t.elts)
+            else:
+                flat.append(t)
+        for t in flat:
+            if isinstance(t, ast.Attribute):
+                recv = dotted(t.value) or "<expr>"
+                out.append([ASGN, t.lineno, t.col_offset, recv, t.attr])
+            elif isinstance(t, ast.Subscript) and \
+                    isinstance(t.value, ast.Attribute):
+                recv = dotted(t.value.value) or "<expr>"
+                out.append([ASGN, t.lineno, t.col_offset, recv, t.value.attr])
+
+    def _stmt(self, stmt: ast.stmt, out: List,
+              varmap: Dict[str, List[List[str]]]) -> None:
+        if isinstance(stmt, ast.If):
+            self._calls_in(stmt.test, out, varmap)
+            out.append([IF, self._block(stmt.body, varmap),
+                        self._block(stmt.orelse, varmap)])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._calls_in(stmt.iter, out, varmap)
+            out.append([LOOP, self._block(stmt.body, varmap),
+                        self._block(stmt.orelse, varmap)])
+        elif isinstance(stmt, ast.While):
+            self._calls_in(stmt.test, out, varmap)
+            out.append([LOOP, self._block(stmt.body, varmap),
+                        self._block(stmt.orelse, varmap)])
+        elif isinstance(stmt, ast.Try):
+            handlers = [self._block(h.body, varmap) for h in stmt.handlers]
+            out.append([TRY,
+                        self._block(stmt.body + stmt.orelse, varmap),
+                        handlers,
+                        self._block(stmt.finalbody, varmap)])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            items: List = []
+            for item in stmt.items:
+                self._calls_in(item.context_expr, items, varmap)
+            out.append([WITH, items, self._block(stmt.body, varmap)])
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._calls_in(stmt.value, out, varmap)
+            out.append([RET, stmt.lineno])
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._calls_in(stmt.exc, out, varmap)
+            out.append([RAISE, stmt.lineno])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scope: not part of this function's control flow
+        else:
+            self._calls_in(stmt, out, varmap)
+            self._asgn_targets(stmt, out)
+
+
+def collect_file_facts(ctx: FileContext) -> Dict:
+    return _Collector(ctx).run()
+
+
+def namespace_of(base_spec: Sequence[str]) -> Optional[str]:
+    """Lock namespace named by one base spec, "?" unknown, None for none."""
+    kind, val = base_spec[0], base_spec[1]
+    if kind in ("lit", "fstr"):
+        head = val.split(":")[0].strip()
+        return head or "?"
+    if kind in ("attr", "call"):
+        return "?"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+class FuncInfo:
+    __slots__ = ("fid", "module", "relpath", "qual", "cls", "name",
+                 "line", "body", "lock_returns", "trivial")
+
+    def __init__(self, fid: str, module: str, relpath: str, qual: str,
+                 fact: Dict):
+        self.fid = fid
+        self.module = module
+        self.relpath = relpath
+        self.qual = qual
+        self.cls = fact.get("cls")
+        self.name = fact.get("name", qual.split(".")[-1])
+        self.line = fact.get("line", 1)
+        self.body = fact.get("body", [])
+        self.lock_returns = fact.get("lock_returns", [])
+        self.trivial = bool(fact.get("trivial"))
+
+
+ClassKey = Tuple[str, str]   # (module, class name)
+
+
+class CallGraph:
+    def __init__(self, facts: Dict[str, Dict]):
+        #: fid ("module:qual") -> FuncInfo
+        self.functions: Dict[str, FuncInfo] = {}
+        #: module -> {bare function name -> fid}
+        self.module_funcs: Dict[str, Dict[str, str]] = {}
+        #: (module, cls) -> {method name -> fid}
+        self.class_methods: Dict[ClassKey, Dict[str, str]] = {}
+        #: (module, cls) -> base class keys (resolved, in order)
+        self.class_bases: Dict[ClassKey, List[ClassKey]] = {}
+        #: (module, cls) -> transitive subclasses
+        self.subclasses: Dict[ClassKey, Set[ClassKey]] = {}
+        #: class name -> every key with that name (fallback resolution)
+        self._by_name: Dict[str, List[ClassKey]] = {}
+        self._imports: Dict[str, Dict[str, str]] = {}
+        self._mro_cache: Dict[ClassKey, List[ClassKey]] = {}
+        self._edges_cache: Dict[str, List[str]] = {}
+
+        for relpath in sorted(facts):
+            fact = facts[relpath] or {}
+            module = fact.get("module", "")
+            self._imports[module] = fact.get("imports", {})
+            for cls in fact.get("classes", {}):
+                key = (module, cls)
+                self.class_methods.setdefault(key, {})
+                self._by_name.setdefault(cls, []).append(key)
+            for qual in sorted(fact.get("functions", {})):
+                ffact = fact["functions"][qual]
+                fid = f"{module}:{qual}"
+                info = FuncInfo(fid, module, relpath, qual, ffact)
+                self.functions[fid] = info
+                if info.cls:
+                    self.class_methods.setdefault(
+                        (module, info.cls), {})[info.name] = fid
+                elif "." not in qual:
+                    self.module_funcs.setdefault(module, {})[qual] = fid
+
+        # resolve base-class names now that every class is known
+        for relpath in sorted(facts):
+            fact = facts[relpath] or {}
+            module = fact.get("module", "")
+            for cls, bases in fact.get("classes", {}).items():
+                key = (module, cls)
+                resolved = []
+                for base in bases:
+                    bk = self._resolve_class_name(module, base)
+                    if bk is not None:
+                        resolved.append(bk)
+                self.class_bases[key] = resolved
+        for key in self.class_bases:
+            for anc in self.mro(key)[1:]:
+                self.subclasses.setdefault(anc, set()).add(key)
+
+    # -- class machinery ---------------------------------------------------
+
+    def _resolve_class_name(self, module: str,
+                            name: str) -> Optional[ClassKey]:
+        parts = name.split(".")
+        imports = self._imports.get(module, {})
+        if len(parts) == 1:
+            if (module, name) in self.class_methods:
+                return (module, name)
+            target = imports.get(name)
+            if target:
+                mod, _, cls = target.rpartition(".")
+                if (mod, cls) in self.class_methods:
+                    return (mod, cls)
+                return self._global_class(cls)
+            return self._global_class(name)
+        head, rest = parts[0], parts[1:]
+        prefix = imports.get(head, head)
+        full = ".".join([prefix] + rest)
+        mod, _, cls = full.rpartition(".")
+        if (mod, cls) in self.class_methods:
+            return (mod, cls)
+        return self._global_class(parts[-1])
+
+    def _global_class(self, name: str) -> Optional[ClassKey]:
+        keys = self._by_name.get(name, [])
+        return keys[0] if len(keys) == 1 else None
+
+    def mro(self, key: ClassKey) -> List[ClassKey]:
+        cached = self._mro_cache.get(key)
+        if cached is not None:
+            return cached
+        order: List[ClassKey] = []
+        seen: Set[ClassKey] = set()
+
+        def visit(k: ClassKey) -> None:
+            if k in seen:
+                return
+            seen.add(k)
+            order.append(k)
+            for base in self.class_bases.get(k, []):
+                visit(base)
+
+        visit(key)
+        self._mro_cache[key] = order
+        return order
+
+    def resolve_method(self, key: ClassKey, name: str,
+                       skip_self: bool = False) -> Optional[str]:
+        mro = self.mro(key)
+        for k in (mro[1:] if skip_self else mro):
+            fid = self.class_methods.get(k, {}).get(name)
+            if fid is not None:
+                return fid
+        return None
+
+    def virtual_targets(self, key: ClassKey, name: str) -> List[str]:
+        """MRO target plus every subclass override (the toggle family)."""
+        out: Set[str] = set()
+        base = self.resolve_method(key, name)
+        if base is not None:
+            out.add(base)
+        for sub in self.subclasses.get(key, ()):  # overrides below `key`
+            fid = self.class_methods.get(sub, {}).get(name)
+            if fid is not None:
+                out.add(fid)
+        return sorted(out)
+
+    def constructor_targets(self, key: ClassKey) -> List[str]:
+        out: Set[str] = set()
+        for k in [key] + sorted(self.subclasses.get(key, set())):
+            fid = self.resolve_method(k, "__init__")
+            if fid is not None:
+                out.add(fid)
+        return sorted(out)
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(self, caller: FuncInfo, recv: str,
+                     fn: str) -> List[str]:
+        if recv in ("self", "cls"):
+            if caller.cls:
+                return self.virtual_targets((caller.module, caller.cls), fn)
+            return []
+        if recv == "super":
+            if caller.cls:
+                fid = self.resolve_method((caller.module, caller.cls), fn,
+                                          skip_self=True)
+                return [fid] if fid else []
+            return []
+        if recv == "":
+            funcs = self.module_funcs.get(caller.module, {})
+            if fn in funcs:
+                return [funcs[fn]]
+            if (caller.module, fn) in self.class_methods:
+                return self.constructor_targets((caller.module, fn))
+            target = self._imports.get(caller.module, {}).get(fn)
+            if target:
+                mod, _, name = target.rpartition(".")
+                if name in self.module_funcs.get(mod, {}):
+                    return [self.module_funcs[mod][name]]
+                if (mod, name) in self.class_methods:
+                    return self.constructor_targets((mod, name))
+                ck = self._global_class(name)
+                if ck is not None:
+                    return self.constructor_targets(ck)
+            return []
+        if recv == "<expr>":
+            return []
+        # dotted receiver: module alias or imported module attribute
+        parts = recv.split(".")
+        prefix = self._imports.get(caller.module, {}).get(parts[0])
+        if prefix is None and parts[0] in self.module_funcs:
+            prefix = parts[0]
+        if prefix is not None:
+            mod = ".".join([prefix] + parts[1:])
+            if fn in self.module_funcs.get(mod, {}):
+                return [self.module_funcs[mod][fn]]
+            if (mod, fn) in self.class_methods:
+                return self.constructor_targets((mod, fn))
+        return []
+
+    def call_edges(self, fid: str) -> List[str]:
+        """Resolved callee fids for every call site in *fid* (cached)."""
+        cached = self._edges_cache.get(fid)
+        if cached is not None:
+            return cached
+        info = self.functions[fid]
+        out: Set[str] = set()
+
+        def walk(block: List) -> None:
+            for node in block:
+                tag = node[0]
+                if tag == CALL:
+                    out.update(self.resolve_call(info, node[3], node[4]))
+                elif tag == IF or tag == LOOP:
+                    walk(node[1])
+                    walk(node[2])
+                elif tag == TRY:
+                    walk(node[1])
+                    for h in node[2]:
+                        walk(h)
+                    walk(node[3])
+                elif tag == WITH:
+                    walk(node[1])
+                    walk(node[2])
+
+        walk(info.body)
+        out.discard(fid)
+        edges = sorted(out)
+        self._edges_cache[fid] = edges
+        return edges
+
+    def topo_sccs(self) -> List[List[str]]:
+        """Function SCCs, callees before callers (fixpoint order)."""
+        edges = {fid: self.call_edges(fid) for fid in sorted(self.functions)}
+        return strongly_connected(edges, ordered=True)
+
+    def resolve_lock_namespaces(self, caller: FuncInfo,
+                                lockspec: Optional[List]) -> List[str]:
+        """Namespaces a lock-name spec can denote ("?" = unresolvable)."""
+        if not lockspec:
+            return ["?"]
+        out: List[str] = []
+        for base in lockspec:
+            ns = namespace_of(base)
+            if base[0] == "call":
+                # helper function that builds the name (e.g. _ino_lock)
+                spaces: List[str] = []
+                for fid in self.resolve_call(caller, "self", base[1]) or \
+                        self.resolve_call(caller, "", base[1]):
+                    spaces.extend(self.functions[fid].lock_returns)
+                concrete = [s for s in spaces if s != "?"]
+                if concrete:
+                    for s in concrete:
+                        if s not in out:
+                            out.append(s)
+                    continue
+                ns = "?"
+            if ns and ns not in out:
+                out.append(ns)
+        concrete = [s for s in out if s != "?"]
+        return concrete or ["?"]
+
+
+class FlowAnalysis(ProjectRule):
+    """Umbrella project rule running the interprocedural checkers.
+
+    One fact-collection pass feeds all three rules; findings carry the
+    individual rule ids (``persist-before-commit``, ``lock-order-cycle``,
+    ``degraded-write-guard``) so suppressions and baselines stay
+    per-rule.
+    """
+
+    id = "flow"
+
+    def __init__(self, checkers: Optional[List] = None):
+        if checkers is None:
+            from .rules.flow_guards import DegradedWriteGuard
+            from .rules.flow_locks import LockOrderCycle
+            from .rules.flow_persist import PersistBeforeCommit
+            checkers = [PersistBeforeCommit(), LockOrderCycle(),
+                        DegradedWriteGuard()]
+        self.checkers = checkers
+
+    def collect(self, ctx: FileContext) -> Dict[str, object]:
+        return collect_file_facts(ctx)
+
+    def finalize(self, facts: Dict[str, Dict[str, object]]) -> List[Finding]:
+        graph = CallGraph(facts)
+        findings: List[Finding] = []
+        for checker in self.checkers:
+            findings.extend(checker.check(graph))
+        return findings

@@ -1,15 +1,16 @@
-"""The six codebase-specific lint rules.
+"""The nine codebase-specific lint rules.
 
 Shared AST helpers live here; each rule is one module.  Rule ids are
 the stable public names used by ``# repro: allow[<id>]`` suppressions
-and the committed baseline:
+and the committed baselines:
 
 =====================  =====================================================
 ``determinism``        wall-clock reads, global ``random.*``, ``os.urandom``,
                        ``id()``-keyed sorts, unordered set iteration
 ``persistence-ordering``  ``PMDevice.store`` not followed by clwb+sfence on
                        every path out of the function
-``lock-discipline``    inode-field mutation outside a lock acquisition
+``lock-discipline``    inode-field mutation outside a lock acquisition;
+                       acquire sites with unregistered lock namespaces
 ``snapshot-whitelist``  persisted-graph module missing from the snapshot
                        codec whitelist
 ``metric-names``       counter/gauge/span names absent from repro.obs.names
@@ -17,6 +18,18 @@ and the committed baseline:
                        device store-log columns) mutated outside its
                        sanctioned kernel modules
 =====================  =====================================================
+
+Interprocedural rules (``repro lint --flow``; modules ``flow_*``, run
+through :class:`repro.analysis.flow.FlowAnalysis`):
+
+=========================  =================================================
+``persist-before-commit``  a PM store must reach persist()/clwb+sfence on
+                           every path before a journal commit
+``lock-order-cycle``       cycle in the global lock-namespace acquisition
+                           order graph (witness call chain attached)
+``degraded-write-guard``   mutating FileSystem entry point can mutate state
+                           before ``_check_writable()``
+=========================  =================================================
 """
 
 from __future__ import annotations

@@ -1,0 +1,333 @@
+"""persist-before-commit: PM dirt must be fenced before a journal commit.
+
+The crash-consistency contract of every journaled path in this codebase
+is *undo-log, mutate, flush+fence, commit*: once the journal commit
+record lands, recovery will NOT roll the transaction back, so any data
+store that has not reached ``persist()``/``clwb``+``sfence`` by that
+point can be torn or lost across a crash — exactly the dominant bug
+class in the PM-issues survey.
+
+The analysis tracks a per-receiver three-level lattice (clean /
+stored-and-clwbed / stored) through each function's IR, the same
+machine as the per-file ``persistence-ordering`` rule, but crosses
+function boundaries with summaries:
+
+* ``exit_dirty`` — can return with unfenced stores of its own making;
+* ``fences`` / ``drains`` — guarantees entry dirt (clwbed / any) is
+  clean on every non-raising exit;
+* ``commits_with_*`` — contains a commit reachable while entry dirt of
+  the given level is still unfenced.
+
+A ``with self._meta_txn(...)`` block commits when the block exits, so
+the block end is a commit event.  Raise paths are exempt (recovery owns
+durability), mirroring the per-file rule.
+
+Findings anchor at the offending store; the witness chain walks
+store -> (calls) -> commit so the report reads as the failure path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..findings import Finding
+from ..flow import ASGN, CALL, IF, LOOP, RAISE, RET, TRY, WITH, CallGraph, FuncInfo
+
+Hop = Tuple[str, str, int]
+State = Dict[str, Tuple[int, Tuple[Hop, ...]]]   # recv -> (level, chain)
+
+_DEVICE_SEGMENTS = ("device", "dev", "pm", "pmem")
+_STORE_FNS = {"store"}
+_CLWB_FNS = {"clwb"}
+_FENCE_FNS = {"sfence"}
+_PERSIST_FNS = {"persist", "write_zeros"}
+_DRAIN_FNS = {"drain"}
+#: with-blocks whose scope object commits the journal on exit
+TXN_SCOPE_FNS = {"_meta_txn"}
+_COMMIT_RECV_HINTS = ("txn", "transaction", "journal")
+
+_CLWBED_ENTRY = "<entry:clwbed>"
+_STORED_ENTRY = "<entry:stored>"
+_MAX_SCC_ITER = 5
+
+
+def _is_device(recv: str) -> bool:
+    for seg in recv.lower().split("."):
+        seg = seg.lstrip("_")
+        if any(d in seg for d in _DEVICE_SEGMENTS):
+            return True
+    return False
+
+
+def _is_commit(recv: str, fn: str) -> bool:
+    if fn != "commit":
+        return False
+    last = recv.split(".")[-1].lstrip("_").lower()
+    return any(h in last for h in _COMMIT_RECV_HINTS)
+
+
+class Summary:
+    __slots__ = ("exit_dirty", "dirty_chain", "fences", "drains",
+                 "commits", "commit_chain",
+                 "commits_with_clwbed", "commits_with_stored")
+
+    def __init__(self) -> None:
+        self.exit_dirty = False
+        self.dirty_chain: Tuple[Hop, ...] = ()
+        self.fences = False
+        self.drains = False
+        self.commits = False
+        self.commit_chain: Tuple[Hop, ...] = ()
+        self.commits_with_clwbed = False
+        self.commits_with_stored = False
+
+    def key(self) -> Tuple:
+        return (self.exit_dirty, self.fences, self.drains, self.commits,
+                self.commits_with_clwbed, self.commits_with_stored)
+
+
+def _merge(a: Optional[State], b: Optional[State]) -> Optional[State]:
+    if a is None:
+        return dict(b) if b is not None else None
+    if b is None:
+        return dict(a)
+    out = dict(a)
+    for recv, (lvl, chain) in b.items():
+        cur = out.get(recv)
+        if cur is None or lvl > cur[0]:
+            out[recv] = (lvl, chain)
+    return out
+
+
+class _Run:
+    """One abstract execution of a function body."""
+
+    def __init__(self, graph: CallGraph, info: FuncInfo,
+                 summaries: Dict[str, Summary], report: bool):
+        self.graph = graph
+        self.info = info
+        self.summaries = summaries
+        self.report = report
+        self.exits: List[State] = []
+        self.commits = False
+        self.commit_chain: Tuple[Hop, ...] = ()
+        self.commits_with_clwbed = False
+        self.commits_with_stored = False
+        self.violations: List[Tuple[Tuple[Hop, ...], Tuple[Hop, ...]]] = []
+        self._seen_violations: set = set()
+
+    def run(self, initial: State) -> None:
+        final = self.exec_block(self.info.body, dict(initial))
+        if final is not None:
+            self.exits.append(final)
+
+    # -- events ------------------------------------------------------------
+
+    def _commit_event(self, state: State, line: int) -> None:
+        self.commits = True
+        hop: Hop = (f"{self.info.qual}: journal commit",
+                    self.info.relpath, line)
+        if not self.commit_chain:
+            self.commit_chain = (hop,)
+        for recv in sorted(state):
+            lvl, chain = state[recv]
+            if recv == _CLWBED_ENTRY:
+                self.commits_with_clwbed = True
+            elif recv == _STORED_ENTRY:
+                self.commits_with_stored = True
+            elif self.report:
+                self._violation(chain, (hop,))
+
+    def _violation(self, chain: Tuple[Hop, ...],
+                   commit_chain: Tuple[Hop, ...]) -> None:
+        key = (chain[:1], commit_chain[:1])
+        if key in self._seen_violations:
+            return
+        self._seen_violations.add(key)
+        self.violations.append((chain, commit_chain))
+
+    def _apply_call(self, state: State, line: int, recv: str,
+                    fn: str) -> None:
+        if _is_device(recv):
+            if fn in _STORE_FNS:
+                hop: Hop = (f"{self.info.qual}: store via {recv}",
+                            self.info.relpath, line)
+                state[recv] = (2, (hop,))
+            elif fn in _CLWB_FNS:
+                cur = state.get(recv)
+                if cur is not None and cur[0] == 2:
+                    state[recv] = (1, cur[1])
+            elif fn in _FENCE_FNS:
+                for r in [r for r, (lvl, _) in state.items() if lvl == 1]:
+                    del state[r]
+            elif fn in _PERSIST_FNS:
+                state.pop(recv, None)
+                for r in [r for r, (lvl, _) in state.items() if lvl == 1]:
+                    del state[r]
+            elif fn in _DRAIN_FNS:
+                state.clear()
+            return
+        if _is_commit(recv, fn):
+            self._commit_event(state, line)
+            return
+        targets = [self.summaries[t]
+                   for t in self.graph.resolve_call(self.info, recv, fn)
+                   if t in self.summaries]
+        if not targets:
+            return
+        call_hop: Hop = (f"{self.info.qual}: calls {recv + '.' if recv else ''}{fn}",
+                         self.info.relpath, line)
+        # a dirty caller must not reach a callee that commits first
+        for r in sorted(state):
+            lvl, chain = state[r]
+            if r in (_CLWBED_ENTRY, _STORED_ENTRY):
+                for s in targets:
+                    if (lvl >= 2 and s.commits_with_stored) or \
+                            (lvl == 1 and s.commits_with_clwbed):
+                        if lvl >= 2:
+                            self.commits_with_stored = True
+                        else:
+                            self.commits_with_clwbed = True
+                        self.commits = True
+                        if not self.commit_chain:
+                            self.commit_chain = (call_hop,) + \
+                                targets[0].commit_chain
+                continue
+            if self.report:
+                for s in targets:
+                    if (lvl >= 2 and s.commits_with_stored) or \
+                            (lvl == 1 and s.commits_with_clwbed):
+                        self._violation(chain, (call_hop,) + s.commit_chain)
+                        break
+        if all(s.drains for s in targets):
+            state.clear()
+        elif all(s.fences for s in targets):
+            for r in [r for r, (lvl, _) in state.items() if lvl == 1]:
+                del state[r]
+        dirty = [s for s in targets if s.exit_dirty]
+        if dirty:
+            chain = dirty[0].dirty_chain + (call_hop,)
+            key = chain[0] if chain else call_hop
+            state[f"<ret:{key[0]}>"] = (2, chain)
+
+    # -- structural walk ---------------------------------------------------
+
+    def exec_block(self, block: List, state: Optional[State]) -> Optional[State]:
+        for node in block:
+            if state is None:
+                return None
+            tag = node[0]
+            if tag == CALL:
+                self._apply_call(state, node[1], node[3], node[4])
+            elif tag == ASGN:
+                pass
+            elif tag == RET:
+                self.exits.append(dict(state))
+                return None
+            elif tag == RAISE:
+                return None    # recovery owns durability on raise paths
+            elif tag == IF:
+                s1 = self.exec_block(node[1], dict(state))
+                s2 = self.exec_block(node[2], dict(state))
+                state = _merge(s1, s2)
+            elif tag == LOOP:
+                s1 = self.exec_block(node[1], dict(state))
+                state = _merge(state, s1)
+                if node[2]:
+                    state = self.exec_block(node[2], state)
+            elif tag == TRY:
+                sb = self.exec_block(node[1], dict(state))
+                entry_h = _merge(state, sb)
+                merged: Optional[State] = sb
+                for handler in node[2]:
+                    sh = self.exec_block(handler, dict(entry_h or {}))
+                    merged = _merge(merged, sh)
+                if node[3]:
+                    base = merged if merged is not None else dict(state)
+                    fin = self.exec_block(node[3], base)
+                    state = fin if merged is not None else None
+                else:
+                    state = merged
+            elif tag == WITH:
+                state = self.exec_block(node[1], state)
+                if state is None:
+                    return None
+                txn_scope = any(item[0] == CALL and item[4] in TXN_SCOPE_FNS
+                                for item in node[1])
+                scope_line = node[1][0][1] if node[1] else self.info.line
+                state = self.exec_block(node[2], state)
+                if state is not None and txn_scope:
+                    self._commit_event(state, scope_line)
+        return state
+
+
+class PersistBeforeCommit:
+    id = "persist-before-commit"
+
+    def check(self, graph: CallGraph) -> List[Finding]:
+        summaries: Dict[str, Summary] = {}
+        for scc in graph.topo_sccs():
+            members = [fid for fid in scc if fid in graph.functions]
+            for fid in members:
+                summaries.setdefault(fid, Summary())
+            for _ in range(_MAX_SCC_ITER):
+                changed = False
+                for fid in members:
+                    new = self._summarize(graph, graph.functions[fid],
+                                          summaries)
+                    if new.key() != summaries[fid].key():
+                        changed = True
+                    summaries[fid] = new
+                if not changed:
+                    break
+
+        findings: List[Finding] = []
+        for fid in sorted(graph.functions):
+            info = graph.functions[fid]
+            if info.trivial:
+                continue
+            run = _Run(graph, info, summaries, report=True)
+            run.run({})
+            for chain, commit_chain in run.violations:
+                anchor = chain[0] if chain else (info.qual, info.relpath,
+                                                 info.line)
+                witness = chain[1:] + commit_chain
+                findings.append(Finding(
+                    rule=self.id, path=anchor[1], line=anchor[2], col=0,
+                    message=("PM store reaches a journal commit without an "
+                             "intervening persist()/fence"),
+                    hint=("flush+fence (device.persist or clwb+sfence) "
+                          "before the transaction scope closes"),
+                    qualname=info.qual,
+                    detail=anchor[0],
+                    witness=witness,
+                ))
+        return findings
+
+    @staticmethod
+    def _summarize(graph: CallGraph, info: FuncInfo,
+                   summaries: Dict[str, Summary]) -> Summary:
+        s = Summary()
+        if info.trivial:
+            s.fences = s.drains = False
+            return s
+        run = _Run(graph, info, summaries, report=False)
+        run.run({_CLWBED_ENTRY: (1, ()), _STORED_ENTRY: (2, ())})
+        s.commits = run.commits
+        s.commit_chain = run.commit_chain
+        s.commits_with_clwbed = run.commits_with_clwbed
+        s.commits_with_stored = run.commits_with_stored
+        s.fences = all(_CLWBED_ENTRY not in ex for ex in run.exits) \
+            and bool(run.exits)
+        s.drains = all(_STORED_ENTRY not in ex for ex in run.exits) \
+            and bool(run.exits)
+        for ex in run.exits:
+            for recv in sorted(ex):
+                if recv in (_CLWBED_ENTRY, _STORED_ENTRY):
+                    continue
+                lvl, chain = ex[recv]
+                if lvl > 0:
+                    s.exit_dirty = True
+                    if not s.dirty_chain:
+                        s.dirty_chain = chain
+        return s

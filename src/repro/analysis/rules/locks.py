@@ -24,11 +24,11 @@ simulated timings.
 from __future__ import annotations
 
 import ast
-from typing import List, Set
+from typing import List, Optional, Set
 
 from ..engine import FileContext, FileRule
 from ..findings import Finding
-from . import dotted, walk_functions
+from . import dotted, fstring_head, walk_functions
 
 _SCOPES = ("repro.fs", "repro.vfs")
 
@@ -58,6 +58,34 @@ def _is_inode_recv(recv: str) -> bool:
     return any("inode" in seg.lower() for seg in recv.split("."))
 
 
+def _registered_namespaces() -> Set[str]:
+    """Lock namespaces from repro.clock's registry (the source of truth).
+
+    Resolving through the registry instead of string literals means a
+    renamed lock family cannot silently fall out of this check — either
+    its acquire sites still resolve (registered) or the flow-lint layer
+    flags the unregistered name.
+    """
+    try:
+        from repro.clock import LOCK_NAMESPACES
+        return set(LOCK_NAMESPACES)
+    except Exception:  # lint must run even from a broken tree
+        return set()
+
+
+def _name_arg_namespace(call: ast.Call) -> Optional[str]:
+    """Namespace named by an acquire call's first argument, if static."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value.split(":", 1)[0]
+    if isinstance(arg, ast.JoinedStr):
+        head = fstring_head(arg).split(":", 1)[0]
+        return head or None
+    return None
+
+
 def _is_lock_stmt(node: ast.AST) -> bool:
     """A statement that acquires a lock (call or with-block)."""
     if isinstance(node, (ast.With, ast.AsyncWith)):
@@ -71,7 +99,10 @@ def _is_lock_stmt(node: ast.AST) -> bool:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
             and node.func.attr == "acquire":
         recv = dotted(node.func.value) or ""
-        return "lock" in recv.lower()
+        if recv.split(".")[-1] == "locks" or "lock" in recv.lower():
+            return True
+        ns = _name_arg_namespace(node)
+        return ns is not None and ns in _registered_namespaces()
     return False
 
 

@@ -1,0 +1,212 @@
+"""SARIF 2.1.0 export for lint results.
+
+CI uploads the document as an artifact (and code-scanning UIs ingest it
+directly), so the export sticks to the well-trodden core of the spec:
+one run, a tool driver with per-rule metadata, one result per finding
+with level, message, physical location, a stable partial fingerprint
+(the same line-drift-immune fingerprint the baseline uses), and the
+witness call chain as ``relatedLocations``.
+
+``validate_sarif`` structurally checks the constraints of the 2.1.0
+schema this exporter exercises — required properties, enum values,
+location shape — without fetching the schema (CI runs offline).  Tests
+and the CI job both run every emitted document through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .findings import SARIF_LEVELS, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = ("none", "note", "warning", "error")
+
+#: rule id -> (short description, default severity)
+RULE_META: Dict[str, tuple] = {
+    "determinism": ("wall-clock, global RNG, or unordered iteration in "
+                    "simulated code", "error"),
+    "persistence-ordering": ("PMDevice.store not flushed+fenced on every "
+                             "path out of the function", "error"),
+    "lock-discipline": ("inode-field mutation outside a lock acquisition, "
+                        "or unregistered lock namespace", "error"),
+    "snapshot-whitelist": ("persisted-graph module missing from the "
+                           "snapshot codec whitelist", "error"),
+    "metric-names": ("counter/gauge/span name absent from repro.obs.names",
+                     "error"),
+    "array-kernel": ("array-backed hot state mutated outside its kernel "
+                     "modules", "error"),
+    "persist-before-commit": ("PM store reaches a journal commit without "
+                              "an intervening persist()/fence", "error"),
+    "lock-order-cycle": ("cycle in the global lock-order graph", "error"),
+    "degraded-write-guard": ("mutating VFS entry point does not dominate "
+                             "a _check_writable() call", "error"),
+}
+
+
+def to_sarif(findings: List[Finding],
+             tool_version: str = "2.0",
+             base_uri: Optional[str] = None) -> Dict:
+    rule_ids = sorted({f.rule for f in findings} | set(RULE_META))
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = []
+    for rid in rule_ids:
+        desc, default = RULE_META.get(rid, (rid, "error"))
+        rules.append({
+            "id": rid,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": SARIF_LEVELS.get(default,
+                                                               "error")},
+        })
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": SARIF_LEVELS.get(f.severity, "error"),
+            "message": {"text": f.message + (f"  (hint: {f.hint})"
+                                             if f.hint else "")},
+            "locations": [_location(f.path, f.line, f.col + 1)],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+            "baselineState": "unchanged" if f.baselined else "new",
+        }
+        if f.witness:
+            result["relatedLocations"] = [
+                dict(_location(path, line, 1),
+                     message={"text": label})
+                for (label, path, line) in f.witness
+            ]
+        results.append(result)
+    run: Dict = {
+        "tool": {"driver": {
+            "name": "repro-lint",
+            "informationUri": "https://example.invalid/repro",
+            "version": tool_version,
+            "rules": rules,
+        }},
+        "results": results,
+        "columnKind": "utf16CodeUnits",
+    }
+    if base_uri:
+        uri = base_uri if base_uri.endswith("/") else base_uri + "/"
+        run["originalUriBaseIds"] = {"SRCROOT": {"uri": "file://" + uri}}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def _location(path: str, line: int, col: int) -> Dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(1, int(line)),
+                       "startColumn": max(1, int(col))},
+        }
+    }
+
+
+def validate_sarif(doc: object) -> List[str]:
+    """Structural 2.1.0 validation; returns a list of problems (empty=ok)."""
+    problems: List[str] = []
+
+    def err(msg: str) -> None:
+        problems.append(msg)
+
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("version") != SARIF_VERSION:
+        err(f"version must be '{SARIF_VERSION}'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            err(f"{where} is not an object")
+            continue
+        driver = (run.get("tool") or {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or \
+                not isinstance(driver.get("name"), str) or \
+                not driver.get("name"):
+            err(f"{where}.tool.driver.name missing")
+            driver = {}
+        rule_ids = set()
+        for i, rule in enumerate(driver.get("rules", []) or []):
+            if not isinstance(rule, dict) or \
+                    not isinstance(rule.get("id"), str):
+                err(f"{where}.tool.driver.rules[{i}].id missing")
+                continue
+            rule_ids.add(rule["id"])
+            level = (rule.get("defaultConfiguration") or {}).get("level")
+            if level is not None and level not in _LEVELS:
+                err(f"{where}.tool.driver.rules[{i}] bad level {level!r}")
+        results = run.get("results")
+        if results is None:
+            continue
+        if not isinstance(results, list):
+            err(f"{where}.results is not an array")
+            continue
+        for i, res in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            if not isinstance(res, dict):
+                err(f"{rwhere} is not an object")
+                continue
+            msg = res.get("message")
+            if not isinstance(msg, dict) or \
+                    not isinstance(msg.get("text"), str):
+                err(f"{rwhere}.message.text missing")
+            if "level" in res and res["level"] not in _LEVELS:
+                err(f"{rwhere}.level {res['level']!r} not in {_LEVELS}")
+            rid = res.get("ruleId")
+            if rid is not None and rule_ids and rid not in rule_ids:
+                err(f"{rwhere}.ruleId {rid!r} not declared by the driver")
+            if "ruleIndex" in res:
+                idx = res["ruleIndex"]
+                if not isinstance(idx, int) or idx < 0 or \
+                        idx >= len(driver.get("rules", []) or []):
+                    err(f"{rwhere}.ruleIndex out of range")
+            for loc_field in ("locations", "relatedLocations"):
+                for j, loc in enumerate(res.get(loc_field, []) or []):
+                    problems.extend(
+                        _validate_location(loc, f"{rwhere}.{loc_field}[{j}]"))
+            pf = res.get("partialFingerprints")
+            if pf is not None and (
+                    not isinstance(pf, dict) or
+                    not all(isinstance(v, str) for v in pf.values())):
+                err(f"{rwhere}.partialFingerprints must map to strings")
+            if "baselineState" in res and res["baselineState"] not in (
+                    "new", "unchanged", "updated", "absent"):
+                err(f"{rwhere}.baselineState invalid")
+    return problems
+
+
+def _validate_location(loc: object, where: str) -> List[str]:
+    out: List[str] = []
+    if not isinstance(loc, dict):
+        return [f"{where} is not an object"]
+    phys = loc.get("physicalLocation")
+    if phys is None:
+        return out
+    if not isinstance(phys, dict):
+        return [f"{where}.physicalLocation is not an object"]
+    art = phys.get("artifactLocation")
+    if art is not None and (not isinstance(art, dict) or
+                            not isinstance(art.get("uri"), str)):
+        out.append(f"{where}.physicalLocation.artifactLocation.uri missing")
+    region = phys.get("region")
+    if region is not None:
+        if not isinstance(region, dict):
+            out.append(f"{where}.physicalLocation.region is not an object")
+        else:
+            for key in ("startLine", "startColumn", "endLine", "endColumn"):
+                if key in region and (not isinstance(region[key], int)
+                                      or region[key] < 1):
+                    out.append(f"{where}.physicalLocation.region.{key} "
+                               "must be a positive integer")
+    return out

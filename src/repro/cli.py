@@ -449,17 +449,23 @@ def cmd_lint(args) -> int:
     import json
     import os
 
-    from .analysis import (DEFAULT_BASELINE, DEFAULT_CACHE, DEFAULT_TARGET,
-                           run_lint, update_baseline)
+    from .analysis import (DEFAULT_BASELINE, DEFAULT_CACHE,
+                           DEFAULT_FLOW_BASELINE, DEFAULT_FLOW_CACHE,
+                           DEFAULT_TARGET, flow_rules, run_lint,
+                           update_baseline)
 
     root = os.getcwd()
     targets = args.paths or [os.path.join(root, DEFAULT_TARGET)]
+    default_baseline = DEFAULT_FLOW_BASELINE if args.flow else \
+        DEFAULT_BASELINE
+    default_cache = DEFAULT_FLOW_CACHE if args.flow else DEFAULT_CACHE
+    rules = flow_rules() if args.flow else None
     baseline = args.baseline
     if baseline is None:
-        baseline = os.path.join(root, DEFAULT_BASELINE)
+        baseline = os.path.join(root, default_baseline)
     elif baseline == "":
         baseline = None
-    cache = None if args.no_cache else os.path.join(root, DEFAULT_CACHE)
+    cache = None if args.no_cache else os.path.join(root, default_cache)
 
     if args.emit_registry:
         from .analysis.rules.metric_names import emit_registry
@@ -468,12 +474,21 @@ def cmd_lint(args) -> int:
 
     if args.write_baseline:
         count = update_baseline(targets, baseline_path=baseline,
-                                root=root, cache_path=cache)
+                                root=root, cache_path=cache, rules=rules)
         print(f"wrote {count} finding(s) to {baseline}")
         return 0
 
     result = run_lint(targets, baseline_path=baseline, cache_path=cache,
-                      root=root)
+                      root=root, rules=rules, changed_only=args.changed)
+    if args.sarif:
+        from .analysis.sarif import to_sarif, validate_sarif
+        doc = to_sarif(result.findings, base_uri=root)
+        problems = validate_sarif(doc)
+        if problems:  # never ship an invalid artifact silently
+            print("\n".join(f"sarif: {p}" for p in problems))
+            return 2
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
     if args.json:
         print(result.render_json())
     else:
@@ -734,6 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-registry", action="store_true",
                    help="print every metric/span name referenced at call "
                         "sites (to refresh repro/obs/names.py)")
+    p.add_argument("--flow", action="store_true",
+                   help="run the interprocedural rules (persist-before-"
+                        "commit, lock-order-cycle, degraded-write-guard) "
+                        "with the flow baseline/cache")
+    p.add_argument("--sarif", metavar="PATH", default=None,
+                   help="also write a SARIF 2.1.0 report to PATH")
+    p.add_argument("--changed", action="store_true",
+                   help="re-analyze only the git-dirty strongly-connected "
+                        "region of the module graph; everything else is "
+                        "served from the cache (byte-identical findings)")
 
     p = sub.add_parser("trace", help="run a workload with span tracing on "
                                      "and export the trace")

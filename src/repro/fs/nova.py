@@ -262,6 +262,8 @@ class NovaFS(BaseFS):
         return b"".join(chunks)
 
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
+        self._check_mounted()
+        self._check_writable()
         # remember the allocation size before BaseFS extends it, so the CoW
         # path can tell pre-existing blocks from freshly allocated ones
         inode = self._inode_for_data(ino)

@@ -40,6 +40,8 @@ class SplitFS(Ext4DAX):
         self.relinks = 0
 
     def write(self, ino: int, offset: int, data: bytes, ctx: SimContext) -> int:
+        self._check_mounted()
+        self._check_writable()
         inode = self._inode_for_data(ino)
         if offset == inode.size and data:
             # append path: served from the user-space staging file; the

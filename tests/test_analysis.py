@@ -479,6 +479,77 @@ def test_scan_suppressions_parses_ids():
     assert sup == {1: {"determinism"}, 3: {"lock-discipline"}}
 
 
+def test_suppression_stacked_comment_chain(tmp_path):
+    """Allows in a run of comment lines all reach the line below them."""
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent("""
+        import time
+
+        def run():
+            # repro: allow[determinism] wall time feeds a log label only
+            # (second comment line between the allow and the code)
+            a = time.time()
+            return a
+    """))
+    result = run_lint([str(target)], root=str(tmp_path))
+    assert result.findings == []
+
+
+def test_suppression_stack_holds_multiple_rules():
+    import ast
+
+    from repro.analysis.engine import SuppressionIndex
+    src = ("# repro: allow[determinism] seeded downstream\n"
+           "# repro: allow[lock-discipline] single-threaded setup\n"
+           "x = compute()\n")
+    idx = SuppressionIndex(src.splitlines(), ast.parse(src))
+    assert idx.allowed("determinism", 3)
+    assert idx.allowed("lock-discipline", 3)
+    assert not idx.allowed("array-kernel", 3)
+
+
+def test_suppression_above_decorator_covers_the_def_line():
+    import ast
+
+    from repro.analysis.engine import SuppressionIndex
+    src = ("# repro: allow[degraded-write-guard] wrapper delegates the check\n"
+           "@property\n"
+           "@staticmethod\n"
+           "def write(self):\n"
+           "    pass\n")
+    idx = SuppressionIndex(src.splitlines(), ast.parse(src))
+    assert idx.allowed("degraded-write-guard", 4)   # the def line itself
+    assert not idx.allowed("determinism", 4)
+
+
+def test_suppression_trailing_allow_covers_multiline_statement(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent("""
+        def run(results):
+            ordered = sorted(
+                results,
+                key=id)  # repro: allow[determinism] ordering is cosmetic
+            return ordered
+    """))
+    result = run_lint([str(target)], root=str(tmp_path))
+    assert result.findings == []
+
+
+def test_suppression_does_not_leak_into_compound_bodies(tmp_path):
+    """An allow on an ``if`` header cannot bless the whole block."""
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent("""
+        import time
+
+        def run(flag):
+            if flag:  # repro: allow[determinism] header comment, not a span
+                return time.time()
+            return 0.0
+    """))
+    result = run_lint([str(target)], root=str(tmp_path))
+    assert [f.rule for f in result.findings] == ["determinism"]
+
+
 def test_baseline_grandfathers_and_reports_stale(tmp_path):
     target = tmp_path / "mod.py"
     target.write_text("import time\nT = time.time()\n")

@@ -1,0 +1,731 @@
+"""Tests for repro.analysis.flow — the interprocedural lint layer.
+
+Fixtures seed each flow rule with a known bug and assert the witness
+call chain, the call-graph resolution tests pin the dispatch rules the
+checkers depend on (self/super/constructor/toggle-family/import), and
+the engine-level tests cover SARIF export, severity tiers, the
+ruleset-hash cache salt, and ``--changed`` byte-identity.  The
+acceptance mutation at the bottom re-introduces the SplitFS unguarded
+append fast path against the *real* tree and must be caught.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import (FileContext, flow_rules, run_lint, to_sarif,
+                            update_baseline, validate_sarif)
+from repro.analysis.cache import LintCache, ruleset_hash
+from repro.analysis.engine import iter_python_files
+from repro.analysis.flow import CallGraph, FlowAnalysis, collect_file_facts
+from repro.analysis.rules.flow_guards import DegradedWriteGuard
+from repro.analysis.rules.flow_locks import LockOrderCycle
+from repro.analysis.rules.flow_persist import PersistBeforeCommit
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def graph_for(files) -> CallGraph:
+    """files: {relpath: (module, source)} -> CallGraph over the fixtures."""
+    facts = {}
+    for relpath, (module, source) in files.items():
+        ctx = FileContext(relpath, relpath, textwrap.dedent(source),
+                          module=module)
+        facts[relpath] = collect_file_facts(ctx)
+    return CallGraph(facts)
+
+
+def one_file_graph(source: str, module: str = "repro.fixture") -> CallGraph:
+    return graph_for({"fixture.py": (module, source)})
+
+
+def checker_hits(checker, files, rule_id=None):
+    graph = graph_for(files)
+    hits = checker.check(graph)
+    if rule_id is not None:
+        hits = [h for h in hits if h.rule == rule_id]
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# call graph construction
+
+
+def test_callgraph_self_and_module_calls():
+    g = one_file_graph("""
+        def helper(x):
+            return x
+
+        class Engine:
+            def run(self, ctx):
+                self.step(ctx)
+                return helper(ctx)
+
+            def step(self, ctx):
+                pass
+    """)
+    edges = g.call_edges("repro.fixture:Engine.run")
+    assert "repro.fixture:Engine.step" in edges
+    assert "repro.fixture:helper" in edges
+
+
+def test_callgraph_virtual_dispatch_targets_toggle_family():
+    g = one_file_graph("""
+        class FreePool:
+            def take(self, n):
+                return n
+
+            def drain(self):
+                self.take(1)
+
+        class ReferenceFreePool(FreePool):
+            def take(self, n):
+                return n + 0
+    """)
+    edges = g.call_edges("repro.fixture:FreePool.drain")
+    # the reference engine's override is reachable through the toggle
+    assert edges == ["repro.fixture:FreePool.take",
+                     "repro.fixture:ReferenceFreePool.take"]
+
+
+def test_callgraph_super_resolves_past_self():
+    g = one_file_graph("""
+        class Base:
+            def write(self, data):
+                return len(data)
+
+        class Sub(Base):
+            def write(self, data):
+                return super().write(data)
+    """)
+    edges = g.call_edges("repro.fixture:Sub.write")
+    assert edges == ["repro.fixture:Base.write"]
+
+
+def test_callgraph_constructor_targets_subclasses():
+    g = one_file_graph("""
+        class FreePool:
+            def __init__(self):
+                self.extents = []
+
+        class ReferenceFreePool(FreePool):
+            def __init__(self):
+                super().__init__()
+
+        def build():
+            return FreePool()
+    """)
+    edges = g.call_edges("repro.fixture:build")
+    assert "repro.fixture:FreePool.__init__" in edges
+    assert "repro.fixture:ReferenceFreePool.__init__" in edges
+
+
+def test_callgraph_resolves_cross_module_imports():
+    g = graph_for({
+        "a.py": ("repro.a", """
+            def helper(x):
+                return x
+        """),
+        "b.py": ("repro.b", """
+            from repro.a import helper
+
+            def run():
+                return helper(1)
+        """),
+    })
+    assert g.call_edges("repro.b:run") == ["repro.a:helper"]
+
+
+def test_lock_helper_resolves_namespace_through_returns():
+    g = one_file_graph("""
+        class FS:
+            def _ino_lock(self, ino):
+                return f"ino:{ino}"
+
+            def lock_it(self, ctx, ino):
+                ctx.locks.acquire(self._ino_lock(ino), ctx.cpu)
+    """)
+    info = g.functions["repro.fixture:FS.lock_it"]
+    assert g.resolve_lock_namespaces(info, [["call", "_ino_lock"]]) == ["ino"]
+
+
+# ---------------------------------------------------------------------------
+# persist-before-commit
+
+
+def test_persist_flags_store_reaching_commit_unfenced():
+    hits = checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class Journal:
+            def append(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self._txn.commit(ctx)
+    """)})
+    assert len(hits) == 1
+    f = hits[0]
+    assert f.rule == "persist-before-commit"
+    assert f.line == 4                       # anchored at the store
+    assert "store via self.device" in f.detail
+    assert any("journal commit" in hop[0] for hop in f.witness)
+
+
+def test_persist_clean_when_persisted_before_commit():
+    assert checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class Journal:
+            def append(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self.device.persist(0, len(data), ctx)
+                self._txn.commit(ctx)
+    """)}) == []
+
+
+def test_persist_clwb_alone_is_not_durable():
+    hits = checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class Journal:
+            def append(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self.device.clwb(0, ctx)
+                self._txn.commit(ctx)
+    """)})
+    assert len(hits) == 1
+
+
+def test_persist_clwb_sfence_is_durable():
+    assert checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class Journal:
+            def append(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self.device.clwb(0, ctx)
+                self.device.sfence(ctx)
+                self._txn.commit(ctx)
+    """)}) == []
+
+
+def test_persist_crosses_function_boundaries_with_witness():
+    hits = checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class FS:
+            def write_meta(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self._finish(ctx)
+
+            def _finish(self, ctx):
+                self._journal.commit(ctx)
+    """)})
+    assert len(hits) == 1
+    f = hits[0]
+    assert f.qualname == "FS.write_meta"
+    labels = [hop[0] for hop in f.witness]
+    assert any("calls self._finish" in lbl for lbl in labels)
+    assert any("journal commit" in lbl for lbl in labels)
+
+
+def test_persist_meta_txn_scope_commits_on_exit():
+    src = """
+        class FS:
+            def update(self, ctx, inode):
+                with self._meta_txn(ctx, entries=2):
+                    self.device.store(inode, b"x", ctx)
+                    {persist}
+    """
+    bad = {"fix.py": ("repro.fixture", src.format(persist="pass"))}
+    good = {"fix.py": ("repro.fixture", src.format(
+        persist='self.device.persist(inode, 1, ctx)'))}
+    assert len(checker_hits(PersistBeforeCommit(), bad)) == 1
+    assert checker_hits(PersistBeforeCommit(), good) == []
+
+
+def test_persist_raise_paths_are_exempt():
+    assert checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class FS:
+            def update(self, ctx):
+                self.device.store(0, b"x", ctx)
+                if ctx.failed:
+                    raise RuntimeError("torn")
+                self.device.persist(0, 1, ctx)
+                self._txn.commit(ctx)
+    """)}) == []
+
+
+# ---------------------------------------------------------------------------
+# lock-order-cycle
+
+
+def test_lock_cycle_between_two_namespaces():
+    hits = checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def forward(ctx):
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+            ctx.locks.release("winefs-journal:0", ctx.cpu)
+            ctx.locks.release("ino:1", ctx.cpu)
+
+        def backward(ctx):
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            ctx.locks.release("ino:1", ctx.cpu)
+            ctx.locks.release("winefs-journal:0", ctx.cpu)
+    """)}, rule_id="lock-order-cycle")
+    assert len(hits) == 1
+    f = hits[0]
+    assert f.detail == "ino->winefs-journal->ino"
+    labels = [hop[0] for hop in f.witness]
+    assert any("forward acquires winefs-journal" in lbl for lbl in labels)
+    assert any("backward acquires ino" in lbl for lbl in labels)
+
+
+def test_lock_self_edge_from_nested_same_namespace():
+    hits = checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def rename(ctx, inos):
+            for ino in inos:
+                ctx.locks.acquire(f"ino:{ino}", ctx.cpu)
+    """)}, rule_id="lock-order-cycle")
+    assert len(hits) == 1
+    assert hits[0].detail == "ino->ino"
+
+
+def test_lock_consistent_order_is_acyclic():
+    assert checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def one(ctx):
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+
+        def two(ctx):
+            ctx.locks.acquire("ino:2", ctx.cpu)
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+    """)}, rule_id="lock-order-cycle") == []
+
+
+def test_lock_edge_forms_through_a_call():
+    hits = checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def log_append(ctx):
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+            ctx.locks.release("winefs-journal:0", ctx.cpu)
+
+        def outer(ctx):
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            log_append(ctx)
+            ctx.locks.release("ino:1", ctx.cpu)
+
+        def backward(ctx):
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+            ctx.locks.acquire("ino:1", ctx.cpu)
+    """)}, rule_id="lock-order-cycle")
+    assert len(hits) == 1
+    labels = [hop[0] for hop in hits[0].witness]
+    assert any("outer calls log_append" in lbl for lbl in labels)
+
+
+def test_lock_release_breaks_the_held_set():
+    assert checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def one(ctx):
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            ctx.locks.release("ino:1", ctx.cpu)
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+
+        def two(ctx):
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+            ctx.locks.release("winefs-journal:0", ctx.cpu)
+            ctx.locks.acquire("ino:1", ctx.cpu)
+    """)}, rule_id="lock-order-cycle") == []
+
+
+def test_lock_atomic_is_not_a_held_lock():
+    assert checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def one(ctx):
+            ctx.locks.atomic("ino:1", ctx.cpu)
+            ctx.locks.acquire("winefs-journal:0", ctx.cpu)
+
+        def two(ctx):
+            ctx.locks.atomic("winefs-journal:0", ctx.cpu)
+            ctx.locks.acquire("ino:1", ctx.cpu)
+    """)}, rule_id="lock-order-cycle") == []
+
+
+def test_lock_unregistered_namespace_warns():
+    hits = checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def one(ctx):
+            ctx.locks.acquire("bogus-family:1", ctx.cpu)
+    """)}, rule_id="lock-discipline")
+    assert len(hits) == 1
+    assert hits[0].severity == "warning"
+    assert hits[0].detail == "unregistered:bogus-family"
+
+
+def test_lock_unresolvable_name_never_forms_edges():
+    assert checker_hits(LockOrderCycle(), {"fix.py": ("repro.fixture", """
+        def one(ctx, name):
+            ctx.locks.acquire("ino:1", ctx.cpu)
+            ctx.locks.acquire(name, ctx.cpu)
+
+        def two(ctx, name):
+            ctx.locks.acquire(name, ctx.cpu)
+            ctx.locks.acquire("ino:1", ctx.cpu)
+    """)}, rule_id="lock-order-cycle") == []
+
+
+# ---------------------------------------------------------------------------
+# degraded-write-guard
+
+_VFS_FIXTURE = ("repro.vfs.fixture", """
+    class FileSystem:
+        def _check_mounted(self):
+            pass
+
+        def _check_writable(self):
+            pass
+""")
+
+
+def test_guard_flags_mutation_before_check():
+    hits = checker_hits(DegradedWriteGuard(), {
+        "vfs.py": _VFS_FIXTURE,
+        "fs.py": ("repro.fs.fixture", """
+            from repro.vfs.fixture import FileSystem
+
+            class FastFS(FileSystem):
+                def write(self, ino, offset, data, ctx):
+                    ctx.locks.acquire(f"ino:{ino}", ctx.cpu)
+                    self._check_writable()
+                    return len(data)
+        """)})
+    assert len(hits) == 1
+    f = hits[0]
+    assert f.qualname == "FastFS.write"
+    assert f.line == 5                       # the def line, where allows sit
+    assert any("acquires a lock" in hop[0] for hop in f.witness)
+
+
+def test_guard_clean_when_check_dominates():
+    assert checker_hits(DegradedWriteGuard(), {
+        "vfs.py": _VFS_FIXTURE,
+        "fs.py": ("repro.fs.fixture", """
+            from repro.vfs.fixture import FileSystem
+
+            class FastFS(FileSystem):
+                def write(self, ino, offset, data, ctx):
+                    self._check_writable()
+                    ctx.locks.acquire(f"ino:{ino}", ctx.cpu)
+                    self.size = offset + len(data)
+                    return len(data)
+        """)}) == []
+
+
+def test_guard_delegating_wrapper_inherits_the_check():
+    assert checker_hits(DegradedWriteGuard(), {
+        "vfs.py": _VFS_FIXTURE,
+        "fs.py": ("repro.fs.fixture", """
+            from repro.vfs.fixture import FileSystem
+
+            class FastFS(FileSystem):
+                def write(self, ino, offset, data, ctx):
+                    self._check_writable()
+                    self.device.store(offset, data, ctx)
+                    return len(data)
+
+                def write_zeros(self, ino, offset, length, ctx):
+                    return self.write(ino, offset, b"0" * length, ctx)
+        """)}) == []
+
+
+def test_guard_early_return_without_work_is_exempt():
+    assert checker_hits(DegradedWriteGuard(), {
+        "vfs.py": _VFS_FIXTURE,
+        "fs.py": ("repro.fs.fixture", """
+            from repro.vfs.fixture import FileSystem
+
+            class FastFS(FileSystem):
+                def write_zeros(self, ino, offset, length, ctx):
+                    if length <= 0:
+                        return 0
+                    self._check_writable()
+                    self.device.store(offset, b"0" * length, ctx)
+                    return length
+        """)}) == []
+
+
+def test_guard_virtual_family_join_flags_wrapper_and_override():
+    # mirror of the SplitFS bug: one override in the family skips the
+    # guard, so the delegating wrapper can no longer assume it
+    hits = checker_hits(DegradedWriteGuard(), {
+        "vfs.py": _VFS_FIXTURE,
+        "fs.py": ("repro.fs.fixture", """
+            from repro.vfs.fixture import FileSystem
+
+            class BaseFS(FileSystem):
+                def write(self, ino, offset, data, ctx):
+                    self._check_writable()
+                    self.device.store(offset, data, ctx)
+                    return len(data)
+
+                def write_zeros(self, ino, offset, length, ctx):
+                    return self.write(ino, offset, b"0" * length, ctx)
+
+            class FastFS(BaseFS):
+                def write(self, ino, offset, data, ctx):
+                    self.device.store(offset, data, ctx)
+                    return len(data)
+        """)})
+    quals = sorted(f.qualname for f in hits)
+    assert quals == ["BaseFS.write_zeros", "FastFS.write"]
+
+
+def test_guard_ignores_classes_outside_the_vfs_tree():
+    assert checker_hits(DegradedWriteGuard(), {
+        "fs.py": ("repro.fs.fixture", """
+            class Buffer:
+                def write(self, data):
+                    self.chunks = [data]
+        """)}) == []
+
+
+# ---------------------------------------------------------------------------
+# SARIF export
+
+
+def _sample_findings():
+    return checker_hits(PersistBeforeCommit(), {"fix.py": ("repro.fixture", """
+        class Journal:
+            def append(self, ctx, data):
+                self.device.store(0, data, ctx)
+                self._txn.commit(ctx)
+    """)})
+
+
+def test_sarif_export_validates_and_carries_witness():
+    findings = _sample_findings()
+    doc = to_sarif(findings)
+    assert validate_sarif(doc) == []
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    result = run["results"][0]
+    assert result["ruleId"] == "persist-before-commit"
+    assert result["level"] == "error"
+    assert result["partialFingerprints"]["reproLint/v1"]
+    assert result["relatedLocations"]          # the witness chain
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert result["ruleIndex"] == rule_ids.index("persist-before-commit")
+
+
+def test_sarif_validator_rejects_structural_damage():
+    doc = to_sarif(_sample_findings())
+    del doc["runs"][0]["results"][0]["message"]
+    assert validate_sarif(doc)
+    assert validate_sarif({"version": "1.0", "runs": []})
+
+
+# ---------------------------------------------------------------------------
+# engine: severity tiers, ruleset hash, --changed
+
+
+def _write_fixture_tree(root):
+    os.makedirs(root, exist_ok=True)
+    files = {
+        "alpha.py": "def helper(x):\n    return x\n",
+        "beta.py": ("from alpha import helper\n\n"
+                    "def run(ctx):\n"
+                    "    ctx.locks.acquire('bogus-family:1', ctx.cpu)\n"
+                    "    return helper(1)\n"),
+        "gamma.py": "def other():\n    return 3\n",
+    }
+    for name, text in files.items():
+        with open(os.path.join(root, name), "w") as fh:
+            fh.write(text)
+    return sorted(files)
+
+
+def test_warning_findings_do_not_block_exit(tmp_path):
+    root = str(tmp_path)
+    _write_fixture_tree(root)
+    result = run_lint([root], baseline_path=None, cache_path=None,
+                      root=root, rules=flow_rules())
+    assert [f.severity for f in result.findings] == ["warning"]
+    assert result.new_warnings and not result.new_errors
+    assert result.exit_code == 0
+    assert "warning-level" in result.render_text()
+
+
+def test_ruleset_hash_salts_the_cache(tmp_path):
+    root = str(tmp_path / "tree")
+    _write_fixture_tree(root)
+    cache_path = str(tmp_path / "cache.json")
+    run_lint([root], baseline_path=None, cache_path=cache_path, root=root,
+             rules=flow_rules())
+    warm = run_lint([root], baseline_path=None, cache_path=cache_path,
+                    root=root, rules=flow_rules())
+    assert warm.cache_hits == warm.files
+
+    with open(cache_path) as fh:
+        doc = json.load(fh)
+    assert doc["ruleset"] == ruleset_hash()
+    doc["ruleset"] = "0" * len(doc["ruleset"])   # a rule edit happened
+    with open(cache_path, "w") as fh:
+        json.dump(doc, fh)
+    cold = run_lint([root], baseline_path=None, cache_path=cache_path,
+                    root=root, rules=flow_rules())
+    assert cold.cache_hits == 0
+    assert cold.reanalyzed == cold.files
+
+
+def test_cache_written_for_one_ruleset_misses_for_another(tmp_path):
+    root = str(tmp_path / "tree")
+    _write_fixture_tree(root)
+    cache_path = str(tmp_path / "cache.json")
+    run_lint([root], baseline_path=None, cache_path=cache_path, root=root)
+    # same files, flow rules: the cached entries lack the "flow" facts
+    result = run_lint([root], baseline_path=None, cache_path=cache_path,
+                      root=root, rules=flow_rules())
+    assert result.reanalyzed == result.files
+    assert [f.rule for f in result.findings] == ["lock-discipline"]
+
+
+needs_git = pytest.mark.skipif(shutil.which("git") is None,
+                               reason="git not available")
+
+
+def _git(root, *argv):
+    subprocess.run(["git", "-C", root, "-c", "user.name=t",
+                    "-c", "user.email=t@t", *argv],
+                   check=True, capture_output=True)
+
+
+@needs_git
+def test_changed_mode_is_byte_identical_and_incremental(tmp_path):
+    root = str(tmp_path / "tree")
+    _write_fixture_tree(root)
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-q", "-m", "seed")
+    cache_path = str(tmp_path / "cache.json")
+    run_lint([root], baseline_path=None, cache_path=cache_path, root=root,
+             rules=flow_rules())
+
+    # touch one file; only its import-SCC region may be re-analyzed
+    with open(os.path.join(root, "beta.py"), "a") as fh:
+        fh.write("\ndef extra():\n    return 9\n")
+    changed = run_lint([root], baseline_path=None, cache_path=cache_path,
+                       root=root, rules=flow_rules(), changed_only=True)
+    full = run_lint([root], baseline_path=None, cache_path=None, root=root,
+                    rules=flow_rules())
+    assert [f.as_dict() for f in changed.findings] == \
+        [f.as_dict() for f in full.findings]
+    assert changed.reanalyzed == 1           # beta only; alpha is not dirty
+    assert changed.reanalyzed / changed.files < 0.5
+
+
+@needs_git
+def test_changed_mode_expands_to_the_dirty_import_region(tmp_path):
+    root = str(tmp_path / "tree")
+    _write_fixture_tree(root)
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-q", "-m", "seed")
+    cache_path = str(tmp_path / "cache.json")
+    run_lint([root], baseline_path=None, cache_path=cache_path, root=root,
+             rules=flow_rules())
+    # alpha/beta form an import cycle -> touching alpha forces both into
+    # the re-check region (they get content-hashed; gamma is not even read)
+    with open(os.path.join(root, "alpha.py"), "w") as fh:
+        fh.write("from beta import run\n\ndef helper(x):\n    return x\n")
+    changed = run_lint([root], baseline_path=None, cache_path=cache_path,
+                       root=root, rules=flow_rules(), changed_only=True)
+    assert changed.reanalyzed == 1           # alpha; beta content unchanged
+
+    from repro.analysis.engine import _dirty_region
+    region = _dirty_region(LintCache(cache_path), {"alpha.py"})
+    assert region == {"alpha.py", "beta.py"}
+    full = run_lint([root], baseline_path=None, cache_path=None, root=root,
+                    rules=flow_rules())
+    assert [f.as_dict() for f in changed.findings] == \
+        [f.as_dict() for f in full.findings]
+
+
+def test_flow_fingerprints_survive_line_drift(tmp_path):
+    root = str(tmp_path)
+    path = os.path.join(root, "fix.py")
+    src = ("class Journal:\n"
+           "    def append(self, ctx, data):\n"
+           "        self.device.store(0, data, ctx)\n"
+           "        self._txn.commit(ctx)\n")
+    with open(path, "w") as fh:
+        fh.write(src)
+    first = run_lint([root], baseline_path=None, cache_path=None, root=root,
+                     rules=flow_rules())
+    with open(path, "w") as fh:
+        fh.write("# a comment pushing everything down\n\n\n" + src)
+    second = run_lint([root], baseline_path=None, cache_path=None, root=root,
+                      rules=flow_rules())
+    (f1,), (f2,) = first.findings, second.findings
+    assert f1.line != f2.line
+    assert f1.fingerprint == f2.fingerprint
+
+
+def test_flow_baseline_roundtrip(tmp_path):
+    root = str(tmp_path)
+    path = os.path.join(root, "fix.py")
+    with open(path, "w") as fh:
+        fh.write("class Journal:\n"
+                 "    def append(self, ctx, data):\n"
+                 "        self.device.store(0, data, ctx)\n"
+                 "        self._txn.commit(ctx)\n")
+    baseline = os.path.join(root, "baseline_flow.json")
+    assert update_baseline([root], baseline, root=root,
+                           rules=flow_rules()) == 1
+    result = run_lint([root], baseline_path=baseline, cache_path=None,
+                      root=root, rules=flow_rules())
+    assert result.new_findings == []
+    assert result.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the real tree, and the real bug re-introduced
+
+
+def _real_tree_findings(mutate=None):
+    rule = FlowAnalysis()
+    facts = {}
+    for path in iter_python_files([SRC_REPRO]):
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        if mutate is not None:
+            source = mutate(rel, source)
+        ctx = FileContext(path, rel, source)
+        facts[rel] = rule.collect(ctx)
+    return rule.finalize(facts)
+
+
+def test_real_tree_guard_findings_are_clean():
+    hits = [f for f in _real_tree_findings()
+            if f.rule == "degraded-write-guard"]
+    assert hits == []
+
+
+def test_reintroduced_splitfs_fast_path_bug_is_caught():
+    def strip_guard(rel, source):
+        if rel.endswith("fs/splitfs.py"):
+            mutated = source.replace("        self._check_mounted()\n"
+                                     "        self._check_writable()\n", "")
+            assert mutated != source
+            return mutated
+        return source
+
+    hits = [f for f in _real_tree_findings(mutate=strip_guard)
+            if f.rule == "degraded-write-guard"]
+    quals = {f.qualname for f in hits}
+    assert "SplitFS.write" in quals
+    split = next(f for f in hits if f.qualname == "SplitFS.write")
+    assert split.path == "src/repro/fs/splitfs.py"
+    assert any("acquires a lock" in hop[0] or "store" in hop[0]
+               for hop in split.witness)
+
+
+def test_flow_self_lint_is_clean():
+    result = run_lint([SRC_REPRO], baseline_path=None, cache_path=None,
+                      root=REPO_ROOT, rules=flow_rules())
+    assert result.errors == []
+    assert result.findings == []
